@@ -1,0 +1,58 @@
+// Shared scaffolding for the table-reproduction benches: the three datasets
+// of the paper (Pima R, Pima M, Sylhet) built from the synthetic generators,
+// plus CLI-controlled fidelity knobs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "data/preprocess.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+
+namespace hdc::bench {
+
+struct BenchSetup {
+  data::Dataset pima_r;
+  data::Dataset pima_m;
+  data::Dataset sylhet;
+  core::ExperimentConfig experiment;
+  std::size_t kfold = 10;
+  std::size_t nn_repeats = 5;
+};
+
+/// Flags: --dim N (default 10000), --seed S, --budget B (boosted-model round
+/// scale), --kfold K, --repeats R, --fast (reduced fidelity preset).
+inline BenchSetup make_setup(int argc, const char* const* argv) {
+  const util::Cli cli(argc, argv);
+  BenchSetup setup;
+
+  const bool fast = cli.has_flag("--fast");
+  std::size_t dim = static_cast<std::size_t>(cli.get_int("--dim", fast ? 2000 : 10000));
+  const std::uint64_t seed = cli.get_uint("--seed", 2023);
+  setup.experiment.extractor.dimensions = dim;
+  setup.experiment.extractor.seed = seed * 77 + 1;
+  setup.experiment.seed = seed;
+  setup.experiment.model_budget = cli.get_double("--budget", fast ? 0.2 : 0.5);
+  setup.kfold = static_cast<std::size_t>(cli.get_int("--kfold", fast ? 5 : 10));
+  setup.nn_repeats = static_cast<std::size_t>(cli.get_int("--repeats", fast ? 2 : 3));
+
+  data::PimaConfig pima_config;
+  pima_config.seed = seed;
+  const data::Dataset pima_raw = data::make_pima(pima_config);
+  setup.pima_r = data::remove_missing_rows(pima_raw);
+  setup.pima_m = data::impute_class_median(pima_raw);
+  data::SylhetConfig sylhet_config;
+  sylhet_config.seed = seed + 1;
+  setup.sylhet = data::make_sylhet(sylhet_config);
+
+  std::printf("# config: dim=%zu seed=%llu budget=%.2f kfold=%zu repeats=%zu\n",
+              dim, static_cast<unsigned long long>(seed),
+              setup.experiment.model_budget, setup.kfold, setup.nn_repeats);
+  std::printf("# datasets: Pima R n=%zu, Pima M n=%zu, Sylhet n=%zu\n",
+              setup.pima_r.n_rows(), setup.pima_m.n_rows(), setup.sylhet.n_rows());
+  return setup;
+}
+
+}  // namespace hdc::bench

@@ -1,0 +1,69 @@
+// Table II reproduction: testing accuracy of the pure Hamming-distance HDC
+// model (leave-one-out) and of the Sequential NN (70/15/15, early stopping,
+// averaged over repeats) on raw features vs hypervectors, for Pima R,
+// Pima M and Sylhet.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct PaperRef {
+  const char* hamming;
+  const char* nn_features;
+  const char* nn_hypervectors;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Table II: Hamming & Sequential NN testing accuracy ==\n");
+  const hdc::bench::BenchSetup setup = hdc::bench::make_setup(argc, argv);
+
+  const std::pair<const char*, const hdc::data::Dataset*> datasets[] = {
+      {"Pima R", &setup.pima_r}, {"Pima M", &setup.pima_m}, {"Syhlet", &setup.sylhet}};
+  const PaperRef paper[] = {{"70.7%", "71.2%", "79.6%"},
+                            {"78.8%", "75.9%", "88.8%"},
+                            {"95.9%", "97.4%", "97.4%"}};
+
+  // Raw-feature runs need the full 1000-epoch budget (Adam adapts slowly to
+  // unscaled clinical features and each epoch is microseconds); hypervector
+  // runs converge within ~200 epochs, so a small min_delta stops them early
+  // — each 10k-input epoch costs ~0.4 s on one core.
+  hdc::nn::SequentialConfig nn_feat_config;
+  nn_feat_config.max_epochs = 1000;
+  nn_feat_config.patience = 20;
+  nn_feat_config.min_delta = 0.0;
+  hdc::nn::SequentialConfig nn_hv_config = nn_feat_config;
+  nn_hv_config.min_delta = 1e-4;
+
+  hdc::util::Table table({"Dataset", "Hamming (ours)", "Hamming (paper)",
+                          "NN feat (ours)", "NN feat (paper)", "NN HV (ours)",
+                          "NN HV (paper)"});
+  for (std::size_t d = 0; d < 3; ++d) {
+    const auto& [name, ds] = datasets[d];
+    std::fprintf(stderr, "[table2] %s: Hamming LOO...\n", name);
+    const auto hamming = hdc::core::hamming_loo(*ds, setup.experiment);
+    std::fprintf(stderr, "[table2] %s: Sequential NN on features...\n", name);
+    const auto nn_feat =
+        hdc::core::nn_protocol(*ds, hdc::core::InputMode::kRawFeatures,
+                               setup.nn_repeats, setup.experiment, nn_feat_config);
+    std::fprintf(stderr, "[table2] %s: Sequential NN on hypervectors...\n", name);
+    const auto nn_hv =
+        hdc::core::nn_protocol(*ds, hdc::core::InputMode::kHypervectors,
+                               setup.nn_repeats, setup.experiment, nn_hv_config);
+    table.add_row({name, hdc::util::format_percent(hamming.accuracy, 1),
+                   paper[d].hamming,
+                   hdc::util::format_percent(nn_feat.mean_test_accuracy, 1),
+                   paper[d].nn_features,
+                   hdc::util::format_percent(nn_hv.mean_test_accuracy, 1),
+                   paper[d].nn_hypervectors});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "# Expected shape: HVs lift the NN on both Pima variants; no change on "
+      "Sylhet; Hamming competitive on Sylhet.\n");
+  return 0;
+}

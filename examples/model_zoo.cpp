@@ -1,0 +1,59 @@
+// Model zoo comparison: train every classical model of the paper on one
+// dataset, with raw features and with hypervectors, and print a side-by-side
+// holdout comparison (a one-dataset slice of the paper's Tables III-V).
+//
+// Flags: --dataset pima-r|pima-m|sylhet (default sylhet), --dim N,
+//        --test-fraction F (default 0.2), --seed S, --budget B.
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "data/preprocess.hpp"
+#include "data/synthetic.hpp"
+#include "ml/zoo.hpp"
+#include "util/cli.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const hdc::util::Cli cli(argc, argv);
+  const std::string which = cli.get_string("--dataset", "sylhet");
+  const std::uint64_t seed = cli.get_uint("--seed", 5);
+
+  hdc::core::ExperimentConfig experiment;
+  experiment.extractor.dimensions =
+      static_cast<std::size_t>(cli.get_int("--dim", 10000));
+  experiment.seed = seed;
+  experiment.model_budget = cli.get_double("--budget", 0.5);
+  const double test_fraction = cli.get_double("--test-fraction", 0.2);
+
+  const hdc::data::Dataset dataset = [&] {
+    if (which == "sylhet") return hdc::data::make_sylhet({200, 320, seed});
+    hdc::data::PimaConfig config;
+    config.seed = seed;
+    const hdc::data::Dataset raw = hdc::data::make_pima(config);
+    if (which == "pima-r") return hdc::data::remove_missing_rows(raw);
+    if (which == "pima-m") return hdc::data::impute_class_median(raw);
+    std::fprintf(stderr, "unknown --dataset '%s'\n", which.c_str());
+    std::exit(1);
+  }();
+  std::printf("dataset %s: %zu rows, %zu features; holdout %.0f%%, dim %zu\n",
+              which.c_str(), dataset.n_rows(), dataset.n_cols(),
+              100.0 * test_fraction, experiment.extractor.dimensions);
+
+  hdc::util::Table table({"Model", "Features acc", "Hypervectors acc", "Gain"});
+  for (const auto& entry : hdc::ml::paper_model_zoo(experiment.model_budget)) {
+    std::fprintf(stderr, "[zoo] %s\n", entry.name.c_str());
+    const auto feat = hdc::core::holdout_metrics(
+        dataset, entry.name, hdc::core::InputMode::kRawFeatures, test_fraction,
+        experiment);
+    const auto hv = hdc::core::holdout_metrics(
+        dataset, entry.name, hdc::core::InputMode::kHypervectors, test_fraction,
+        experiment);
+    table.add_row({entry.name, hdc::util::format_percent(feat.accuracy, 1),
+                   hdc::util::format_percent(hv.accuracy, 1),
+                   hdc::util::format_double(100.0 * (hv.accuracy - feat.accuracy), 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Experiment drivers reproducing the paper's evaluation protocols. Each
+// bench binary is a thin wrapper over these functions; the unit tests also
+// exercise them on reduced configurations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/extractor.hpp"
+#include "data/dataset.hpp"
+#include "eval/cross_validation.hpp"
+#include "eval/metrics.hpp"
+#include "nn/sequential.hpp"
+
+namespace hdc::core {
+
+/// What the downstream model consumes.
+enum class InputMode { kRawFeatures, kHypervectors };
+
+[[nodiscard]] std::string to_string(InputMode mode);
+
+struct ExperimentConfig {
+  ExtractorConfig extractor;
+  std::uint64_t seed = 42;   // split / CV seed
+  double model_budget = 1.0; // scales boosted-model iteration counts
+};
+
+/// Paper Table III protocol: stratified 10-fold CV accuracy of a zoo model.
+/// In hypervector mode the extractor is re-fit on each fold's training rows.
+[[nodiscard]] eval::CvResult kfold_cv_accuracy(const data::Dataset& ds,
+                                               const std::string& model_name,
+                                               InputMode mode, std::size_t k,
+                                               const ExperimentConfig& config);
+
+/// Paper Table IV/V protocol: stratified 90/10 holdout, full test metrics.
+[[nodiscard]] eval::BinaryMetrics holdout_metrics(const data::Dataset& ds,
+                                                  const std::string& model_name,
+                                                  InputMode mode,
+                                                  double test_fraction,
+                                                  const ExperimentConfig& config);
+
+/// Paper Table II (Hamming row): leave-one-out 1-NN Hamming over the whole
+/// dataset, encoded once with extractor ranges from the full data (the
+/// paper builds all patient hypervectors up front).
+[[nodiscard]] eval::BinaryMetrics hamming_loo(const data::Dataset& ds,
+                                              const ExperimentConfig& config);
+
+struct NnProtocolResult {
+  double mean_test_accuracy = 0.0;
+  double stddev_test_accuracy = 0.0;
+  double mean_val_accuracy = 0.0;
+  double mean_epochs = 0.0;  // epochs actually run (early stopping)
+};
+
+/// Paper Table II (Sequential NN rows): 70/15/15 stratified split, up to
+/// 1000 epochs with patience-20 early stopping, repeated `repeats` times
+/// with different split seeds; reports the mean testing accuracy.
+[[nodiscard]] NnProtocolResult nn_protocol(const data::Dataset& ds, InputMode mode,
+                                           std::size_t repeats,
+                                           const ExperimentConfig& config,
+                                           nn::SequentialConfig nn_config = {});
+
+}  // namespace hdc::core

@@ -1,0 +1,104 @@
+#include "core/extractor.hpp"
+
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::core {
+
+HdcFeatureExtractor::HdcFeatureExtractor(ExtractorConfig config) : config_(config) {
+  if (config_.dimensions == 0 || config_.dimensions % 4 != 0) {
+    throw std::invalid_argument(
+        "HdcFeatureExtractor: dimensions must be a positive multiple of 4");
+  }
+}
+
+void HdcFeatureExtractor::fit(const data::Dataset& train) {
+  if (train.n_rows() == 0) throw std::invalid_argument("HdcFeatureExtractor: empty fit");
+  std::vector<ColumnEncoding> columns;
+  columns.reserve(train.n_cols());
+  for (std::size_t j = 0; j < train.n_cols(); ++j) {
+    const data::ColumnSpec& spec = train.column(j);
+    ColumnEncoding enc{spec.name, spec.kind, 0.0, 0.0};
+    if (spec.kind == data::ColumnKind::kContinuous) {
+      const data::ColumnStats stats = train.column_stats(j);
+      if (stats.present == 0) {
+        throw std::invalid_argument("HdcFeatureExtractor: column '" + spec.name +
+                                    "' has no data");
+      }
+      enc.lo = stats.min;
+      enc.hi = stats.max;
+    }
+    columns.push_back(std::move(enc));
+  }
+  fit_from_columns(std::move(columns));
+}
+
+void HdcFeatureExtractor::fit_from_columns(std::vector<ColumnEncoding> columns) {
+  if (columns.empty()) {
+    throw std::invalid_argument("HdcFeatureExtractor: no columns");
+  }
+  encoder_ = std::make_unique<hv::RecordEncoder>(config_.dimensions, config_.tie);
+  columns_ = std::move(columns);
+  column_min_.assign(columns_.size(), 0.0);
+  for (std::size_t j = 0; j < columns_.size(); ++j) {
+    const std::uint64_t column_seed = util::mix_seed(config_.seed, j + 1);
+    const ColumnEncoding& spec = columns_[j];
+    if (spec.kind == data::ColumnKind::kBinary) {
+      encoder_->add_feature(
+          std::make_unique<hv::BinaryEncoder>(config_.dimensions, column_seed));
+    } else if (spec.kind == data::ColumnKind::kCategorical) {
+      encoder_->add_feature(
+          std::make_unique<hv::CategoricalEncoder>(config_.dimensions, column_seed));
+    } else {
+      encoder_->add_feature(std::make_unique<hv::LevelEncoder>(
+          config_.dimensions, spec.lo, spec.hi, column_seed));
+      column_min_[j] = spec.lo;
+    }
+  }
+}
+
+const hv::RecordEncoder& HdcFeatureExtractor::record_encoder() const {
+  if (!fitted()) throw std::logic_error("HdcFeatureExtractor: not fitted");
+  return *encoder_;
+}
+
+hv::BitVector HdcFeatureExtractor::encode_row(std::span<const double> row) const {
+  if (!fitted()) throw std::logic_error("HdcFeatureExtractor: not fitted");
+  if (row.size() != column_min_.size()) {
+    throw std::invalid_argument("HdcFeatureExtractor: row arity mismatch");
+  }
+  bool any_missing = false;
+  for (const double v : row) {
+    if (data::Dataset::is_missing(v)) any_missing = true;
+  }
+  if (!any_missing) return encoder_->encode(row);
+  if (!config_.missing_as_min) {
+    throw std::invalid_argument("HdcFeatureExtractor: missing value in row");
+  }
+  std::vector<double> fixed(row.begin(), row.end());
+  for (std::size_t j = 0; j < fixed.size(); ++j) {
+    if (data::Dataset::is_missing(fixed[j])) fixed[j] = column_min_[j];
+  }
+  return encoder_->encode(fixed);
+}
+
+std::vector<hv::BitVector> HdcFeatureExtractor::transform(
+    const data::Dataset& ds) const {
+  if (!fitted()) throw std::logic_error("HdcFeatureExtractor: not fitted");
+  std::vector<hv::BitVector> out(ds.n_rows());
+  parallel::parallel_for(0, ds.n_rows(),
+                         [&](std::size_t i) { out[i] = encode_row(ds.row(i)); });
+  return out;
+}
+
+ml::Matrix HdcFeatureExtractor::transform_to_matrix(const data::Dataset& ds) const {
+  const std::vector<hv::BitVector> vectors = transform(ds);
+  ml::Matrix out;
+  out.reserve(vectors.size());
+  for (const hv::BitVector& v : vectors) out.push_back(v.to_doubles());
+  return out;
+}
+
+}  // namespace hdc::core

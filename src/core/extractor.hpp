@@ -1,0 +1,77 @@
+// HdcFeatureExtractor — the paper's primary contribution.
+//
+// Fit on a training dataset: every continuous column gets a LevelEncoder
+// over its observed [min, max]; every binary column gets a BinaryEncoder
+// (seed / orthogonal pair); each column uses an independent random seed
+// stream derived from (seed, column index) so no feature is biased.
+// Transform: each row's feature hypervectors are bundled with bitwise
+// majority voting (ties -> 1) into one patient hypervector.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hv/encoders.hpp"
+#include "ml/classifier.hpp"
+
+namespace hdc::core {
+
+struct ExtractorConfig {
+  std::size_t dimensions = 10000;  // the paper's 10k bits
+  hv::TiePolicy tie = hv::TiePolicy::kOne;
+  std::uint64_t seed = 0xd1abe7e5;
+  /// Treat missing values as the column minimum (paper datasets are cleaned
+  /// before encoding, so this only matters for user data).
+  bool missing_as_min = true;
+};
+
+/// What the extractor learned about one column: enough to rebuild its
+/// feature encoder without the training data (used by core/serialize).
+struct ColumnEncoding {
+  std::string name;
+  data::ColumnKind kind = data::ColumnKind::kContinuous;
+  double lo = 0.0;  // observed range (continuous columns only)
+  double hi = 0.0;
+};
+
+class HdcFeatureExtractor {
+ public:
+  explicit HdcFeatureExtractor(ExtractorConfig config = {});
+
+  /// Learn per-column ranges from `train` and build the record encoder.
+  void fit(const data::Dataset& train);
+
+  /// Rebuild the encoders from previously learned column encodings (model
+  /// loading); equivalent to the fit() that produced them.
+  void fit_from_columns(std::vector<ColumnEncoding> columns);
+
+  [[nodiscard]] const ExtractorConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<ColumnEncoding>& column_encodings() const {
+    return columns_;
+  }
+
+  [[nodiscard]] bool fitted() const noexcept { return encoder_ != nullptr; }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return config_.dimensions; }
+
+  /// Encode one row (arity must match the fitted dataset).
+  [[nodiscard]] hv::BitVector encode_row(std::span<const double> row) const;
+
+  /// Encode every row of a dataset (parallelised; deterministic).
+  [[nodiscard]] std::vector<hv::BitVector> transform(const data::Dataset& ds) const;
+
+  /// Encode to a 0/1 double matrix for the ML / NN substrates.
+  [[nodiscard]] ml::Matrix transform_to_matrix(const data::Dataset& ds) const;
+
+  /// The underlying per-feature encoders (introspection / tests).
+  [[nodiscard]] const hv::RecordEncoder& record_encoder() const;
+
+ private:
+  ExtractorConfig config_;
+  std::unique_ptr<hv::RecordEncoder> encoder_;
+  std::vector<ColumnEncoding> columns_;
+  std::vector<double> column_min_;  // for missing_as_min substitution
+};
+
+}  // namespace hdc::core

@@ -1,0 +1,118 @@
+#include "core/hamming_classifier.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace hdc::core {
+
+void HammingClassifier::fit(std::vector<hv::BitVector> vectors,
+                            std::vector<int> labels) {
+  if (vectors.empty() || vectors.size() != labels.size()) {
+    throw std::invalid_argument("HammingClassifier: bad training data");
+  }
+  for (const int y : labels) {
+    if (y != 0 && y != 1) {
+      throw std::invalid_argument("HammingClassifier: labels must be 0/1");
+    }
+  }
+  vectors_ = std::move(vectors);
+  labels_ = std::move(labels);
+
+  if (mode_ == HammingMode::kPrototype) {
+    hv::BitAccumulator acc[2] = {hv::BitAccumulator(vectors_.front().size()),
+                                 hv::BitAccumulator(vectors_.front().size())};
+    for (std::size_t i = 0; i < vectors_.size(); ++i) {
+      acc[static_cast<std::size_t>(labels_[i])].add(vectors_[i]);
+    }
+    for (int c : {0, 1}) {
+      if (acc[c].total() == 0) {
+        throw std::invalid_argument("HammingClassifier: prototype mode needs both classes");
+      }
+      prototypes_[c] = acc[c].to_majority();
+    }
+  }
+}
+
+int HammingClassifier::predict(const hv::BitVector& query) const {
+  return predict_score(query) >= 0.5 ? 1 : 0;
+}
+
+double HammingClassifier::predict_score(const hv::BitVector& query) const {
+  if (!fitted()) throw std::logic_error("HammingClassifier: not fitted");
+  if (mode_ == HammingMode::kPrototype) {
+    const double d0 = query.hamming_fraction(prototypes_[0]);
+    const double d1 = query.hamming_fraction(prototypes_[1]);
+    const double total = d0 + d1;
+    return total > 0.0 ? d0 / total : 0.5;  // closer to prototype 1 -> > 0.5
+  }
+  // k-NN vote (k = 1 gives the paper's model: score 1 iff the nearest
+  // neighbour is positive). Distance ties resolve toward the earliest
+  // training row, matching a stable sort.
+  const std::size_t k = std::min(k_, vectors_.size());
+  if (k == 1) {
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    int best_label = 0;
+    for (std::size_t i = 0; i < vectors_.size(); ++i) {
+      const std::size_t d = query.hamming(vectors_[i]);
+      if (d < best) {
+        best = d;
+        best_label = labels_[i];
+      }
+    }
+    return best_label == 1 ? 1.0 : 0.0;
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> dist;  // (distance, index)
+  dist.reserve(vectors_.size());
+  for (std::size_t i = 0; i < vectors_.size(); ++i) {
+    dist.emplace_back(query.hamming(vectors_[i]), i);
+  }
+  std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dist.end());
+  std::size_t positive_votes = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    positive_votes += labels_[dist[i].second] == 1 ? 1 : 0;
+  }
+  return static_cast<double>(positive_votes) / static_cast<double>(k);
+}
+
+const hv::BitVector& HammingClassifier::prototype(int label) const {
+  if (mode_ != HammingMode::kPrototype) {
+    throw std::logic_error("HammingClassifier: prototypes need kPrototype mode");
+  }
+  if (label != 0 && label != 1) {
+    throw std::invalid_argument("HammingClassifier: label must be 0/1");
+  }
+  return prototypes_[static_cast<std::size_t>(label)];
+}
+
+std::vector<int> hamming_loo_predictions(const std::vector<hv::BitVector>& vectors,
+                                         const std::vector<int>& labels) {
+  if (vectors.size() != labels.size() || vectors.size() < 2) {
+    throw std::invalid_argument("hamming_loo: need >= 2 labelled vectors");
+  }
+  std::vector<int> predictions(vectors.size());
+  parallel::parallel_for(0, vectors.size(), [&](std::size_t i) {
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    int best_label = 0;
+    for (std::size_t j = 0; j < vectors.size(); ++j) {
+      if (j == i) continue;
+      const std::size_t d = vectors[i].hamming(vectors[j]);
+      if (d < best) {
+        best = d;
+        best_label = labels[j];
+      }
+    }
+    predictions[i] = best_label;
+  });
+  return predictions;
+}
+
+eval::BinaryMetrics hamming_loo_metrics(const std::vector<hv::BitVector>& vectors,
+                                        const std::vector<int>& labels) {
+  return eval::compute_metrics(labels, hamming_loo_predictions(vectors, labels));
+}
+
+}  // namespace hdc::core

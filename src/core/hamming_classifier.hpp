@@ -1,0 +1,74 @@
+// Hamming-distance classification over patient hypervectors — the paper's
+// pure HDC model (Section II-C): 1-nearest-neighbour by Hamming distance,
+// validated with leave-one-out. A prototype (associative-memory) mode is
+// also provided: each class is bundled into one prototype hypervector and
+// queries snap to the nearer prototype.
+#pragma once
+
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "hv/bitvector.hpp"
+#include "hv/ops.hpp"
+
+namespace hdc::core {
+
+enum class HammingMode {
+  kNearestNeighbor,  // the paper's model
+  kPrototype,        // classic HDC associative memory
+};
+
+class HammingClassifier {
+ public:
+  /// `k` = number of nearest neighbours voting in kNearestNeighbor mode
+  /// (the paper uses 1); ignored in prototype mode.
+  explicit HammingClassifier(HammingMode mode = HammingMode::kNearestNeighbor,
+                             std::size_t k = 1)
+      : mode_(mode), k_(k) {
+    if (k_ == 0) throw std::invalid_argument("HammingClassifier: k must be >= 1");
+  }
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+  /// Store (and, in prototype mode, bundle) the training hypervectors.
+  void fit(std::vector<hv::BitVector> vectors, std::vector<int> labels);
+
+  [[nodiscard]] bool fitted() const noexcept { return !labels_.empty(); }
+  [[nodiscard]] HammingMode mode() const noexcept { return mode_; }
+
+  /// Predicted class of a query hypervector.
+  [[nodiscard]] int predict(const hv::BitVector& query) const;
+
+  /// Distance-ratio score in [0,1]; > 0.5 favours the positive class.
+  [[nodiscard]] double predict_score(const hv::BitVector& query) const;
+
+  /// Class prototypes (prototype mode only).
+  [[nodiscard]] const hv::BitVector& prototype(int label) const;
+
+  /// Stored training data (for serialization).
+  [[nodiscard]] const std::vector<hv::BitVector>& training_vectors() const noexcept {
+    return vectors_;
+  }
+  [[nodiscard]] const std::vector<int>& training_labels() const noexcept {
+    return labels_;
+  }
+
+ private:
+  HammingMode mode_;
+  std::size_t k_ = 1;
+  std::vector<hv::BitVector> vectors_;
+  std::vector<int> labels_;
+  hv::BitVector prototypes_[2];
+};
+
+/// Leave-one-out evaluation of the 1-NN Hamming model over a full dataset of
+/// hypervectors (the paper's validation protocol): each vector is classified
+/// by its nearest *other* vector. All-pairs distances run in parallel.
+[[nodiscard]] std::vector<int> hamming_loo_predictions(
+    const std::vector<hv::BitVector>& vectors, const std::vector<int>& labels);
+
+/// Convenience: LOO predictions -> full metrics.
+[[nodiscard]] eval::BinaryMetrics hamming_loo_metrics(
+    const std::vector<hv::BitVector>& vectors, const std::vector<int>& labels);
+
+}  // namespace hdc::core

@@ -1,0 +1,47 @@
+// HybridModel — the paper's HDC+ML pipeline: hypervector feature extraction
+// feeding any downstream classifier (including the Sequential NN, which is
+// itself an ml::Classifier). Fitting the hybrid fits the extractor on the
+// training rows only, so encoding ranges never leak test data.
+#pragma once
+
+#include <memory>
+
+#include "core/extractor.hpp"
+#include "data/dataset.hpp"
+#include "eval/metrics.hpp"
+#include "ml/classifier.hpp"
+
+namespace hdc::core {
+
+class HybridModel {
+ public:
+  HybridModel(ExtractorConfig extractor_config,
+              std::unique_ptr<ml::Classifier> downstream);
+
+  /// Fit extractor + downstream model on a dataset.
+  void fit(const data::Dataset& train);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Predict one raw feature row (it is encoded internally).
+  [[nodiscard]] int predict(std::span<const double> row) const;
+  [[nodiscard]] double predict_proba(std::span<const double> row) const;
+
+  /// Predict a whole dataset.
+  [[nodiscard]] std::vector<int> predict_all(const data::Dataset& ds) const;
+
+  /// Evaluate on a held-out dataset.
+  [[nodiscard]] eval::BinaryMetrics evaluate(const data::Dataset& test) const;
+
+  [[nodiscard]] const HdcFeatureExtractor& extractor() const noexcept {
+    return extractor_;
+  }
+  [[nodiscard]] const ml::Classifier& downstream() const { return *downstream_; }
+
+ private:
+  HdcFeatureExtractor extractor_;
+  std::unique_ptr<ml::Classifier> downstream_;
+  bool fitted_ = false;
+};
+
+}  // namespace hdc::core

@@ -1,0 +1,106 @@
+#include "core/online.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hdc::core {
+
+OnlineHdClassifier::OnlineHdClassifier(OnlineHdConfig config) : config_(config) {
+  if (config_.max_epochs == 0) {
+    throw std::invalid_argument("OnlineHdClassifier: zero epochs");
+  }
+}
+
+void OnlineHdClassifier::ensure_dimensions(std::size_t dims) {
+  if (dimensions_ == 0) {
+    dimensions_ = dims;
+    prototypes_[0] = hv::IntVector(dims);
+    prototypes_[1] = hv::IntVector(dims);
+  } else if (dims != dimensions_) {
+    throw std::invalid_argument("OnlineHdClassifier: dimensionality mismatch");
+  }
+}
+
+void OnlineHdClassifier::fit(const std::vector<hv::BitVector>& vectors,
+                             const std::vector<int>& labels) {
+  if (vectors.empty() || vectors.size() != labels.size()) {
+    throw std::invalid_argument("OnlineHdClassifier: bad training data");
+  }
+  for (const int y : labels) {
+    if (y != 0 && y != 1) {
+      throw std::invalid_argument("OnlineHdClassifier: labels must be 0/1");
+    }
+  }
+  dimensions_ = 0;
+  ensure_dimensions(vectors.front().size());
+  updates_per_epoch_.clear();
+
+  // Initial bundling pass: every vector joins its class prototype.
+  std::vector<hv::IntVector> lifted;
+  lifted.reserve(vectors.size());
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    lifted.push_back(hv::IntVector::from_binary(vectors[i]));
+    prototypes_[static_cast<std::size_t>(labels[i])] += lifted.back();
+  }
+
+  // Retraining epochs: move misclassified vectors between prototypes.
+  util::Rng rng(config_.seed);
+  std::vector<std::size_t> order(vectors.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    std::size_t updates = 0;
+    for (const std::size_t i : order) {
+      const int predicted = predict(vectors[i]);
+      if (predicted == labels[i]) continue;
+      prototypes_[static_cast<std::size_t>(labels[i])] += lifted[i];
+      prototypes_[static_cast<std::size_t>(predicted)] -= lifted[i];
+      ++updates;
+    }
+    updates_per_epoch_.push_back(updates);
+    if (config_.stop_when_converged && updates == 0) break;
+  }
+}
+
+void OnlineHdClassifier::partial_fit(const hv::BitVector& vector, int label) {
+  if (label != 0 && label != 1) {
+    throw std::invalid_argument("OnlineHdClassifier: label must be 0/1");
+  }
+  ensure_dimensions(vector.size());
+  const hv::IntVector lifted = hv::IntVector::from_binary(vector);
+  const int predicted = predict(vector);
+  if (predicted != label) {
+    prototypes_[static_cast<std::size_t>(label)] += lifted;
+    prototypes_[static_cast<std::size_t>(predicted)] -= lifted;
+  } else {
+    // Correctly classified samples still reinforce their class slightly;
+    // this is the bundling half of the update rule and keeps prototypes
+    // tracking slow drift in the incoming population.
+    prototypes_[static_cast<std::size_t>(label)] += lifted;
+  }
+}
+
+double OnlineHdClassifier::margin(const hv::BitVector& vector) const {
+  if (!fitted()) throw std::logic_error("OnlineHdClassifier: not fitted");
+  if (vector.size() != dimensions_) {
+    throw std::invalid_argument("OnlineHdClassifier: query arity mismatch");
+  }
+  const hv::IntVector lifted = hv::IntVector::from_binary(vector);
+  return lifted.cosine(prototypes_[1]) - lifted.cosine(prototypes_[0]);
+}
+
+int OnlineHdClassifier::predict(const hv::BitVector& vector) const {
+  return margin(vector) >= 0.0 ? 1 : 0;
+}
+
+const hv::IntVector& OnlineHdClassifier::prototype(int label) const {
+  if (!fitted()) throw std::logic_error("OnlineHdClassifier: not fitted");
+  if (label != 0 && label != 1) {
+    throw std::invalid_argument("OnlineHdClassifier: label must be 0/1");
+  }
+  return prototypes_[static_cast<std::size_t>(label)];
+}
+
+}  // namespace hdc::core

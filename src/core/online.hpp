@@ -1,0 +1,63 @@
+// Online / retrained HDC classification — the "self-improving" models the
+// paper's future-work section points to, using the standard HDC retraining
+// scheme (Imani et al.): class prototypes live in integer space; an initial
+// pass bundles every training vector into its class prototype, then
+// retraining epochs add each misclassified vector to its true class and
+// subtract it from the wrongly predicted class. partial_fit() applies the
+// same rule to one new labelled patient at a time, which is what a
+// follow-up-visit deployment needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "hv/bitvector.hpp"
+#include "hv/int_vector.hpp"
+
+namespace hdc::core {
+
+struct OnlineHdConfig {
+  std::size_t max_epochs = 30;
+  /// Stop retraining as soon as a full epoch makes no update.
+  bool stop_when_converged = true;
+  /// Process samples in a deterministic shuffled order per epoch.
+  std::uint64_t seed = 97;
+};
+
+class OnlineHdClassifier {
+ public:
+  explicit OnlineHdClassifier(OnlineHdConfig config = {});
+
+  /// Bundle + retrain on a labelled set of patient hypervectors.
+  void fit(const std::vector<hv::BitVector>& vectors, const std::vector<int>& labels);
+
+  [[nodiscard]] bool fitted() const noexcept { return dimensions_ != 0; }
+
+  /// Single-sample online update (initialises the model on first call).
+  void partial_fit(const hv::BitVector& vector, int label);
+
+  [[nodiscard]] int predict(const hv::BitVector& vector) const;
+
+  /// Margin score: cosine(v, proto1) - cosine(v, proto0); positive favours
+  /// the positive class.
+  [[nodiscard]] double margin(const hv::BitVector& vector) const;
+
+  /// Misclassification-driven updates applied in each retraining epoch of
+  /// the last fit(); converged when the trailing entry is 0.
+  [[nodiscard]] const std::vector<std::size_t>& updates_per_epoch() const noexcept {
+    return updates_per_epoch_;
+  }
+
+  [[nodiscard]] const hv::IntVector& prototype(int label) const;
+
+ private:
+  void ensure_dimensions(std::size_t dims);
+
+  OnlineHdConfig config_;
+  std::size_t dimensions_ = 0;
+  hv::IntVector prototypes_[2];
+  std::vector<std::size_t> updates_per_epoch_;
+};
+
+}  // namespace hdc::core

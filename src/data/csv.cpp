@@ -1,0 +1,161 @@
+#include "data/csv.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace hdc::data {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+bool is_missing_token(std::string_view s) {
+  return s.empty() || util::iequals(s, "na") || util::iequals(s, "nan") || s == "?";
+}
+
+/// Textual truthy/falsy cell values seen in the Sylhet CSV.
+std::optional<double> parse_cell(std::string_view raw) {
+  const std::string_view s = util::trim(raw);
+  if (is_missing_token(s)) return kNaN;
+  if (const auto num = util::parse_double(s)) return *num;
+  if (util::iequals(s, "yes") || util::iequals(s, "true") || util::iequals(s, "male")) {
+    return 1.0;
+  }
+  if (util::iequals(s, "no") || util::iequals(s, "false") || util::iequals(s, "female")) {
+    return 0.0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Dataset read_csv(std::istream& in, const CsvOptions& options) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("read_csv: empty input");
+  const std::vector<std::string> header = util::split(std::string(util::trim(line)),
+                                                      options.delimiter);
+  if (header.size() < 2) throw std::runtime_error("read_csv: need >= 2 columns");
+
+  std::size_t label_idx = header.size() - 1;
+  if (!options.label_column.empty()) {
+    bool found = false;
+    for (std::size_t j = 0; j < header.size(); ++j) {
+      if (util::iequals(util::trim(header[j]), options.label_column)) {
+        label_idx = j;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("read_csv: label column '" + options.label_column +
+                               "' not found");
+    }
+  }
+
+  std::vector<bool> zero_missing(header.size(), false);
+  for (const std::string& name : options.zero_is_missing) {
+    for (std::size_t j = 0; j < header.size(); ++j) {
+      if (util::iequals(util::trim(header[j]), name)) zero_missing[j] = true;
+    }
+  }
+
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> cells = util::split(std::string(trimmed),
+                                                       options.delimiter);
+    if (cells.size() != header.size()) {
+      throw std::runtime_error("read_csv: line " + std::to_string(line_no) +
+                               " has " + std::to_string(cells.size()) +
+                               " cells, expected " + std::to_string(header.size()));
+    }
+    std::vector<double> row;
+    row.reserve(header.size() - 1);
+    int label = -1;
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      if (j == label_idx) {
+        const std::string_view s = util::trim(cells[j]);
+        bool positive = false;
+        for (const std::string& tok : options.positive_labels) {
+          if (util::iequals(s, tok)) positive = true;
+        }
+        if (!positive) {
+          if (const auto num = util::parse_double(s)) positive = *num >= 0.5;
+        }
+        label = positive ? 1 : 0;
+        continue;
+      }
+      const auto value = parse_cell(cells[j]);
+      if (!value) {
+        throw std::runtime_error("read_csv: line " + std::to_string(line_no) +
+                                 ", column '" + header[j] + "': bad cell '" +
+                                 cells[j] + "'");
+      }
+      double v = *value;
+      if (zero_missing[j] && v == 0.0) v = kNaN;
+      row.push_back(v);
+    }
+    rows.push_back(std::move(row));
+    labels.push_back(label);
+  }
+
+  // Infer column kinds: all non-missing values in {0,1} -> binary.
+  std::vector<ColumnSpec> specs;
+  for (std::size_t j = 0; j < header.size(); ++j) {
+    if (j == label_idx) continue;
+    specs.push_back(ColumnSpec{std::string(util::trim(header[j])),
+                               ColumnKind::kContinuous});
+  }
+  std::vector<bool> binary(specs.size(), true);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      const double v = row[j];
+      if (!std::isnan(v) && v != 0.0 && v != 1.0) binary[j] = false;
+    }
+  }
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    if (binary[j]) specs[j].kind = ColumnKind::kBinary;
+  }
+
+  Dataset ds(std::move(specs));
+  for (std::size_t i = 0; i < rows.size(); ++i) ds.add_row(rows[i], labels[i]);
+  return ds;
+}
+
+Dataset read_csv_file(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(in, options);
+}
+
+void write_csv(std::ostream& out, const Dataset& ds, char delimiter) {
+  for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+    out << ds.column(j).name << delimiter;
+  }
+  out << "label\n";
+  for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+    for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+      const double v = ds.value(i, j);
+      if (!Dataset::is_missing(v)) out << util::format_double(v, 6);
+      out << delimiter;
+    }
+    out << ds.label(i) << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const Dataset& ds, char delimiter) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
+  write_csv(out, ds, delimiter);
+}
+
+}  // namespace hdc::data

@@ -1,0 +1,39 @@
+// CSV I/O for datasets. The loader accepts the common encodings of the Pima
+// and Sylhet CSV files: a header row, numeric cells, and a label column.
+// Empty cells, "NA", "nan" and "?" are read as missing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace hdc::data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Name of the label column; if empty, the last column is the label.
+  std::string label_column;
+  /// Strings treated as a positive label (case-insensitive) in addition to
+  /// any numeric value >= 0.5.
+  std::vector<std::string> positive_labels = {"positive", "yes", "1", "true"};
+  /// Treat literal zero in these columns as missing (the raw Pima CSV uses 0
+  /// as its missing marker for glucose/BP/skin/insulin/BMI).
+  std::vector<std::string> zero_is_missing;
+};
+
+/// Parse a dataset from a stream. Column kinds are inferred: a column whose
+/// non-missing values are all in {0, 1} (or yes/no strings) becomes kBinary,
+/// anything else kContinuous.
+[[nodiscard]] Dataset read_csv(std::istream& in, const CsvOptions& options = {});
+
+/// Parse from a file; throws std::runtime_error if unreadable.
+[[nodiscard]] Dataset read_csv_file(const std::string& path,
+                                    const CsvOptions& options = {});
+
+/// Write header + rows; missing values are written as empty cells, labels as
+/// a final "label" column with values 0/1.
+void write_csv(std::ostream& out, const Dataset& ds, char delimiter = ',');
+void write_csv_file(const std::string& path, const Dataset& ds, char delimiter = ',');
+
+}  // namespace hdc::data

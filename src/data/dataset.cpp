@@ -1,0 +1,107 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hdc::data {
+
+void Dataset::add_row(std::span<const double> row, int label) {
+  if (row.size() != n_cols()) {
+    throw std::invalid_argument("Dataset: row arity mismatch");
+  }
+  if (label != 0 && label != 1) {
+    throw std::invalid_argument("Dataset: label must be 0 or 1");
+  }
+  values_.insert(values_.end(), row.begin(), row.end());
+  labels_.push_back(label);
+}
+
+bool Dataset::row_has_missing(std::size_t i) const {
+  const auto r = row(i);
+  return std::any_of(r.begin(), r.end(), [](double v) { return is_missing(v); });
+}
+
+std::size_t Dataset::rows_with_missing() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n_rows(); ++i) {
+    if (row_has_missing(i)) ++count;
+  }
+  return count;
+}
+
+std::pair<std::size_t, std::size_t> Dataset::class_counts() const {
+  std::size_t neg = 0;
+  std::size_t pos = 0;
+  for (const int y : labels_) (y == 0 ? neg : pos)++;
+  return {neg, pos};
+}
+
+namespace {
+ColumnStats stats_from_values(std::vector<double>& present, std::size_t missing) {
+  ColumnStats s;
+  s.missing = missing;
+  s.present = present.size();
+  if (present.empty()) return s;
+  std::sort(present.begin(), present.end());
+  s.min = present.front();
+  s.max = present.back();
+  double sum = 0.0;
+  for (const double v : present) sum += v;
+  s.mean = sum / static_cast<double>(present.size());
+  const std::size_t n = present.size();
+  s.median = (n % 2 == 1) ? present[n / 2]
+                          : 0.5 * (present[n / 2 - 1] + present[n / 2]);
+  return s;
+}
+}  // namespace
+
+ColumnStats Dataset::column_stats(std::size_t j) const {
+  std::vector<double> present;
+  present.reserve(n_rows());
+  std::size_t missing = 0;
+  for (std::size_t i = 0; i < n_rows(); ++i) {
+    const double v = value(i, j);
+    if (is_missing(v)) {
+      ++missing;
+    } else {
+      present.push_back(v);
+    }
+  }
+  return stats_from_values(present, missing);
+}
+
+ColumnStats Dataset::column_stats_for_class(std::size_t j, int label) const {
+  std::vector<double> present;
+  std::size_t missing = 0;
+  for (std::size_t i = 0; i < n_rows(); ++i) {
+    if (labels_[i] != label) continue;
+    const double v = value(i, j);
+    if (is_missing(v)) {
+      ++missing;
+    } else {
+      present.push_back(v);
+    }
+  }
+  return stats_from_values(present, missing);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(columns_);
+  for (const std::size_t i : indices) {
+    if (i >= n_rows()) throw std::out_of_range("Dataset::subset: index out of range");
+    out.add_row(row(i), label(i));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Dataset::feature_matrix() const {
+  std::vector<std::vector<double>> out;
+  out.reserve(n_rows());
+  for (std::size_t i = 0; i < n_rows(); ++i) {
+    const auto r = row(i);
+    out.emplace_back(r.begin(), r.end());
+  }
+  return out;
+}
+
+}  // namespace hdc::data

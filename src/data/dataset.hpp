@@ -1,0 +1,89 @@
+// Column-typed tabular dataset with binary labels.
+//
+// Values are doubles; missing values are NaN. Column kinds drive how the HDC
+// record encoder treats each feature (linear level encoding vs binary seed /
+// orthogonal pair), matching the paper's per-dataset encoding choices.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hdc::data {
+
+enum class ColumnKind { kContinuous, kBinary, kCategorical };
+
+struct ColumnSpec {
+  std::string name;
+  ColumnKind kind = ColumnKind::kContinuous;
+};
+
+/// Per-column summary statistics (missing values excluded).
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  std::size_t present = 0;  // non-missing count
+  std::size_t missing = 0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {}
+
+  [[nodiscard]] std::size_t n_rows() const noexcept { return labels_.size(); }
+  [[nodiscard]] std::size_t n_cols() const noexcept { return columns_.size(); }
+
+  [[nodiscard]] const std::vector<ColumnSpec>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const ColumnSpec& column(std::size_t j) const { return columns_.at(j); }
+
+  /// Row values (length n_cols()).
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return {values_.data() + i * n_cols(), n_cols()};
+  }
+  [[nodiscard]] double value(std::size_t i, std::size_t j) const {
+    return values_[i * n_cols() + j];
+  }
+  void set_value(std::size_t i, std::size_t j, double v) { values_[i * n_cols() + j] = v; }
+
+  /// Binary class label (0 = negative, 1 = positive).
+  [[nodiscard]] int label(std::size_t i) const { return labels_[i]; }
+  [[nodiscard]] const std::vector<int>& labels() const noexcept { return labels_; }
+
+  /// Append a row; `row` must have n_cols() entries, label must be 0 or 1.
+  void add_row(std::span<const double> row, int label);
+
+  [[nodiscard]] static bool is_missing(double v) noexcept { return std::isnan(v); }
+
+  /// True if row i has at least one missing value.
+  [[nodiscard]] bool row_has_missing(std::size_t i) const;
+
+  /// Rows with at least one missing value.
+  [[nodiscard]] std::size_t rows_with_missing() const;
+
+  /// Count of rows with each label: {negatives, positives}.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> class_counts() const;
+
+  /// Column statistics over all rows / over rows of one class.
+  [[nodiscard]] ColumnStats column_stats(std::size_t j) const;
+  [[nodiscard]] ColumnStats column_stats_for_class(std::size_t j, int label) const;
+
+  /// New dataset containing the given rows (in the given order).
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Feature matrix as row-major vectors (copies; for ML substrates).
+  [[nodiscard]] std::vector<std::vector<double>> feature_matrix() const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+  std::vector<double> values_;  // row-major, n_rows * n_cols
+  std::vector<int> labels_;
+};
+
+}  // namespace hdc::data

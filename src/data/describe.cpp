@@ -1,0 +1,44 @@
+#include "data/describe.hpp"
+
+#include <sstream>
+
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+namespace hdc::data {
+
+namespace {
+const char* kind_label(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kBinary: return "binary";
+    case ColumnKind::kCategorical: return "categorical";
+    default: return "continuous";
+  }
+}
+}  // namespace
+
+std::string describe(const Dataset& ds) {
+  std::ostringstream out;
+  const auto [neg, pos] = ds.class_counts();
+  out << "rows: " << ds.n_rows() << "  columns: " << ds.n_cols()
+      << "  classes: " << neg << " negative / " << pos << " positive"
+      << "  rows with missing: " << ds.rows_with_missing() << '\n';
+
+  util::Table table({"Column", "Kind", "Missing", "Min", "Max", "Mean", "Median",
+                     "Mean(neg)", "Mean(pos)"});
+  for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+    const ColumnStats s = ds.column_stats(j);
+    const ColumnStats sn = ds.column_stats_for_class(j, 0);
+    const ColumnStats sp = ds.column_stats_for_class(j, 1);
+    table.add_row({ds.column(j).name, kind_label(ds.column(j).kind),
+                   std::to_string(s.missing), util::format_double(s.min, 2),
+                   util::format_double(s.max, 2), util::format_double(s.mean, 2),
+                   util::format_double(s.median, 2),
+                   sn.present > 0 ? util::format_double(sn.mean, 2) : "-",
+                   sp.present > 0 ? util::format_double(sp.mean, 2) : "-"});
+  }
+  out << table.render();
+  return out.str();
+}
+
+}  // namespace hdc::data

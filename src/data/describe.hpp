@@ -1,0 +1,16 @@
+// Human-readable dataset summaries (the `df.describe()` of this library):
+// per-column kind, missingness, range, mean/median, and per-class means —
+// the table a practitioner checks before trusting any downstream number.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace hdc::data {
+
+/// Multi-line ASCII summary: header with shape/class balance, then one row
+/// per column.
+[[nodiscard]] std::string describe(const Dataset& ds);
+
+}  // namespace hdc::data

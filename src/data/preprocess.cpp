@@ -1,0 +1,132 @@
+#include "data/preprocess.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hdc::data {
+
+Dataset remove_missing_rows(const Dataset& ds) {
+  std::vector<std::size_t> keep;
+  keep.reserve(ds.n_rows());
+  for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+    if (!ds.row_has_missing(i)) keep.push_back(i);
+  }
+  return ds.subset(keep);
+}
+
+namespace {
+
+Dataset impute_with(const Dataset& ds,
+                    const std::vector<std::vector<double>>& fill_by_class) {
+  Dataset out(ds.columns());
+  std::vector<double> row(ds.n_cols());
+  for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+    const auto src = ds.row(i);
+    const int y = ds.label(i);
+    for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+      row[j] = Dataset::is_missing(src[j]) ? fill_by_class[static_cast<std::size_t>(y)][j]
+                                           : src[j];
+    }
+    out.add_row(row, y);
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset impute_class_median(const Dataset& ds) {
+  std::vector<std::vector<double>> fill(2, std::vector<double>(ds.n_cols(), 0.0));
+  for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+    const ColumnStats overall = ds.column_stats(j);
+    for (int y : {0, 1}) {
+      const ColumnStats cs = ds.column_stats_for_class(j, y);
+      fill[static_cast<std::size_t>(y)][j] = cs.present > 0 ? cs.median : overall.median;
+    }
+  }
+  return impute_with(ds, fill);
+}
+
+Dataset impute_median(const Dataset& ds) {
+  std::vector<std::vector<double>> fill(2, std::vector<double>(ds.n_cols(), 0.0));
+  for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+    const double m = ds.column_stats(j).median;
+    fill[0][j] = m;
+    fill[1][j] = m;
+  }
+  return impute_with(ds, fill);
+}
+
+void MinMaxScaler::fit(const Dataset& ds) {
+  lo_.assign(ds.n_cols(), 0.0);
+  hi_.assign(ds.n_cols(), 1.0);
+  for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+    const ColumnStats s = ds.column_stats(j);
+    if (s.present == 0) continue;
+    lo_[j] = s.min;
+    hi_[j] = s.max;
+  }
+}
+
+Dataset MinMaxScaler::transform(const Dataset& ds) const {
+  if (!fitted()) throw std::logic_error("MinMaxScaler: not fitted");
+  if (ds.n_cols() != lo_.size()) {
+    throw std::invalid_argument("MinMaxScaler: column count mismatch");
+  }
+  Dataset out(ds.columns());
+  std::vector<double> row(ds.n_cols());
+  for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+    const auto src = ds.row(i);
+    for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+      if (Dataset::is_missing(src[j])) {
+        row[j] = src[j];
+      } else {
+        const double span = hi_[j] - lo_[j];
+        row[j] = span > 0.0 ? (src[j] - lo_[j]) / span : 0.0;
+      }
+    }
+    out.add_row(row, ds.label(i));
+  }
+  return out;
+}
+
+void StandardScaler::fit(const Dataset& ds) {
+  mean_.assign(ds.n_cols(), 0.0);
+  stddev_.assign(ds.n_cols(), 1.0);
+  for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+      const double v = ds.value(i, j);
+      if (Dataset::is_missing(v)) continue;
+      sum += v;
+      sum_sq += v * v;
+      ++n;
+    }
+    if (n == 0) continue;
+    const double mean = sum / static_cast<double>(n);
+    const double var = sum_sq / static_cast<double>(n) - mean * mean;
+    mean_[j] = mean;
+    stddev_[j] = var > 0.0 ? std::sqrt(var) : 1.0;
+  }
+}
+
+Dataset StandardScaler::transform(const Dataset& ds) const {
+  if (!fitted()) throw std::logic_error("StandardScaler: not fitted");
+  if (ds.n_cols() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: column count mismatch");
+  }
+  Dataset out(ds.columns());
+  std::vector<double> row(ds.n_cols());
+  for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+    const auto src = ds.row(i);
+    for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+      row[j] = Dataset::is_missing(src[j]) ? src[j] : (src[j] - mean_[j]) / stddev_[j];
+    }
+    out.add_row(row, ds.label(i));
+  }
+  return out;
+}
+
+}  // namespace hdc::data

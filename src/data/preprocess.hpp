@@ -1,0 +1,53 @@
+// Missing-value policies and feature scalers.
+//
+// The paper evaluates two cleanings of the Pima dataset:
+//  * Pima R — rows with any missing value removed;
+//  * Pima M — each missing value replaced with the median of its *class*
+//    (Artem's Kaggle preprocessing). Note that per-class imputation leaks
+//    label information into the features, which is precisely why every model
+//    scores much higher on Pima M than on Pima R; our reproduction keeps
+//    this behaviour on purpose and documents it.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace hdc::data {
+
+/// New dataset with every row containing a missing value dropped (Pima R).
+[[nodiscard]] Dataset remove_missing_rows(const Dataset& ds);
+
+/// New dataset with each missing cell replaced by the median of the
+/// non-missing values *of the same class* in that column (Pima M).
+/// Falls back to the overall column median when a class has no data.
+[[nodiscard]] Dataset impute_class_median(const Dataset& ds);
+
+/// New dataset with each missing cell replaced by the overall column median
+/// (leakage-free variant, used by the ablation benches).
+[[nodiscard]] Dataset impute_median(const Dataset& ds);
+
+/// Min-max scaler fitted on one dataset (train) and applied to others.
+/// Missing values pass through unchanged.
+class MinMaxScaler {
+ public:
+  void fit(const Dataset& ds);
+  [[nodiscard]] Dataset transform(const Dataset& ds) const;
+  [[nodiscard]] bool fitted() const noexcept { return !lo_.empty(); }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+/// Z-score scaler (mean 0, stddev 1). Missing values pass through.
+class StandardScaler {
+ public:
+  void fit(const Dataset& ds);
+  [[nodiscard]] Dataset transform(const Dataset& ds) const;
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace hdc::data

@@ -1,0 +1,106 @@
+#include "data/split.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hdc::data {
+
+namespace {
+
+/// Per-class index lists, each shuffled with its own derived seed.
+std::array<std::vector<std::size_t>, 2> shuffled_by_class(const std::vector<int>& labels,
+                                                          std::uint64_t seed) {
+  std::array<std::vector<std::size_t>, 2> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int y = labels[i];
+    if (y != 0 && y != 1) throw std::invalid_argument("split: labels must be 0/1");
+    by_class[static_cast<std::size_t>(y)].push_back(i);
+  }
+  for (int y : {0, 1}) {
+    util::Rng rng(util::mix_seed(seed, static_cast<std::uint64_t>(y) + 101));
+    rng.shuffle(by_class[static_cast<std::size_t>(y)]);
+  }
+  return by_class;
+}
+
+}  // namespace
+
+TrainTestIndices stratified_split(const std::vector<int>& labels, double test_fraction,
+                                  std::uint64_t seed) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split: bad test_fraction");
+  }
+  auto by_class = shuffled_by_class(labels, seed);
+  TrainTestIndices out;
+  for (auto& idx : by_class) {
+    const std::size_t n_test = static_cast<std::size_t>(
+        std::llround(test_fraction * static_cast<double>(idx.size())));
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      (i < n_test ? out.test : out.train).push_back(idx[i]);
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+TrainValTestIndices stratified_split3(const std::vector<int>& labels,
+                                      double val_fraction, double test_fraction,
+                                      std::uint64_t seed) {
+  if (val_fraction < 0.0 || test_fraction <= 0.0 ||
+      val_fraction + test_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split3: bad fractions");
+  }
+  auto by_class = shuffled_by_class(labels, seed);
+  TrainValTestIndices out;
+  for (auto& idx : by_class) {
+    const double n = static_cast<double>(idx.size());
+    const std::size_t n_test =
+        static_cast<std::size_t>(std::llround(test_fraction * n));
+    const std::size_t n_val = static_cast<std::size_t>(std::llround(val_fraction * n));
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (i < n_test) {
+        out.test.push_back(idx[i]);
+      } else if (i < n_test + n_val) {
+        out.val.push_back(idx[i]);
+      } else {
+        out.train.push_back(idx[i]);
+      }
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.val.begin(), out.val.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+StratifiedKFold::StratifiedKFold(const std::vector<int>& labels, std::size_t k,
+                                 std::uint64_t seed)
+    : n_(labels.size()), folds_(k) {
+  if (k < 2) throw std::invalid_argument("StratifiedKFold: k must be >= 2");
+  if (k > labels.size()) throw std::invalid_argument("StratifiedKFold: k > n");
+  const auto by_class = shuffled_by_class(labels, seed);
+  for (const auto& idx : by_class) {
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      folds_[i % k].push_back(idx[i]);
+    }
+  }
+  for (auto& fold : folds_) std::sort(fold.begin(), fold.end());
+}
+
+std::vector<std::size_t> StratifiedKFold::fold_train(std::size_t i) const {
+  const std::vector<std::size_t>& test = folds_.at(i);
+  std::vector<std::size_t> train;
+  train.reserve(n_ - test.size());
+  std::size_t cursor = 0;
+  for (std::size_t row = 0; row < n_; ++row) {
+    if (cursor < test.size() && test[cursor] == row) {
+      ++cursor;
+    } else {
+      train.push_back(row);
+    }
+  }
+  return train;
+}
+
+}  // namespace hdc::data

@@ -1,0 +1,240 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace hdc::data {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Per-class marginal spec for one Pima feature, from the paper's Table I.
+struct PimaFeatureSpec {
+  const char* name;
+  // mean / min / max per class (index 0 = negative, 1 = positive)
+  double mean[2];
+  double lo[2];
+  double hi[2];
+  bool integer;     // rounded to whole number (counts, mmHg, years, ...)
+  bool skewed;      // right-skewed (gamma-shaped) rather than ~normal
+  int latent;       // index of shared latent factor (-1 = none); couples
+                    // correlated features (BMI & skin, glucose & insulin, ...)
+  double latent_w;  // weight of the shared factor in [0, 1)
+};
+
+// Table I of the paper: value is the class average, parentheses the range.
+// Latent factors: 0 = adiposity (BMI, skin thickness), 1 = glycemia
+// (glucose, insulin), 2 = age/parity (age, pregnancies).
+constexpr PimaFeatureSpec kPimaSpecs[] = {
+    // name             mean(neg,pos)  lo(neg,pos)   hi(neg,pos)  int  skew latent w
+    {"Pregnancies",     {3.0, 4.0},    {0.0, 0.0},   {13.0, 17.0}, true,  true,  2, 0.55},
+    {"Glucose",         {111.0, 145.0},{56.0, 78.0}, {197.0, 198.0}, true, false, 1, 0.65},
+    {"BloodPressure",   {69.0, 74.0},  {24.0, 30.0}, {106.0, 110.0}, true, false, 0, 0.25},
+    {"SkinThickness",   {27.0, 33.0},  {7.0, 7.0},   {60.0, 63.0}, true, false, 0, 0.60},
+    {"Insulin",         {130.0, 207.0},{15.0, 14.0}, {744.0, 846.0}, true, true, 1, 0.55},
+    {"BMI",             {32.0, 36.0},  {18.0, 23.0}, {57.0, 67.0}, false, false, 0, 0.65},
+    {"DPF",             {0.47, 0.60},  {0.08, 0.12}, {2.39, 2.42}, false, true, -1, 0.0},
+    {"Age",             {28.0, 36.0},  {21.0, 21.0}, {81.0, 60.0}, true,  true,  2, 0.60},
+};
+
+/// Sample one feature value for class `y` given the subject's latent factors.
+double sample_pima_feature(const PimaFeatureSpec& spec, int y, const double latents[3],
+                           util::Rng& rng) {
+  const auto c = static_cast<std::size_t>(y);
+  const double lo = spec.lo[c];
+  const double hi = spec.hi[c];
+  const double mean = spec.mean[c];
+  // Clamp to the union of the class ranges: clamping to per-class bounds
+  // would place class-specific probability atoms at the boundaries, an
+  // artificial separability leak the real data does not have.
+  const double clamp_lo = std::min(spec.lo[0], spec.lo[1]);
+  const double clamp_hi = std::max(spec.hi[0], spec.hi[1]);
+  const double shared = spec.latent >= 0 ? latents[spec.latent] : 0.0;
+  const double w = spec.latent_w;
+  const double z = w * shared + std::sqrt(1.0 - w * w) * rng.normal();
+
+  double v = 0.0;
+  if (spec.skewed) {
+    // Shifted gamma: right tail reaches toward hi while the mass sits near
+    // the class mean. Shape 2 gives a realistic skew for counts / insulin.
+    const double shape = 2.0;
+    const double scale = std::max(1e-9, (mean - lo) / shape);
+    // Re-use the same z through the normal->gamma approximation (Wilson-
+    // Hilferty) so latent correlation carries over to skewed features.
+    const double g = shape * std::pow(std::max(0.0, 1.0 - 1.0 / (9.0 * shape) +
+                                                         z / (3.0 * std::sqrt(shape))),
+                                      3.0);
+    v = lo + scale * g;
+  } else {
+    // Truncated normal. The divisor is a calibration constant: real Pima
+    // classes overlap heavily (glucose alone classifies ~74%), so the
+    // within-class spread is wider than a clean range/6 sigma.
+    const double sd = (hi - lo) / 4.0;
+    v = mean + sd * z;
+  }
+  v = std::clamp(v, clamp_lo, clamp_hi);
+  if (spec.integer) v = std::round(v);
+  return v;
+}
+
+}  // namespace
+
+Dataset make_pima(const PimaConfig& config) {
+  std::vector<ColumnSpec> columns;
+  columns.reserve(std::size(kPimaSpecs));
+  for (const auto& spec : kPimaSpecs) {
+    columns.push_back(ColumnSpec{spec.name, ColumnKind::kContinuous});
+  }
+  Dataset ds(std::move(columns));
+
+  util::Rng rng(config.seed);
+  const std::size_t total = config.n_negative + config.n_positive;
+  std::vector<double> row(std::size(kPimaSpecs));
+  for (std::size_t i = 0; i < total; ++i) {
+    const int y = i < config.n_negative ? 0 : 1;
+    // Label noise: the recorded label stays y (class counts are fixed), but
+    // the subject's physiology is drawn from the other class.
+    const int effective = rng.bernoulli(config.label_noise) ? 1 - y : y;
+    double latents[3] = {rng.normal(), rng.normal(), rng.normal()};
+    for (std::size_t j = 0; j < std::size(kPimaSpecs); ++j) {
+      row[j] = sample_pima_feature(kPimaSpecs[j], effective, latents, rng);
+    }
+
+    if (config.inject_missing) {
+      // The raw Pima CSV marks missing values as zeros; roughly half of the
+      // rows lack Insulin and/or SkinThickness, and they co-occur (a subject
+      // without the GTT follow-up usually lacks both). Keeping the joint
+      // structure reproduces the real "Pima R keeps ~51% of rows" ratio.
+      const double u = rng.uniform();
+      if (u < 0.27) {
+        row[4] = kNaN;  // Insulin
+        row[3] = kNaN;  // SkinThickness
+      } else if (u < 0.455) {
+        row[4] = kNaN;
+      } else if (u < 0.465) {
+        row[3] = kNaN;
+      }
+      if (rng.bernoulli(0.035)) row[2] = kNaN;  // BloodPressure
+      if (rng.bernoulli(0.012)) row[5] = kNaN;  // BMI
+      if (rng.bernoulli(0.006)) row[1] = kNaN;  // Glucose
+    }
+    ds.add_row(row, y);
+  }
+  return ds;
+}
+
+Dataset make_sylhet(const SylhetConfig& config) {
+  // Per-class symptom prevalences P(yes | class), estimated from the source
+  // dataset publication (Islam et al. 2020). Polyuria and polydipsia are the
+  // strongly discriminative symptoms; itching / delayed healing carry almost
+  // no signal — which is what makes nearly every classifier reach >= 90%.
+  struct Symptom {
+    const char* name;
+    double p_neg;
+    double p_pos;
+  };
+  constexpr Symptom kSymptoms[] = {
+      {"Sex(Male)",        0.92, 0.53},
+      {"Polyuria",         0.06, 0.78},
+      {"Polydipsia",       0.04, 0.72},
+      {"SuddenWeightLoss", 0.17, 0.54},
+      {"Weakness",         0.40, 0.68},
+      {"Polyphagia",       0.23, 0.57},
+      {"GenitalThrush",    0.19, 0.24},
+      {"VisualBlurring",   0.28, 0.54},
+      {"Itching",          0.50, 0.48},
+      {"Irritability",     0.11, 0.31},
+      {"DelayedHealing",   0.44, 0.48},
+      {"PartialParesis",   0.15, 0.60},
+      {"MuscleStiffness",  0.30, 0.42},
+      {"Alopecia",         0.50, 0.24},
+      {"Obesity",          0.13, 0.19},
+  };
+
+  std::vector<ColumnSpec> columns;
+  columns.push_back(ColumnSpec{"Age", ColumnKind::kContinuous});
+  for (const auto& s : kSymptoms) {
+    columns.push_back(ColumnSpec{s.name, ColumnKind::kBinary});
+  }
+  Dataset ds(std::move(columns));
+
+  // Questionnaire data is clumpy: the real CSV contains many (near-)
+  // duplicate symptom profiles, which is what lets a 1-NN Hamming model
+  // reach ~96% on it. We reproduce that structure with a per-class mixture
+  // of symptom archetypes: each archetype is drawn from the class's
+  // published prevalences, and each patient is a noisy copy (per-symptom
+  // flip probability kFlip) of one archetype.
+  util::Rng rng(config.seed);
+  constexpr std::size_t kArchetypes = 12;
+  constexpr double kFlip = 0.10;
+  constexpr std::size_t kSymptomCount = std::size(kSymptoms);
+  std::vector<std::uint8_t> archetypes[2];
+  for (int y : {0, 1}) {
+    auto& bank = archetypes[static_cast<std::size_t>(y)];
+    bank.resize(kArchetypes * kSymptomCount);
+    for (std::size_t a = 0; a < kArchetypes; ++a) {
+      for (std::size_t s = 0; s < kSymptomCount; ++s) {
+        const double p = y == 1 ? kSymptoms[s].p_pos : kSymptoms[s].p_neg;
+        bank[a * kSymptomCount + s] = rng.bernoulli(p) ? 1 : 0;
+      }
+    }
+  }
+
+  const std::size_t total = config.n_negative + config.n_positive;
+  std::vector<double> row(1 + kSymptomCount);
+  for (std::size_t i = 0; i < total; ++i) {
+    const int y = i < config.n_negative ? 0 : 1;
+    const double age_mean = y == 1 ? 49.0 : 46.0;
+    row[0] = std::round(std::clamp(rng.normal(age_mean, 12.0), 16.0, 90.0));
+    const auto& bank = archetypes[static_cast<std::size_t>(y)];
+    const std::size_t a = static_cast<std::size_t>(rng.below(kArchetypes));
+    for (std::size_t s = 0; s < kSymptomCount; ++s) {
+      bool value = bank[a * kSymptomCount + s] != 0;
+      if (rng.bernoulli(kFlip)) value = !value;
+      row[1 + s] = value ? 1.0 : 0.0;
+    }
+    ds.add_row(row, y);
+  }
+  return ds;
+}
+
+Dataset make_two_gaussians(std::size_t n_per_class, std::size_t n_features,
+                           double separation, std::uint64_t seed) {
+  std::vector<ColumnSpec> columns;
+  for (std::size_t j = 0; j < n_features; ++j) {
+    columns.push_back(ColumnSpec{"x" + std::to_string(j), ColumnKind::kContinuous});
+  }
+  Dataset ds(std::move(columns));
+  util::Rng rng(seed);
+  std::vector<double> row(n_features);
+  for (int y : {0, 1}) {
+    const double centre = (y == 0 ? -0.5 : 0.5) * separation;
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+      for (std::size_t j = 0; j < n_features; ++j) row[j] = centre + rng.normal();
+      ds.add_row(row, y);
+    }
+  }
+  return ds;
+}
+
+Dataset make_xor(std::size_t n_per_quadrant, double noise, std::uint64_t seed) {
+  Dataset ds({ColumnSpec{"x0", ColumnKind::kContinuous},
+              ColumnSpec{"x1", ColumnKind::kContinuous}});
+  util::Rng rng(seed);
+  constexpr double kCentres[4][2] = {{-1, -1}, {1, 1}, {-1, 1}, {1, -1}};
+  for (int q = 0; q < 4; ++q) {
+    const int y = q < 2 ? 0 : 1;  // same-sign quadrants = class 0
+    for (std::size_t i = 0; i < n_per_quadrant; ++i) {
+      const double row[2] = {kCentres[q][0] + noise * rng.normal(),
+                             kCentres[q][1] + noise * rng.normal()};
+      ds.add_row(row, y);
+    }
+  }
+  return ds;
+}
+
+}  // namespace hdc::data

@@ -1,0 +1,77 @@
+#include "eval/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hdc::eval {
+
+BootstrapInterval bootstrap_metric(
+    const std::vector<int>& y_true, const std::vector<int>& y_pred,
+    const std::function<double(const std::vector<int>&, const std::vector<int>&)>&
+        metric,
+    std::size_t resamples, double confidence, std::uint64_t seed) {
+  if (y_true.size() != y_pred.size() || y_true.empty()) {
+    throw std::invalid_argument("bootstrap: bad input sizes");
+  }
+  if (resamples == 0) throw std::invalid_argument("bootstrap: zero resamples");
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("bootstrap: confidence must be in (0, 1)");
+  }
+
+  BootstrapInterval interval;
+  interval.point = metric(y_true, y_pred);
+  interval.resamples = resamples;
+
+  const std::size_t n = y_true.size();
+  util::Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(resamples);
+  std::vector<int> re_true(n);
+  std::vector<int> re_pred(n);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t k = static_cast<std::size_t>(rng.below(n));
+      re_true[i] = y_true[k];
+      re_pred[i] = y_pred[k];
+    }
+    values.push_back(metric(re_true, re_pred));
+  }
+  std::sort(values.begin(), values.end());
+  const double alpha = 1.0 - confidence;
+  const auto index_at = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    return values[static_cast<std::size_t>(std::llround(pos))];
+  };
+  interval.lo = index_at(alpha / 2.0);
+  interval.hi = index_at(1.0 - alpha / 2.0);
+  return interval;
+}
+
+BootstrapInterval bootstrap_accuracy(const std::vector<int>& y_true,
+                                     const std::vector<int>& y_pred,
+                                     std::size_t resamples, double confidence,
+                                     std::uint64_t seed) {
+  return bootstrap_metric(
+      y_true, y_pred,
+      [](const std::vector<int>& t, const std::vector<int>& p) {
+        return accuracy(t, p);
+      },
+      resamples, confidence, seed);
+}
+
+BootstrapInterval bootstrap_f1(const std::vector<int>& y_true,
+                               const std::vector<int>& y_pred,
+                               std::size_t resamples, double confidence,
+                               std::uint64_t seed) {
+  return bootstrap_metric(
+      y_true, y_pred,
+      [](const std::vector<int>& t, const std::vector<int>& p) {
+        return compute_metrics(t, p).f1;
+      },
+      resamples, confidence, seed);
+}
+
+}  // namespace hdc::eval

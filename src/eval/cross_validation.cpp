@@ -1,0 +1,56 @@
+#include "eval/cross_validation.hpp"
+
+#include <cmath>
+
+#include "data/split.hpp"
+
+namespace hdc::eval {
+
+CvResult kfold_run(
+    const std::vector<int>& labels, std::size_t k, std::uint64_t seed,
+    const std::function<double(std::span<const std::size_t>,
+                               std::span<const std::size_t>)>& run_fold) {
+  const data::StratifiedKFold folds(labels, k, seed);
+  CvResult result;
+  result.fold_accuracy.reserve(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    const std::vector<std::size_t> train = folds.fold_train(f);
+    const std::vector<std::size_t>& test = folds.fold_test(f);
+    result.fold_accuracy.push_back(run_fold(train, test));
+  }
+  double sum = 0.0;
+  for (const double a : result.fold_accuracy) sum += a;
+  result.mean_accuracy = sum / static_cast<double>(k);
+  double var = 0.0;
+  for (const double a : result.fold_accuracy) {
+    const double diff = a - result.mean_accuracy;
+    var += diff * diff;
+  }
+  result.stddev_accuracy = std::sqrt(var / static_cast<double>(k));
+  return result;
+}
+
+CvResult kfold_accuracy(const ModelFactory& factory, const ml::Matrix& X,
+                        const ml::Labels& y, std::size_t k, std::uint64_t seed) {
+  return kfold_run(y, k, seed,
+                   [&](std::span<const std::size_t> train,
+                       std::span<const std::size_t> test) {
+                     ml::Matrix train_X;
+                     ml::Labels train_y;
+                     train_X.reserve(train.size());
+                     for (const std::size_t i : train) {
+                       train_X.push_back(X[i]);
+                       train_y.push_back(y[i]);
+                     }
+                     const auto model = factory();
+                     model->fit(train_X, train_y);
+                     std::size_t hits = 0;
+                     for (const std::size_t i : test) {
+                       if (model->predict(X[i]) == y[i]) ++hits;
+                     }
+                     return static_cast<double>(hits) /
+                            static_cast<double>(test.size());
+                   });
+}
+
+}  // namespace hdc::eval

@@ -1,0 +1,38 @@
+// Cross-validation drivers.
+//
+// The generic `kfold_run` hands each fold's train/test index sets to a
+// caller-provided runner, which lets the HDC experiments re-fit the feature
+// extractor on each fold's training rows (no encoding leakage across folds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace hdc::eval {
+
+using ModelFactory = std::function<std::unique_ptr<ml::Classifier>()>;
+
+struct CvResult {
+  std::vector<double> fold_accuracy;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+};
+
+/// Stratified k-fold; `run_fold(train_indices, test_indices)` returns the
+/// fold's accuracy (or any score to aggregate).
+[[nodiscard]] CvResult kfold_run(
+    const std::vector<int>& labels, std::size_t k, std::uint64_t seed,
+    const std::function<double(std::span<const std::size_t>,
+                               std::span<const std::size_t>)>& run_fold);
+
+/// Plain k-fold accuracy of a model family on a fixed feature matrix.
+[[nodiscard]] CvResult kfold_accuracy(const ModelFactory& factory,
+                                      const ml::Matrix& X, const ml::Labels& y,
+                                      std::size_t k, std::uint64_t seed);
+
+}  // namespace hdc::eval

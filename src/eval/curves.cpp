@@ -1,0 +1,132 @@
+#include "eval/curves.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hdc::eval {
+
+namespace {
+
+struct Counts {
+  std::size_t n_pos = 0;
+  std::size_t n_neg = 0;
+  std::vector<std::size_t> order;  // indices sorted by descending score
+};
+
+Counts prepare(const std::vector<int>& y_true, const std::vector<double>& scores) {
+  if (y_true.size() != scores.size()) {
+    throw std::invalid_argument("curves: size mismatch");
+  }
+  if (y_true.empty()) throw std::invalid_argument("curves: empty input");
+  Counts c;
+  for (const int y : y_true) {
+    if (y != 0 && y != 1) throw std::invalid_argument("curves: labels must be 0/1");
+    (y == 1 ? c.n_pos : c.n_neg)++;
+  }
+  if (c.n_pos == 0 || c.n_neg == 0) {
+    throw std::invalid_argument("curves: need both classes");
+  }
+  c.order.resize(y_true.size());
+  for (std::size_t i = 0; i < c.order.size(); ++i) c.order[i] = i;
+  std::sort(c.order.begin(), c.order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  return c;
+}
+
+}  // namespace
+
+std::vector<RocPoint> roc_curve(const std::vector<int>& y_true,
+                                const std::vector<double>& scores) {
+  const Counts c = prepare(y_true, scores);
+  std::vector<RocPoint> curve;
+  curve.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t k = 0; k < c.order.size(); ++k) {
+    const std::size_t i = c.order[k];
+    (y_true[i] == 1 ? tp : fp)++;
+    // Emit a point only when the next score differs (ties share a point).
+    const bool last = k + 1 == c.order.size();
+    if (last || scores[c.order[k + 1]] != scores[i]) {
+      curve.push_back({scores[i],
+                       static_cast<double>(tp) / static_cast<double>(c.n_pos),
+                       static_cast<double>(fp) / static_cast<double>(c.n_neg)});
+    }
+  }
+  return curve;
+}
+
+std::vector<PrPoint> pr_curve(const std::vector<int>& y_true,
+                              const std::vector<double>& scores) {
+  const Counts c = prepare(y_true, scores);
+  std::vector<PrPoint> curve;
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t k = 0; k < c.order.size(); ++k) {
+    const std::size_t i = c.order[k];
+    (y_true[i] == 1 ? tp : fp)++;
+    const bool last = k + 1 == c.order.size();
+    if (last || scores[c.order[k + 1]] != scores[i]) {
+      curve.push_back({scores[i],
+                       static_cast<double>(tp) / static_cast<double>(tp + fp),
+                       static_cast<double>(tp) / static_cast<double>(c.n_pos)});
+    }
+  }
+  return curve;
+}
+
+double average_precision(const std::vector<int>& y_true,
+                         const std::vector<double>& scores) {
+  const std::vector<PrPoint> curve = pr_curve(y_true, scores);
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (const PrPoint& p : curve) {
+    ap += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  return ap;
+}
+
+std::vector<ReliabilityBin> reliability_diagram(const std::vector<int>& y_true,
+                                                const std::vector<double>& scores,
+                                                std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("reliability_diagram: zero bins");
+  if (y_true.size() != scores.size()) {
+    throw std::invalid_argument("curves: size mismatch");
+  }
+  std::vector<double> score_sum(bins, 0.0);
+  std::vector<std::size_t> pos(bins, 0);
+  std::vector<std::size_t> count(bins, 0);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double s = std::clamp(scores[i], 0.0, 1.0);
+    std::size_t b = static_cast<std::size_t>(s * static_cast<double>(bins));
+    if (b == bins) b = bins - 1;  // score exactly 1.0
+    score_sum[b] += s;
+    pos[b] += y_true[i] == 1 ? 1 : 0;
+    ++count[b];
+  }
+  std::vector<ReliabilityBin> out;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (count[b] == 0) continue;
+    out.push_back({score_sum[b] / static_cast<double>(count[b]),
+                   static_cast<double>(pos[b]) / static_cast<double>(count[b]),
+                   count[b]});
+  }
+  return out;
+}
+
+double expected_calibration_error(const std::vector<int>& y_true,
+                                  const std::vector<double>& scores,
+                                  std::size_t bins) {
+  const auto diagram = reliability_diagram(y_true, scores, bins);
+  double ece = 0.0;
+  for (const ReliabilityBin& bin : diagram) {
+    ece += static_cast<double>(bin.count) *
+           std::abs(bin.observed_rate - bin.mean_score);
+  }
+  return ece / static_cast<double>(y_true.size());
+}
+
+}  // namespace hdc::eval

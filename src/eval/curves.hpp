@@ -1,0 +1,55 @@
+// Threshold curves: ROC, precision-recall, and reliability (calibration)
+// diagrams, computed from scores without binning artefacts (one point per
+// distinct threshold). These back the clinical risk-score reporting the
+// paper's §III-B motivates: a score is only useful to a clinician when its
+// operating points are known.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hdc::eval {
+
+struct RocPoint {
+  double threshold = 0.0;  // predict positive when score >= threshold
+  double tpr = 0.0;        // recall / sensitivity
+  double fpr = 0.0;        // 1 - specificity
+};
+
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+struct ReliabilityBin {
+  double mean_score = 0.0;     // average predicted probability in the bin
+  double observed_rate = 0.0;  // empirical positive rate in the bin
+  std::size_t count = 0;
+};
+
+/// ROC curve, one point per distinct score plus the (0,0) and (1,1) anchors,
+/// ordered by ascending FPR. Throws on size mismatch or single-class input.
+[[nodiscard]] std::vector<RocPoint> roc_curve(const std::vector<int>& y_true,
+                                              const std::vector<double>& scores);
+
+/// Precision-recall curve ordered by descending threshold.
+[[nodiscard]] std::vector<PrPoint> pr_curve(const std::vector<int>& y_true,
+                                            const std::vector<double>& scores);
+
+/// Area under the PR curve (average precision, step interpolation).
+[[nodiscard]] double average_precision(const std::vector<int>& y_true,
+                                       const std::vector<double>& scores);
+
+/// Equal-width reliability bins over [0, 1]; empty bins are omitted.
+[[nodiscard]] std::vector<ReliabilityBin> reliability_diagram(
+    const std::vector<int>& y_true, const std::vector<double>& scores,
+    std::size_t bins = 10);
+
+/// Expected calibration error: count-weighted |observed - predicted| over
+/// the reliability bins.
+[[nodiscard]] double expected_calibration_error(const std::vector<int>& y_true,
+                                                const std::vector<double>& scores,
+                                                std::size_t bins = 10);
+
+}  // namespace hdc::eval

@@ -1,0 +1,97 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hdc::eval {
+
+ConfusionMatrix confusion_matrix(const std::vector<int>& y_true,
+                                 const std::vector<int>& y_pred) {
+  if (y_true.size() != y_pred.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const int t = y_true[i];
+    const int p = y_pred[i];
+    if ((t != 0 && t != 1) || (p != 0 && p != 1)) {
+      throw std::invalid_argument("confusion_matrix: labels must be 0/1");
+    }
+    if (t == 1) {
+      (p == 1 ? cm.tp : cm.fn)++;
+    } else {
+      (p == 0 ? cm.tn : cm.fp)++;
+    }
+  }
+  return cm;
+}
+
+namespace {
+double ratio(std::size_t num, std::size_t den) noexcept {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+BinaryMetrics metrics_from_confusion(const ConfusionMatrix& cm) {
+  BinaryMetrics m;
+  m.confusion = cm;
+  m.accuracy = ratio(cm.tp + cm.tn, cm.total());
+  m.precision = ratio(cm.tp, cm.tp + cm.fp);
+  m.recall = ratio(cm.tp, cm.tp + cm.fn);
+  m.specificity = ratio(cm.tn, cm.tn + cm.fp);
+  m.f1 = (m.precision + m.recall) > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+BinaryMetrics compute_metrics(const std::vector<int>& y_true,
+                              const std::vector<int>& y_pred) {
+  return metrics_from_confusion(confusion_matrix(y_true, y_pred));
+}
+
+double accuracy(const std::vector<int>& y_true, const std::vector<int>& y_pred) {
+  if (y_true.size() != y_pred.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (y_true.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(y_true.size());
+}
+
+double roc_auc(const std::vector<int>& y_true, const std::vector<double>& scores) {
+  if (y_true.size() != scores.size()) {
+    throw std::invalid_argument("roc_auc: size mismatch");
+  }
+  // Rank-sum (Mann-Whitney U) formulation with midranks for ties.
+  std::vector<std::size_t> order(y_true.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_pos = 0.0;
+  std::size_t n_pos = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      if (y_true[order[k]] == 1) {
+        rank_sum_pos += midrank;
+        ++n_pos;
+      }
+    }
+    i = j + 1;
+  }
+  const std::size_t n_neg = y_true.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double u = rank_sum_pos - 0.5 * static_cast<double>(n_pos) *
+                                      static_cast<double>(n_pos + 1);
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+}  // namespace hdc::eval

@@ -1,0 +1,26 @@
+// Helpers for rendering metric values the way the paper's tables print them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+
+namespace hdc::eval {
+
+/// "0.829" style three-decimal ratio.
+[[nodiscard]] std::string format_ratio(double value);
+
+/// "79.66%" style percentage with two decimals.
+[[nodiscard]] std::string format_pct(double fraction);
+
+/// Cells in the paper's Table IV/V column order:
+/// precision, recall, specificity, F1, accuracy%.
+[[nodiscard]] std::vector<std::string> metric_cells(const BinaryMetrics& m);
+
+/// Interleave feature/HD metric cells the way Tables IV and V do:
+/// {prec_f, prec_hd, rec_f, rec_hd, spec_f, spec_hd, f1_f, f1_hd, acc_f, acc_hd}.
+[[nodiscard]] std::vector<std::string> paired_metric_cells(const BinaryMetrics& features,
+                                                           const BinaryMetrics& hd);
+
+}  // namespace hdc::eval

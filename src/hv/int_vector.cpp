@@ -1,0 +1,122 @@
+#include "hv/int_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdc::hv {
+
+void IntVector::check_same_size(const IntVector& other) const {
+  if (v_.size() != other.v_.size()) {
+    throw std::invalid_argument("IntVector: dimensionality mismatch");
+  }
+}
+
+IntVector& IntVector::operator+=(const IntVector& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] += other.v_[i];
+  return *this;
+}
+
+IntVector& IntVector::operator-=(const IntVector& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] -= other.v_[i];
+  return *this;
+}
+
+IntVector IntVector::hadamard(const IntVector& other) const {
+  check_same_size(other);
+  IntVector out(v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) out.v_[i] = v_[i] * other.v_[i];
+  return out;
+}
+
+double IntVector::dot(const IntVector& other) const {
+  check_same_size(other);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    sum += static_cast<double>(v_[i]) * static_cast<double>(other.v_[i]);
+  }
+  return sum;
+}
+
+double IntVector::norm() const { return std::sqrt(dot(*this)); }
+
+double IntVector::cosine(const IntVector& other) const {
+  const double denom = norm() * other.norm();
+  return denom > 0.0 ? dot(other) / denom : 0.0;
+}
+
+IntVector IntVector::sign() const {
+  IntVector out(v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    out.v_[i] = v_[i] > 0 ? 1 : (v_[i] < 0 ? -1 : 0);
+  }
+  return out;
+}
+
+BitVector IntVector::to_binary(bool tie_one) const {
+  BitVector out(v_.size());
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] > 0 || (v_[i] == 0 && tie_one)) out.set(i, true);
+  }
+  return out;
+}
+
+IntVector IntVector::random_bipolar(std::size_t size, util::Rng& rng) {
+  IntVector out(size);
+  for (std::size_t i = 0; i < size; ++i) out.v_[i] = rng.bernoulli(0.5) ? 1 : -1;
+  return out;
+}
+
+IntVector IntVector::random_ternary(std::size_t size, double density,
+                                    util::Rng& rng) {
+  if (density < 0.0 || density > 1.0) {
+    throw std::invalid_argument("IntVector: density must be in [0, 1]");
+  }
+  IntVector out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (rng.bernoulli(density)) out.v_[i] = rng.bernoulli(0.5) ? 1 : -1;
+  }
+  return out;
+}
+
+IntVector IntVector::from_binary(const BitVector& bits) {
+  IntVector out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) out.v_[i] = bits.get(i) ? 1 : -1;
+  return out;
+}
+
+BipolarLevelEncoder::BipolarLevelEncoder(std::size_t size, double lo, double hi,
+                                         std::uint64_t seed)
+    : lo_(lo), hi_(hi) {
+  if (size == 0) throw std::invalid_argument("BipolarLevelEncoder: zero size");
+  if (!(lo <= hi)) throw std::invalid_argument("BipolarLevelEncoder: lo > hi");
+  util::Rng rng(seed);
+  seed_vector_ = IntVector::random_bipolar(size, rng);
+  flip_order_.resize(size);
+  std::iota(flip_order_.begin(), flip_order_.end(), 0u);
+  rng.shuffle(flip_order_);
+}
+
+IntVector BipolarLevelEncoder::encode(double value) const {
+  const std::size_t n = seed_vector_.size();
+  std::size_t flips = 0;
+  if (hi_ > lo_) {
+    const double clamped = std::clamp(value, lo_, hi_);
+    // Same geometry as the binary LevelEncoder: the top of the range lands
+    // orthogonal to the bottom (half of the components negated).
+    const double x =
+        static_cast<double>(n) * (clamped - lo_) / (2.0 * (hi_ - lo_));
+    flips = std::min(static_cast<std::size_t>(std::llround(x)), n / 2);
+  }
+  IntVector out = seed_vector_;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::uint32_t pos = flip_order_[i];
+    out.set(pos, static_cast<IntVector::Component>(-out.get(pos)));
+  }
+  return out;
+}
+
+}  // namespace hdc::hv

@@ -1,0 +1,98 @@
+// Integer / ternary hypervectors — the alternative VSA models the paper's
+// Section II mentions ("ternary (with values of -1, 0 and 1) and integer
+// hypervectors could also be used"). Components are small integers; bundling
+// is element-wise addition (no information loss until thresholding), binding
+// is the Hadamard product, and similarity is the cosine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hv/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::hv {
+
+class IntVector {
+ public:
+  using Component = std::int32_t;
+
+  IntVector() = default;
+  explicit IntVector(std::size_t size) : v_(size, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return v_.empty(); }
+
+  [[nodiscard]] Component get(std::size_t i) const { return v_[i]; }
+  void set(std::size_t i, Component value) { v_[i] = value; }
+
+  [[nodiscard]] const std::vector<Component>& components() const noexcept {
+    return v_;
+  }
+
+  /// Element-wise sum — the integer bundling operation.
+  IntVector& operator+=(const IntVector& other);
+  IntVector& operator-=(const IntVector& other);
+  [[nodiscard]] friend IntVector operator+(IntVector a, const IntVector& b) {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] friend IntVector operator-(IntVector a, const IntVector& b) {
+    a -= b;
+    return a;
+  }
+
+  bool operator==(const IntVector& other) const noexcept = default;
+
+  /// Element-wise (Hadamard) product — binding for bipolar vectors, where it
+  /// is self-inverse: bind(bind(a, b), b) == a when b has +/-1 components.
+  [[nodiscard]] IntVector hadamard(const IntVector& other) const;
+
+  [[nodiscard]] double dot(const IntVector& other) const;
+  [[nodiscard]] double norm() const;
+
+  /// Cosine similarity in [-1, 1]; 0 for a zero vector.
+  [[nodiscard]] double cosine(const IntVector& other) const;
+
+  /// Ternarise: components collapse to sign (-1 / 0 / +1).
+  [[nodiscard]] IntVector sign() const;
+
+  /// Binarise: positive components -> 1; zero components break ties with
+  /// `tie_one` (mirrors the paper's majority-vote ties -> 1 rule).
+  [[nodiscard]] BitVector to_binary(bool tie_one = true) const;
+
+  /// Bipolar (+/-1) random vector.
+  [[nodiscard]] static IntVector random_bipolar(std::size_t size, util::Rng& rng);
+
+  /// Ternary random vector: P(non-zero) = density, sign fair.
+  [[nodiscard]] static IntVector random_ternary(std::size_t size, double density,
+                                                util::Rng& rng);
+
+  /// Lift a binary hypervector to bipolar: 1 -> +1, 0 -> -1.
+  [[nodiscard]] static IntVector from_binary(const BitVector& bits);
+
+ private:
+  void check_same_size(const IntVector& other) const;
+
+  std::vector<Component> v_;
+};
+
+/// Level (linear) encoder producing bipolar vectors: the integer analogue of
+/// the binary LevelEncoder, with the same nested-flip construction so that
+/// cosine(enc(min), enc(max)) == 0 and similarity is linear in value
+/// difference.
+class BipolarLevelEncoder {
+ public:
+  BipolarLevelEncoder(std::size_t size, double lo, double hi, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const noexcept { return seed_vector_.size(); }
+  [[nodiscard]] IntVector encode(double value) const;
+
+ private:
+  double lo_;
+  double hi_;
+  IntVector seed_vector_;
+  std::vector<std::uint32_t> flip_order_;  // positions negated as value grows
+};
+
+}  // namespace hdc::hv

@@ -1,0 +1,39 @@
+#include "hv/item_memory.hpp"
+
+#include <limits>
+
+namespace hdc::hv {
+
+namespace {
+std::uint64_t hash_key(const std::string& key) noexcept {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+const BitVector& ItemMemory::get(const std::string& key) {
+  const auto it = store_.find(key);
+  if (it != store_.end()) return it->second;
+  util::Rng rng(util::mix_seed(seed_, hash_key(key)));
+  return store_.emplace(key, BitVector::random(bits_, rng)).first->second;
+}
+
+std::string ItemMemory::nearest(const BitVector& query) const {
+  std::string best;
+  std::size_t best_dist = std::numeric_limits<std::size_t>::max();
+  for (const auto& [key, vec] : store_) {
+    const std::size_t d = query.hamming(vec);
+    if (d < best_dist) {
+      best_dist = d;
+      best = key;
+    }
+  }
+  return best;
+}
+
+}  // namespace hdc::hv

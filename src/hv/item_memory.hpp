@@ -1,0 +1,37 @@
+// Item memory: a deterministic store of quasi-orthogonal random hypervectors
+// keyed by symbol. Two distinct symbols map to independent random vectors
+// (expected normalised Hamming distance 0.5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "hv/bitvector.hpp"
+
+namespace hdc::hv {
+
+class ItemMemory {
+ public:
+  /// All vectors have `bits` dimensions; contents depend only on (seed, key).
+  ItemMemory(std::size_t bits, std::uint64_t seed)
+      : bits_(bits), seed_(seed) {}
+
+  [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
+
+  /// Vector for `key`, created deterministically on first use.
+  const BitVector& get(const std::string& key);
+
+  /// Number of stored items.
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+
+  /// Nearest stored key by Hamming distance; empty string if memory is empty.
+  [[nodiscard]] std::string nearest(const BitVector& query) const;
+
+ private:
+  std::size_t bits_;
+  std::uint64_t seed_;
+  std::unordered_map<std::string, BitVector> store_;
+};
+
+}  // namespace hdc::hv

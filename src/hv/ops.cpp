@@ -1,0 +1,122 @@
+#include "hv/ops.hpp"
+
+#include <stdexcept>
+
+namespace hdc::hv {
+
+namespace {
+
+void check_inputs(std::span<const BitVector> inputs) {
+  if (inputs.empty()) throw std::invalid_argument("majority: no inputs");
+  const std::size_t d = inputs.front().size();
+  for (const BitVector& v : inputs) {
+    if (v.size() != d) throw std::invalid_argument("majority: dimensionality mismatch");
+  }
+}
+
+bool resolve_tie(TiePolicy tie, util::Rng* rng) {
+  switch (tie) {
+    case TiePolicy::kOne: return true;
+    case TiePolicy::kZero: return false;
+    case TiePolicy::kRandom:
+      if (rng == nullptr) {
+        throw std::invalid_argument("majority: TiePolicy::kRandom needs an Rng");
+      }
+      return rng->bernoulli(0.5);
+  }
+  return true;
+}
+
+}  // namespace
+
+BitVector majority(std::span<const BitVector> inputs, TiePolicy tie, util::Rng* rng) {
+  check_inputs(inputs);
+  const std::size_t d = inputs.front().size();
+  if (inputs.size() == 1) return inputs.front();
+
+  BitVector out(d);
+  const std::size_t half_votes = inputs.size();  // compare 2*count vs n
+  for (std::size_t i = 0; i < d; ++i) {
+    std::size_t ones = 0;
+    for (const BitVector& v : inputs) ones += v.get(i) ? 1 : 0;
+    const std::size_t twice = 2 * ones;
+    if (twice > half_votes) {
+      out.set(i, true);
+    } else if (twice == half_votes) {
+      out.set(i, resolve_tie(tie, rng));
+    }
+  }
+  return out;
+}
+
+BitVector weighted_majority(std::span<const BitVector> inputs,
+                            std::span<const double> weights, TiePolicy tie,
+                            util::Rng* rng) {
+  check_inputs(inputs);
+  if (inputs.size() != weights.size()) {
+    throw std::invalid_argument("weighted_majority: weights arity mismatch");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w <= 0.0) throw std::invalid_argument("weighted_majority: non-positive weight");
+    total += w;
+  }
+  const std::size_t d = inputs.front().size();
+  BitVector out(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    double ones = 0.0;
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      if (inputs[k].get(i)) ones += weights[k];
+    }
+    const double twice = 2.0 * ones;
+    if (twice > total) {
+      out.set(i, true);
+    } else if (twice == total) {
+      out.set(i, resolve_tie(tie, rng));
+    }
+  }
+  return out;
+}
+
+BitVector bind(const BitVector& a, const BitVector& b) { return a ^ b; }
+
+double similarity(const BitVector& a, const BitVector& b) {
+  if (a.size() == 0) return 1.0;
+  return 1.0 - 2.0 * a.hamming_fraction(b);
+}
+
+void BitAccumulator::add(const BitVector& v) {
+  if (v.size() != counts_.size()) {
+    throw std::invalid_argument("BitAccumulator: dimensionality mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += v.get(i) ? 1u : 0u;
+  ++total_;
+}
+
+void BitAccumulator::remove(const BitVector& v) {
+  if (v.size() != counts_.size()) {
+    throw std::invalid_argument("BitAccumulator: dimensionality mismatch");
+  }
+  if (total_ == 0) throw std::logic_error("BitAccumulator: remove from empty");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint32_t bit = v.get(i) ? 1u : 0u;
+    if (counts_[i] < bit) throw std::logic_error("BitAccumulator: underflow");
+    counts_[i] -= bit;
+  }
+  --total_;
+}
+
+BitVector BitAccumulator::to_majority(TiePolicy tie, util::Rng* rng) const {
+  BitVector out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t twice = 2 * counts_[i];
+    if (twice > total_) {
+      out.set(i, true);
+    } else if (twice == total_ && total_ != 0) {
+      out.set(i, resolve_tie(tie, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace hdc::hv

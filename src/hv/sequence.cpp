@@ -1,0 +1,42 @@
+#include "hv/sequence.hpp"
+
+#include <stdexcept>
+
+namespace hdc::hv {
+
+BitVector encode_sequence(std::span<const BitVector> window) {
+  if (window.empty()) throw std::invalid_argument("encode_sequence: empty window");
+  const std::size_t d = window.front().size();
+  for (const BitVector& v : window) {
+    if (v.size() != d) {
+      throw std::invalid_argument("encode_sequence: dimensionality mismatch");
+    }
+  }
+  // rho^(n-1)(v1) ^ ... ^ rho(v_{n-1}) ^ v_n.
+  BitVector out = window.back();
+  for (std::size_t i = 0; i + 1 < window.size(); ++i) {
+    out ^= window[i].rotated(window.size() - 1 - i);
+  }
+  return out;
+}
+
+NGramEncoder::NGramEncoder(std::size_t n, TiePolicy tie) : n_(n), tie_(tie) {
+  if (n == 0) throw std::invalid_argument("NGramEncoder: n must be >= 1");
+  if (tie == TiePolicy::kRandom) {
+    throw std::invalid_argument("NGramEncoder: random tie policy is not deterministic");
+  }
+}
+
+BitVector NGramEncoder::encode(std::span<const BitVector> stream) const {
+  if (stream.size() < n_) {
+    throw std::invalid_argument("NGramEncoder: stream shorter than n");
+  }
+  std::vector<BitVector> grams;
+  grams.reserve(stream.size() - n_ + 1);
+  for (std::size_t start = 0; start + n_ <= stream.size(); ++start) {
+    grams.push_back(encode_sequence(stream.subspan(start, n_)));
+  }
+  return majority(grams, tie_);
+}
+
+}  // namespace hdc::hv

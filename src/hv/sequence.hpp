@@ -1,0 +1,40 @@
+// Sequence encoding with permutation binding. Completes the classic HDC
+// operator set (Kanerva 2009): an ordered sequence (v1, v2, ..., vn) is
+// encoded as rho^(n-1)(v1) ^ rho^(n-2)(v2) ^ ... ^ vn, where rho is a cyclic
+// rotation. Position is thus carried by the permutation power, and two
+// sequences are similar only when they agree element-wise in order. The
+// NGramEncoder bundles all n-grams of a longer stream — the encoding used by
+// the HDC text/DNA classifiers the paper cites (Imani et al.'s HDNA), and
+// the natural extension point for encoding longitudinal patient records.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hv/bitvector.hpp"
+#include "hv/ops.hpp"
+
+namespace hdc::hv {
+
+/// Bind an ordered window of hypervectors into one (permute-then-XOR).
+/// All inputs must share one dimensionality; at least one input required.
+[[nodiscard]] BitVector encode_sequence(std::span<const BitVector> window);
+
+/// Sliding n-gram encoder over a stream of item hypervectors: every
+/// contiguous window of length `n` is sequence-encoded, and the window
+/// vectors are bundled with majority voting.
+class NGramEncoder {
+ public:
+  /// `n` must be >= 1; streams shorter than n throw at encode time.
+  explicit NGramEncoder(std::size_t n, TiePolicy tie = TiePolicy::kOne);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+
+  [[nodiscard]] BitVector encode(std::span<const BitVector> stream) const;
+
+ private:
+  std::size_t n_;
+  TiePolicy tie_;
+};
+
+}  // namespace hdc::hv

@@ -1,0 +1,84 @@
+#include "ml/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdc::ml {
+
+void PlattCalibrator::fit(const std::vector<double>& scores,
+                          const std::vector<int>& labels, std::size_t max_iter) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    throw std::invalid_argument("PlattCalibrator: bad input");
+  }
+  std::size_t n_pos = 0;
+  std::size_t n_neg = 0;
+  for (const int y : labels) {
+    if (y != 0 && y != 1) {
+      throw std::invalid_argument("PlattCalibrator: labels must be 0/1");
+    }
+    (y == 1 ? n_pos : n_neg)++;
+  }
+  if (n_pos == 0 || n_neg == 0) {
+    throw std::invalid_argument("PlattCalibrator: need both classes");
+  }
+
+  // Platt's smoothed targets.
+  const double t_pos = (static_cast<double>(n_pos) + 1.0) /
+                       (static_cast<double>(n_pos) + 2.0);
+  const double t_neg = 1.0 / (static_cast<double>(n_neg) + 2.0);
+
+  double a = 0.0;
+  double b = std::log((static_cast<double>(n_neg) + 1.0) /
+                      (static_cast<double>(n_pos) + 1.0));
+  const std::size_t n = scores.size();
+
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    // Gradient and Hessian of the negative log-likelihood in (a, b).
+    double g_a = 0.0;
+    double g_b = 0.0;
+    double h_aa = 1e-12;
+    double h_ab = 0.0;
+    double h_bb = 1e-12;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = labels[i] == 1 ? t_pos : t_neg;
+      const double z = a * scores[i] + b;
+      const double p = 1.0 / (1.0 + std::exp(z));  // P(y=1), Platt's convention
+      const double d = t - p;                      // dNLL/dz
+      g_a += d * scores[i];
+      g_b += d;
+      const double w = p * (1.0 - p);
+      h_aa += w * scores[i] * scores[i];
+      h_ab += w * scores[i];
+      h_bb += w;
+    }
+    // Solve the 2x2 Newton system.
+    const double det = h_aa * h_bb - h_ab * h_ab;
+    if (std::abs(det) < 1e-18) break;
+    const double da = (h_bb * g_a - h_ab * g_b) / det;
+    const double db = (h_aa * g_b - h_ab * g_a) / det;
+    a -= da;
+    b -= db;
+    if (std::abs(da) < 1e-10 && std::abs(db) < 1e-10) break;
+  }
+
+  // Convert from Platt's convention P(y=1) = 1/(1+exp(a*s+b)) to the
+  // conventional sigmoid(slope*s + intercept).
+  a_ = -a;
+  b_ = -b;
+  fitted_ = true;
+}
+
+double PlattCalibrator::transform(double score) const {
+  if (!fitted_) throw std::logic_error("PlattCalibrator: not fitted");
+  return 1.0 / (1.0 + std::exp(-(a_ * score + b_)));
+}
+
+std::vector<double> PlattCalibrator::transform(
+    const std::vector<double>& scores) const {
+  std::vector<double> out;
+  out.reserve(scores.size());
+  for (const double s : scores) out.push_back(transform(s));
+  return out;
+}
+
+}  // namespace hdc::ml

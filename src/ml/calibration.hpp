@@ -1,0 +1,34 @@
+// Platt scaling: fit a logistic map sigma(a*s + b) from raw classifier
+// scores to calibrated probabilities. Used to turn Hamming margins and SVC
+// decision values into the kind of clinical risk score the paper's §III-B
+// describes ("present a score to inform clinicians").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hdc::ml {
+
+class PlattCalibrator {
+ public:
+  /// Fit on held-out (score, label) pairs by Newton iterations on the
+  /// log-likelihood (with Platt's label smoothing to avoid saturation).
+  void fit(const std::vector<double>& scores, const std::vector<int>& labels,
+           std::size_t max_iter = 100);
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Calibrated probability for a raw score.
+  [[nodiscard]] double transform(double score) const;
+  [[nodiscard]] std::vector<double> transform(const std::vector<double>& scores) const;
+
+  [[nodiscard]] double slope() const noexcept { return a_; }
+  [[nodiscard]] double intercept() const noexcept { return b_; }
+
+ private:
+  double a_ = 1.0;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace hdc::ml

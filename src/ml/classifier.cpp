@@ -1,0 +1,35 @@
+#include "ml/classifier.hpp"
+
+#include <stdexcept>
+
+namespace hdc::ml {
+
+void validate_training_data(const Matrix& X, const Labels& y) {
+  if (X.empty()) throw std::invalid_argument("fit: empty training set");
+  if (X.size() != y.size()) throw std::invalid_argument("fit: X/y size mismatch");
+  const std::size_t d = X.front().size();
+  if (d == 0) throw std::invalid_argument("fit: zero-width rows");
+  for (const auto& row : X) {
+    if (row.size() != d) throw std::invalid_argument("fit: ragged matrix");
+  }
+  for (const int label : y) {
+    if (label != 0 && label != 1) throw std::invalid_argument("fit: labels must be 0/1");
+  }
+}
+
+ColumnTable::ColumnTable(const Matrix& X, const Labels& y) : labels_(y) {
+  validate_training_data(X, y);
+  n_rows_ = X.size();
+  n_cols_ = X.front().size();
+  data_.resize(n_rows_ * n_cols_);
+  binary_.assign(n_cols_, true);
+  for (std::size_t i = 0; i < n_rows_; ++i) {
+    for (std::size_t j = 0; j < n_cols_; ++j) {
+      const double v = X[i][j];
+      data_[j * n_rows_ + i] = v;
+      if (v != 0.0 && v != 1.0) binary_[j] = false;
+    }
+  }
+}
+
+}  // namespace hdc::ml

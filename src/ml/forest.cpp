@@ -1,0 +1,64 @@
+#include "ml/forest.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::ml {
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {
+  if (config_.n_trees == 0) throw std::invalid_argument("RandomForest: zero trees");
+}
+
+void RandomForest::fit(const Matrix& X, const Labels& y) {
+  const ColumnTable table(X, y);
+  const std::size_t n = table.n_rows();
+
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(table.n_cols()))));
+  }
+
+  trees_.assign(config_.n_trees, DecisionTree(tree_config));
+  parallel::parallel_for(0, config_.n_trees, [&](std::size_t t) {
+    const std::uint64_t tree_seed = util::mix_seed(config_.seed, t);
+    util::Rng rng(tree_seed);
+    std::vector<std::uint32_t> rows(n);
+    if (config_.bootstrap) {
+      for (std::uint32_t& r : rows) {
+        r = static_cast<std::uint32_t>(rng.below(n));
+      }
+    } else {
+      std::iota(rows.begin(), rows.end(), 0u);
+    }
+    trees_[t].fit_from_table(table, std::move(rows), util::mix_seed(tree_seed, 0xf0));
+  });
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<double> total(trees_.front().feature_importances().size(), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& imp = tree.feature_importances();
+    for (std::size_t j = 0; j < total.size(); ++j) total[j] += imp[j];
+  }
+  double sum = 0.0;
+  for (const double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+double RandomForest::predict_proba(std::span<const double> x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.predict_proba(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace hdc::ml

@@ -1,0 +1,37 @@
+// Random forest: bagged CART trees with per-node feature subsampling.
+// Trees are trained in parallel; each tree derives its own RNG stream from
+// (seed, tree index), so results are independent of thread scheduling.
+#pragma once
+
+#include <memory>
+
+#include "ml/tree.hpp"
+
+namespace hdc::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 100;  // scikit-learn default
+  TreeConfig tree;            // tree.max_features == 0 selects sqrt(d)
+  bool bootstrap = true;
+  std::uint64_t seed = 17;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(ForestConfig config = {});
+
+  void fit(const Matrix& X, const Labels& y) override;
+  [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override { return "Random Forest"; }
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+
+  /// Mean of the per-tree gini importances (normalised to sum to 1).
+  [[nodiscard]] std::vector<double> feature_importances() const;
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace hdc::ml

@@ -1,0 +1,162 @@
+#include "ml/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdc::ml {
+
+namespace {
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+GbdtClassifier::GbdtClassifier(GbdtConfig config) : config_(config) {
+  if (config_.n_rounds == 0) throw std::invalid_argument("GBDT: zero rounds");
+  if (config_.learning_rate <= 0.0) throw std::invalid_argument("GBDT: bad eta");
+  if (config_.max_depth == 0) throw std::invalid_argument("GBDT: zero depth");
+}
+
+void GbdtClassifier::fit(const Matrix& X, const Labels& y) {
+  const ColumnTable table(X, y);
+  const std::size_t n = table.n_rows();
+  n_features_ = table.n_cols();
+  base_margin_ = std::log(config_.base_score / (1.0 - config_.base_score));
+
+  std::vector<double> margin(n, base_margin_);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  trees_.clear();
+  trees_.reserve(config_.n_rounds);
+
+  for (std::size_t round = 0; round < config_.n_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = sigmoid(margin[i]);
+      grad[i] = p - static_cast<double>(y[i]);
+      hess[i] = std::max(1e-16, p * (1.0 - p));
+    }
+    Tree tree;
+    std::vector<std::uint32_t> rows(n);
+    std::iota(rows.begin(), rows.end(), 0u);
+    build_node(table, tree, rows, grad, hess, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      margin[i] += config_.learning_rate * tree_output(tree, X[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::int32_t GbdtClassifier::build_node(const ColumnTable& table, Tree& tree,
+                                        std::vector<std::uint32_t>& rows,
+                                        const std::vector<double>& grad,
+                                        const std::vector<double>& hess,
+                                        std::size_t depth) {
+  double g_total = 0.0;
+  double h_total = 0.0;
+  for (const std::uint32_t r : rows) {
+    g_total += grad[r];
+    h_total += hess[r];
+  }
+
+  const std::int32_t node_id = static_cast<std::int32_t>(tree.size());
+  tree.emplace_back();
+  tree[node_id].value = -g_total / (h_total + config_.lambda);
+
+  if (depth >= config_.max_depth || rows.size() < 2) return node_id;
+
+  const double parent_score = g_total * g_total / (h_total + config_.lambda);
+  double best_gain = config_.gamma;
+  std::int32_t best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, std::uint32_t>> scratch;
+  for (std::size_t j = 0; j < table.n_cols(); ++j) {
+    if (table.column_is_binary(j)) {
+      double gl = 0.0;
+      double hl = 0.0;
+      for (const std::uint32_t r : rows) {
+        if (table.value(r, j) <= 0.5) {
+          gl += grad[r];
+          hl += hess[r];
+        }
+      }
+      const double hr = h_total - hl;
+      if (hl < config_.min_child_weight || hr < config_.min_child_weight) continue;
+      const double gr = g_total - gl;
+      const double gain = 0.5 * (gl * gl / (hl + config_.lambda) +
+                                 gr * gr / (hr + config_.lambda) - parent_score);
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = static_cast<std::int32_t>(j);
+        best_threshold = 0.5;
+      }
+      continue;
+    }
+
+    scratch.clear();
+    scratch.reserve(rows.size());
+    for (const std::uint32_t r : rows) scratch.emplace_back(table.value(r, j), r);
+    std::sort(scratch.begin(), scratch.end());
+    double gl = 0.0;
+    double hl = 0.0;
+    for (std::size_t i = 0; i + 1 < scratch.size(); ++i) {
+      gl += grad[scratch[i].second];
+      hl += hess[scratch[i].second];
+      if (scratch[i].first == scratch[i + 1].first) continue;
+      const double hr = h_total - hl;
+      if (hl < config_.min_child_weight || hr < config_.min_child_weight) continue;
+      const double gr = g_total - gl;
+      const double gain = 0.5 * (gl * gl / (hl + config_.lambda) +
+                                 gr * gr / (hr + config_.lambda) - parent_score);
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feature = static_cast<std::int32_t>(j);
+        best_threshold = 0.5 * (scratch[i].first + scratch[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::uint32_t> left_rows;
+  std::vector<std::uint32_t> right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (const std::uint32_t r : rows) {
+    (table.value(r, static_cast<std::size_t>(best_feature)) <= best_threshold
+         ? left_rows
+         : right_rows)
+        .push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  tree[node_id].feature = best_feature;
+  tree[node_id].threshold = best_threshold;
+  const std::int32_t left = build_node(table, tree, left_rows, grad, hess, depth + 1);
+  tree[node_id].left = left;
+  const std::int32_t right = build_node(table, tree, right_rows, grad, hess, depth + 1);
+  tree[node_id].right = right;
+  return node_id;
+}
+
+double GbdtClassifier::tree_output(const Tree& tree, std::span<const double> x) {
+  std::int32_t node = 0;
+  while (tree[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& nd = tree[static_cast<std::size_t>(node)];
+    node = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+  return tree[static_cast<std::size_t>(node)].value;
+}
+
+double GbdtClassifier::predict_proba(std::span<const double> x) const {
+  if (trees_.empty()) throw std::logic_error("GBDT: not fitted");
+  if (x.size() != n_features_) throw std::invalid_argument("GBDT: query arity mismatch");
+  double margin = base_margin_;
+  for (const Tree& tree : trees_) {
+    margin += config_.learning_rate * tree_output(tree, x);
+  }
+  return sigmoid(margin);
+}
+
+}  // namespace hdc::ml

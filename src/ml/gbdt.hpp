@@ -1,0 +1,56 @@
+// Gradient-boosted decision trees with second-order (Newton) boosting and
+// exact greedy split search — the XGBoost algorithm family:
+//   gain = 1/2 [ GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l) ] - gamma,
+//   leaf weight = -G / (H + l),
+// on the logistic loss (g = p - y, h = p (1 - p)).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+
+namespace hdc::ml {
+
+struct GbdtConfig {
+  std::size_t n_rounds = 100;   // XGBoost default n_estimators
+  double learning_rate = 0.3;   // XGBoost default eta
+  std::size_t max_depth = 6;    // XGBoost default
+  double lambda = 1.0;          // L2 on leaf weights
+  double gamma = 0.0;           // min gain to split
+  double min_child_weight = 1.0;
+  double base_score = 0.5;      // initial probability
+};
+
+class GbdtClassifier final : public Classifier {
+ public:
+  explicit GbdtClassifier(GbdtConfig config = {});
+
+  void fit(const Matrix& X, const Labels& y) override;
+  [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override { return "XGBoost"; }
+
+  [[nodiscard]] std::size_t round_count() const noexcept { return trees_.size(); }
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;  // -1 = leaf
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;  // leaf weight (log-odds contribution)
+  };
+  using Tree = std::vector<Node>;
+
+  std::int32_t build_node(const ColumnTable& table, Tree& tree,
+                          std::vector<std::uint32_t>& rows,
+                          const std::vector<double>& grad,
+                          const std::vector<double>& hess, std::size_t depth);
+  [[nodiscard]] static double tree_output(const Tree& tree, std::span<const double> x);
+
+  GbdtConfig config_;
+  std::vector<Tree> trees_;
+  double base_margin_ = 0.0;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace hdc::ml

@@ -1,0 +1,237 @@
+#include "ml/hist_gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdc::ml {
+
+namespace {
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+HistGbdtClassifier::HistGbdtClassifier(HistGbdtConfig config) : config_(config) {
+  if (config_.n_rounds == 0) throw std::invalid_argument("HistGBDT: zero rounds");
+  if (config_.num_leaves < 2) throw std::invalid_argument("HistGBDT: num_leaves < 2");
+  if (config_.max_bins < 2 || config_.max_bins > 255) {
+    throw std::invalid_argument("HistGBDT: max_bins must be in [2, 255]");
+  }
+}
+
+std::uint8_t HistGbdtClassifier::bin_of(std::size_t feature, double value) const {
+  const std::vector<double>& edges = bin_edges_[feature];
+  // Bin b holds values <= edges[b]; the last bin is unbounded above.
+  const auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  return static_cast<std::uint8_t>(it - edges.begin());
+}
+
+void HistGbdtClassifier::fit(const Matrix& X, const Labels& y) {
+  validate_training_data(X, y);
+  const std::size_t n = X.size();
+  const std::size_t d = X.front().size();
+  n_features_ = d;
+  base_margin_ = 0.0;
+
+  // Quantile binning: edges are the values at evenly spaced ranks of the
+  // sorted unique values. Bin count per feature <= max_bins.
+  bin_edges_.assign(d, {});
+  std::vector<double> column;
+  for (std::size_t j = 0; j < d; ++j) {
+    column.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) column[i] = X[i][j];
+    std::sort(column.begin(), column.end());
+    column.erase(std::unique(column.begin(), column.end()), column.end());
+    std::vector<double>& edges = bin_edges_[j];
+    if (column.size() <= config_.max_bins) {
+      // One bin per distinct value; edge = the value itself.
+      edges.assign(column.begin(), column.end());
+      if (!edges.empty()) edges.pop_back();  // last bin open-ended
+    } else {
+      for (std::size_t b = 1; b < config_.max_bins; ++b) {
+        const std::size_t rank = b * column.size() / config_.max_bins;
+        edges.push_back(column[rank - 1]);
+      }
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+  }
+
+  // Pre-binned matrix (row-major u8).
+  std::vector<std::uint8_t> bins(n * d);
+  std::size_t max_bin_count = 2;
+  for (std::size_t j = 0; j < d; ++j) {
+    max_bin_count = std::max(max_bin_count, bin_edges_[j].size() + 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) bins[i * d + j] = bin_of(j, X[i][j]);
+  }
+
+  std::vector<double> margin(n, base_margin_);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  trees_.clear();
+  trees_.reserve(config_.n_rounds);
+
+  struct LeafCandidate {
+    std::int32_t node_id = -1;
+    std::vector<std::uint32_t> rows;
+    double g_sum = 0.0;
+    double h_sum = 0.0;
+    // Best split found for this leaf.
+    double gain = -1.0;
+    std::int32_t feature = -1;
+    std::int32_t bin = -1;
+  };
+
+  // Histogram scratch: one (g, h, count) triple per bin.
+  std::vector<double> hg(max_bin_count);
+  std::vector<double> hh(max_bin_count);
+  std::vector<std::uint32_t> hc(max_bin_count);
+
+  const auto find_best_split = [&](LeafCandidate& leaf) {
+    leaf.gain = 0.0;
+    leaf.feature = -1;
+    const double parent_score =
+        leaf.g_sum * leaf.g_sum / (leaf.h_sum + config_.lambda);
+    for (std::size_t j = 0; j < d; ++j) {
+      const std::size_t n_bins = bin_edges_[j].size() + 1;
+      if (n_bins < 2) continue;
+      std::fill(hg.begin(), hg.begin() + static_cast<std::ptrdiff_t>(n_bins), 0.0);
+      std::fill(hh.begin(), hh.begin() + static_cast<std::ptrdiff_t>(n_bins), 0.0);
+      std::fill(hc.begin(), hc.begin() + static_cast<std::ptrdiff_t>(n_bins), 0u);
+      for (const std::uint32_t r : leaf.rows) {
+        const std::uint8_t b = bins[r * d + j];
+        hg[b] += grad[r];
+        hh[b] += hess[r];
+        ++hc[b];
+      }
+      double gl = 0.0;
+      double hl = 0.0;
+      std::uint32_t cl = 0;
+      for (std::size_t b = 0; b + 1 < n_bins; ++b) {
+        gl += hg[b];
+        hl += hh[b];
+        cl += hc[b];
+        const std::uint32_t cr = static_cast<std::uint32_t>(leaf.rows.size()) - cl;
+        if (cl < config_.min_data_in_leaf || cr < config_.min_data_in_leaf) continue;
+        const double hr = leaf.h_sum - hl;
+        if (hl < config_.min_child_weight || hr < config_.min_child_weight) continue;
+        const double gr = leaf.g_sum - gl;
+        const double gain = 0.5 * (gl * gl / (hl + config_.lambda) +
+                                   gr * gr / (hr + config_.lambda) - parent_score);
+        if (gain > leaf.gain + 1e-12) {
+          leaf.gain = gain;
+          leaf.feature = static_cast<std::int32_t>(j);
+          leaf.bin = static_cast<std::int32_t>(b);
+        }
+      }
+    }
+  };
+
+  for (std::size_t round = 0; round < config_.n_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = sigmoid(margin[i]);
+      grad[i] = p - static_cast<double>(y[i]);
+      hess[i] = std::max(1e-16, p * (1.0 - p));
+    }
+
+    Tree tree;
+    std::vector<LeafCandidate> leaves;
+
+    LeafCandidate root;
+    root.node_id = 0;
+    root.rows.resize(n);
+    std::iota(root.rows.begin(), root.rows.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      root.g_sum += grad[i];
+      root.h_sum += hess[i];
+    }
+    tree.emplace_back();
+    tree[0].value = -root.g_sum / (root.h_sum + config_.lambda);
+    find_best_split(root);
+    leaves.push_back(std::move(root));
+
+    // Leaf-wise growth: repeatedly split the leaf with the largest gain.
+    while (leaves.size() < config_.num_leaves) {
+      std::size_t best = leaves.size();
+      double best_gain = 1e-12;
+      for (std::size_t l = 0; l < leaves.size(); ++l) {
+        if (leaves[l].feature >= 0 && leaves[l].gain > best_gain) {
+          best_gain = leaves[l].gain;
+          best = l;
+        }
+      }
+      if (best == leaves.size()) break;  // nothing splittable
+
+      LeafCandidate leaf = std::move(leaves[best]);
+      leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(best));
+
+      const std::size_t j = static_cast<std::size_t>(leaf.feature);
+      LeafCandidate left;
+      LeafCandidate right;
+      for (const std::uint32_t r : leaf.rows) {
+        if (bins[r * d + j] <= leaf.bin) {
+          left.rows.push_back(r);
+          left.g_sum += grad[r];
+          left.h_sum += hess[r];
+        } else {
+          right.rows.push_back(r);
+          right.g_sum += grad[r];
+          right.h_sum += hess[r];
+        }
+      }
+
+      // NOTE: take indices, not references — emplace_back below may
+      // reallocate the node vector.
+      const std::int32_t left_id = static_cast<std::int32_t>(tree.size());
+      tree.emplace_back();
+      tree.back().value = -left.g_sum / (left.h_sum + config_.lambda);
+      const std::int32_t right_id = static_cast<std::int32_t>(tree.size());
+      tree.emplace_back();
+      tree.back().value = -right.g_sum / (right.h_sum + config_.lambda);
+
+      Node& parent = tree[static_cast<std::size_t>(leaf.node_id)];
+      parent.feature = leaf.feature;
+      parent.bin = leaf.bin;
+      parent.threshold = bin_edges_[j][static_cast<std::size_t>(leaf.bin)];
+      parent.left = left_id;
+      parent.right = right_id;
+      left.node_id = left_id;
+      right.node_id = right_id;
+
+      find_best_split(left);
+      find_best_split(right);
+      leaves.push_back(std::move(left));
+      leaves.push_back(std::move(right));
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      margin[i] += config_.learning_rate * tree_output(tree, X[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double HistGbdtClassifier::tree_output(const Tree& tree, std::span<const double> x) {
+  std::int32_t node = 0;
+  while (tree[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& nd = tree[static_cast<std::size_t>(node)];
+    node = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+  return tree[static_cast<std::size_t>(node)].value;
+}
+
+double HistGbdtClassifier::predict_proba(std::span<const double> x) const {
+  if (trees_.empty()) throw std::logic_error("HistGBDT: not fitted");
+  if (x.size() != n_features_) {
+    throw std::invalid_argument("HistGBDT: query arity mismatch");
+  }
+  double margin = base_margin_;
+  for (const Tree& tree : trees_) {
+    margin += config_.learning_rate * tree_output(tree, x);
+  }
+  return sigmoid(margin);
+}
+
+}  // namespace hdc::ml

@@ -1,0 +1,53 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdc::ml {
+
+KnnClassifier::KnnClassifier(KnnConfig config) : config_(config) {
+  if (config_.k == 0) throw std::invalid_argument("KNN: k must be positive");
+}
+
+void KnnClassifier::fit(const Matrix& X, const Labels& y) {
+  validate_training_data(X, y);
+  train_X_ = X;
+  train_y_ = y;
+}
+
+double KnnClassifier::predict_proba(std::span<const double> x) const {
+  if (train_X_.empty()) throw std::logic_error("KNN: not fitted");
+  if (x.size() != train_X_.front().size()) {
+    throw std::invalid_argument("KNN: query arity mismatch");
+  }
+  const std::size_t k = std::min(config_.k, train_X_.size());
+
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(train_X_.size());
+  for (std::size_t i = 0; i < train_X_.size(); ++i) {
+    const auto& row = train_X_[i];
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double diff = row[j] - x[j];
+      d2 += diff * diff;
+    }
+    dist.emplace_back(d2, train_y_[i]);
+  }
+  std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dist.end());
+
+  double votes_pos = 0.0;
+  double votes_total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double w = config_.distance_weighted
+                         ? 1.0 / (std::sqrt(dist[i].first) + 1e-12)
+                         : 1.0;
+    votes_total += w;
+    if (dist[i].second == 1) votes_pos += w;
+  }
+  return votes_total > 0.0 ? votes_pos / votes_total : 0.0;
+}
+
+}  // namespace hdc::ml

@@ -1,0 +1,28 @@
+// K-nearest-neighbours classifier (Euclidean distance, majority vote).
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace hdc::ml {
+
+struct KnnConfig {
+  std::size_t k = 5;  // scikit-learn default
+  /// If true, neighbours vote with weight 1/distance (ties toward closer).
+  bool distance_weighted = false;
+};
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(KnnConfig config = {});
+
+  void fit(const Matrix& X, const Labels& y) override;
+  [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override { return "KNN"; }
+
+ private:
+  KnnConfig config_;
+  Matrix train_X_;
+  Labels train_y_;
+};
+
+}  // namespace hdc::ml

@@ -1,0 +1,96 @@
+#include "ml/logistic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdc::ml {
+
+namespace {
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+LogisticRegression::LogisticRegression(LogisticConfig config) : config_(config) {
+  if (config_.c <= 0.0) throw std::invalid_argument("LogisticRegression: C <= 0");
+}
+
+void LogisticRegression::fit(const Matrix& X, const Labels& y) {
+  validate_training_data(X, y);
+  const std::size_t n = X.size();
+  const std::size_t d = X.front().size();
+
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  if (config_.standardize) {
+    std::vector<double> sum(d, 0.0);
+    std::vector<double> sum_sq(d, 0.0);
+    for (const auto& row : X) {
+      for (std::size_t j = 0; j < d; ++j) {
+        sum[j] += row[j];
+        sum_sq[j] += row[j] * row[j];
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      mean_[j] = sum[j] / static_cast<double>(n);
+      const double var = sum_sq[j] / static_cast<double>(n) - mean_[j] * mean_[j];
+      inv_std_[j] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+    }
+  }
+
+  // Standardised copy once; the optimisation loop then touches contiguous
+  // memory only.
+  std::vector<double> Z(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      Z[i * d + j] = (X[i][j] - mean_[j]) * inv_std_[j];
+    }
+  }
+
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  std::vector<double> vel_w(d, 0.0);
+  double vel_b = 0.0;
+  const double lambda = 1.0 / (config_.c * static_cast<double>(n));
+  std::vector<double> grad(d);
+
+  for (std::size_t iter = 0; iter < config_.max_iter; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* zi = Z.data() + i * d;
+      double z = b_;
+      for (std::size_t j = 0; j < d; ++j) z += w_[j] * zi[j];
+      const double err = sigmoid(z) - static_cast<double>(y[i]);
+      for (std::size_t j = 0; j < d; ++j) grad[j] += err * zi[j];
+      grad_b += err;
+    }
+    double norm_sq = grad_b * grad_b;
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t j = 0; j < d; ++j) {
+      grad[j] = grad[j] * inv_n + lambda * w_[j];
+      norm_sq += grad[j] * grad[j];
+    }
+    grad_b *= inv_n;
+    if (norm_sq < config_.tol * config_.tol) break;
+
+    for (std::size_t j = 0; j < d; ++j) {
+      vel_w[j] = config_.momentum * vel_w[j] - config_.learning_rate * grad[j];
+      w_[j] += vel_w[j];
+    }
+    vel_b = config_.momentum * vel_b - config_.learning_rate * grad_b;
+    b_ += vel_b;
+  }
+}
+
+double LogisticRegression::predict_proba(std::span<const double> x) const {
+  if (w_.empty()) throw std::logic_error("LogisticRegression: not fitted");
+  if (x.size() != w_.size()) {
+    throw std::invalid_argument("LogisticRegression: query arity mismatch");
+  }
+  double z = b_;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    z += w_[j] * (x[j] - mean_[j]) * inv_std_[j];
+  }
+  return sigmoid(z);
+}
+
+}  // namespace hdc::ml

@@ -1,0 +1,39 @@
+// L2-regularised logistic regression, full-batch gradient descent with
+// momentum on internally standardised features (mimicking the behaviour of a
+// well-conditioned second-order solver such as scikit-learn's lbfgs).
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace hdc::ml {
+
+struct LogisticConfig {
+  double c = 1.0;              // inverse regularisation strength (sklearn's C)
+  std::size_t max_iter = 300;  // gradient steps
+  double learning_rate = 0.5;
+  double momentum = 0.9;
+  double tol = 1e-6;  // stop when gradient norm falls below tol
+  bool standardize = true;
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticConfig config = {});
+
+  void fit(const Matrix& X, const Labels& y) override;
+  [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override { return "Logistic Regression"; }
+
+  /// Learned weights (in standardised space if standardize was on).
+  [[nodiscard]] const std::vector<double>& weights() const noexcept { return w_; }
+  [[nodiscard]] double bias() const noexcept { return b_; }
+
+ private:
+  LogisticConfig config_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace hdc::ml

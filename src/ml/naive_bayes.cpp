@@ -1,0 +1,94 @@
+#include "ml/naive_bayes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdc::ml {
+
+NaiveBayesClassifier::NaiveBayesClassifier(NaiveBayesConfig config) : config_(config) {
+  if (config_.alpha < 0.0) throw std::invalid_argument("NaiveBayes: alpha < 0");
+}
+
+void NaiveBayesClassifier::fit(const Matrix& X, const Labels& y) {
+  validate_training_data(X, y);
+  const std::size_t n = X.size();
+  const std::size_t d = X.front().size();
+  n_features_ = d;
+
+  bernoulli_.assign(d, true);
+  if (!config_.force_bernoulli) {
+    for (const auto& row : X) {
+      for (std::size_t j = 0; j < d; ++j) {
+        if (row[j] != 0.0 && row[j] != 1.0) bernoulli_[j] = false;
+      }
+    }
+  }
+
+  std::size_t count[2] = {0, 0};
+  for (const int label : y) ++count[static_cast<std::size_t>(label)];
+  if (count[0] == 0 || count[1] == 0) {
+    throw std::invalid_argument("NaiveBayes: need both classes in training data");
+  }
+  for (int c : {0, 1}) {
+    log_prior_[c] = std::log(static_cast<double>(count[c]) / static_cast<double>(n));
+    mean_[c].assign(d, 0.0);
+    var_[c].assign(d, 0.0);
+    log_p_one_[c].assign(d, 0.0);
+    log_p_zero_[c].assign(d, 0.0);
+  }
+
+  // Accumulate sums per class.
+  std::vector<double> ones[2] = {std::vector<double>(d, 0.0),
+                                 std::vector<double>(d, 0.0)};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = y[i];
+    for (std::size_t j = 0; j < d; ++j) {
+      mean_[c][j] += X[i][j];
+      var_[c][j] += X[i][j] * X[i][j];
+      if (X[i][j] >= 0.5) ones[c][j] += 1.0;
+    }
+  }
+  double max_var = 0.0;
+  for (int c : {0, 1}) {
+    const double nc = static_cast<double>(count[c]);
+    for (std::size_t j = 0; j < d; ++j) {
+      mean_[c][j] /= nc;
+      var_[c][j] = var_[c][j] / nc - mean_[c][j] * mean_[c][j];
+      max_var = std::max(max_var, var_[c][j]);
+      const double p =
+          (ones[c][j] + config_.alpha) / (nc + 2.0 * config_.alpha);
+      log_p_one_[c][j] = std::log(p);
+      log_p_zero_[c][j] = std::log(1.0 - p);
+    }
+  }
+  const double floor = std::max(config_.var_smoothing * std::max(max_var, 1.0), 1e-12);
+  for (int c : {0, 1}) {
+    for (std::size_t j = 0; j < d; ++j) var_[c][j] = std::max(var_[c][j], floor);
+  }
+}
+
+double NaiveBayesClassifier::predict_proba(std::span<const double> x) const {
+  if (n_features_ == 0) throw std::logic_error("NaiveBayes: not fitted");
+  if (x.size() != n_features_) {
+    throw std::invalid_argument("NaiveBayes: query arity mismatch");
+  }
+  double log_post[2] = {log_prior_[0], log_prior_[1]};
+  for (int c : {0, 1}) {
+    for (std::size_t j = 0; j < n_features_; ++j) {
+      if (bernoulli_[j]) {
+        log_post[c] += x[j] >= 0.5 ? log_p_one_[c][j] : log_p_zero_[c][j];
+      } else {
+        const double diff = x[j] - mean_[c][j];
+        log_post[c] +=
+            -0.5 * (std::log(2.0 * M_PI * var_[c][j]) + diff * diff / var_[c][j]);
+      }
+    }
+  }
+  // Softmax over the two log-posteriors.
+  const double m = std::max(log_post[0], log_post[1]);
+  const double e0 = std::exp(log_post[0] - m);
+  const double e1 = std::exp(log_post[1] - m);
+  return e1 / (e0 + e1);
+}
+
+}  // namespace hdc::ml

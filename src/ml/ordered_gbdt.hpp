@@ -1,0 +1,54 @@
+// Gradient boosting with oblivious (symmetric) decision trees — the CatBoost
+// algorithm family. Every level of a tree applies ONE (feature, threshold)
+// test to all nodes, so a depth-L tree is a lookup table with 2^L leaves
+// indexed by the L test outcomes. Features are quantile-binned ("borders" in
+// CatBoost terms).
+//
+// Simplification vs. the full CatBoost: we use plain (not ordered) boosting
+// and no categorical target statistics — both datasets here are numeric /
+// binary, where ordered boosting's benefit is leakage control on target
+//-encoded categoricals. Documented in DESIGN.md §3.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+
+namespace hdc::ml {
+
+struct OrderedGbdtConfig {
+  std::size_t n_rounds = 100;
+  double learning_rate = 0.1;
+  std::size_t depth = 6;      // CatBoost default
+  double lambda = 3.0;        // CatBoost's l2_leaf_reg default
+  std::size_t max_bins = 64;  // quantile borders per feature
+  double min_child_weight = 1e-3;
+};
+
+class OrderedGbdtClassifier final : public Classifier {
+ public:
+  explicit OrderedGbdtClassifier(OrderedGbdtConfig config = {});
+
+  void fit(const Matrix& X, const Labels& y) override;
+  [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override { return "CatBoost"; }
+
+  [[nodiscard]] std::size_t round_count() const noexcept { return trees_.size(); }
+
+ private:
+  struct ObliviousTree {
+    std::vector<std::int32_t> features;   // one per level
+    std::vector<double> thresholds;       // raw-value threshold per level
+    std::vector<double> leaf_values;      // 2^levels entries
+  };
+
+  [[nodiscard]] static double tree_output(const ObliviousTree& tree,
+                                          std::span<const double> x);
+
+  OrderedGbdtConfig config_;
+  std::vector<std::vector<double>> bin_edges_;
+  std::vector<ObliviousTree> trees_;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace hdc::ml

@@ -1,0 +1,75 @@
+#include "ml/sgd.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hdc::ml {
+
+SgdClassifier::SgdClassifier(SgdConfig config) : config_(config) {
+  if (config_.alpha <= 0.0) throw std::invalid_argument("SGD: alpha <= 0");
+  if (config_.epochs == 0) throw std::invalid_argument("SGD: zero epochs");
+}
+
+void SgdClassifier::fit(const Matrix& X, const Labels& y) {
+  validate_training_data(X, y);
+  const std::size_t n = X.size();
+  const std::size_t d = X.front().size();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+
+  util::Rng rng(config_.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      ++t;
+      // Inverse-scaling learning rate (sklearn's default 'optimal' schedule
+      // behaves like eta0 / (alpha * t) with a burn-in; this is the simpler
+      // invscaling form with the same 1/t character).
+      const double eta = config_.eta0 / (1.0 + config_.alpha * config_.eta0 *
+                                                   static_cast<double>(t));
+      const auto& xi = X[i];
+      const double target = y[i] == 1 ? 1.0 : -1.0;
+      double z = b_;
+      for (std::size_t j = 0; j < d; ++j) z += w_[j] * xi[j];
+
+      // dloss/dz for the chosen loss (with margin for hinge).
+      double g = 0.0;
+      if (config_.loss == SgdLoss::kHinge) {
+        if (target * z < 1.0) g = -target;
+      } else {
+        g = 1.0 / (1.0 + std::exp(-z)) - (target > 0.0 ? 1.0 : 0.0);
+      }
+
+      // L2 shrink + (sub)gradient step.
+      const double shrink = 1.0 - eta * config_.alpha;
+      for (std::size_t j = 0; j < d; ++j) w_[j] *= shrink;
+      if (g != 0.0) {
+        for (std::size_t j = 0; j < d; ++j) w_[j] -= eta * g * xi[j];
+        b_ -= eta * g;
+      }
+    }
+  }
+}
+
+double SgdClassifier::decision(std::span<const double> x) const {
+  if (w_.empty()) throw std::logic_error("SGD: not fitted");
+  if (x.size() != w_.size()) throw std::invalid_argument("SGD: query arity mismatch");
+  double z = b_;
+  for (std::size_t j = 0; j < x.size(); ++j) z += w_[j] * x[j];
+  return z;
+}
+
+double SgdClassifier::predict_proba(std::span<const double> x) const {
+  // Squash the margin; for the hinge loss this is a calibration-free
+  // monotone map which is all predict() needs.
+  return 1.0 / (1.0 + std::exp(-decision(x)));
+}
+
+}  // namespace hdc::ml

@@ -1,0 +1,56 @@
+// Support Vector Classifier trained with a simplified SMO solver
+// (Platt 1998, simplified working-set selection). Supports linear and RBF
+// kernels; gamma follows scikit-learn's "scale" heuristic by default.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+
+namespace hdc::ml {
+
+enum class SvmKernel { kLinear, kRbf };
+
+struct SvcConfig {
+  SvmKernel kernel = SvmKernel::kRbf;  // sklearn SVC default
+  double c = 1.0;
+  /// gamma <= 0 selects the "scale" heuristic: 1 / (d * var(X)).
+  double gamma = -1.0;
+  double tol = 1e-3;
+  std::size_t max_passes = 5;  // passes without alpha change before stopping
+  std::size_t max_iter = 300;  // hard cap on outer sweeps
+  /// Standardise features internally (the usual scaler+SVC pipeline). With
+  /// raw clinical features one wide column (age, insulin) otherwise swamps
+  /// the RBF distance and the model degenerates to the majority class.
+  bool standardize = true;
+  std::uint64_t seed = 11;
+};
+
+class SvcClassifier final : public Classifier {
+ public:
+  explicit SvcClassifier(SvcConfig config = {});
+
+  void fit(const Matrix& X, const Labels& y) override;
+  [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override { return "SVC"; }
+
+  /// Signed distance to the separating surface.
+  [[nodiscard]] double decision(std::span<const double> x) const;
+  [[nodiscard]] std::size_t support_vector_count() const noexcept;
+
+ private:
+  [[nodiscard]] double kernel(std::span<const double> a,
+                              std::span<const double> b) const;
+  [[nodiscard]] std::vector<double> standardized(std::span<const double> x) const;
+
+  SvcConfig config_;
+  double gamma_ = 1.0;
+  Matrix train_X_;  // standardised copies when config_.standardize
+  std::vector<double> targets_;  // +/-1
+  std::vector<double> alphas_;
+  double b_ = 0.0;
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace hdc::ml

@@ -1,0 +1,179 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdc::ml {
+
+namespace {
+
+constexpr std::size_t kDepthCap = 64;
+
+/// Gini impurity of a (count, positives) bucket, weighted by count.
+double gini_weighted(double n, double pos) noexcept {
+  if (n <= 0.0) return 0.0;
+  const double p = pos / n;
+  return n * 2.0 * p * (1.0 - p);
+}
+
+struct BestSplit {
+  std::int32_t feature = -1;
+  double threshold = 0.0;
+  double impurity_after = 0.0;
+};
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeConfig config) : config_(config) {
+  if (config_.min_samples_split < 2) config_.min_samples_split = 2;
+  if (config_.min_samples_leaf < 1) config_.min_samples_leaf = 1;
+}
+
+void DecisionTree::fit(const Matrix& X, const Labels& y) {
+  const ColumnTable table(X, y);
+  std::vector<std::uint32_t> rows(table.n_rows());
+  std::iota(rows.begin(), rows.end(), 0u);
+  fit_from_table(table, std::move(rows), config_.seed);
+}
+
+void DecisionTree::fit_from_table(const ColumnTable& table,
+                                  std::vector<std::uint32_t> rows,
+                                  std::uint64_t seed) {
+  if (rows.empty()) throw std::invalid_argument("DecisionTree: empty row set");
+  nodes_.clear();
+  depth_ = 0;
+  n_features_ = table.n_cols();
+  importances_.assign(n_features_, 0.0);
+  util::Rng rng(seed);
+  build(table, rows, 0, rng);
+  double total = 0.0;
+  for (const double v : importances_) total += v;
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+}
+
+std::int32_t DecisionTree::build(const ColumnTable& table,
+                                 std::vector<std::uint32_t>& rows, std::size_t depth,
+                                 util::Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = rows.size();
+  std::size_t positives = 0;
+  for (const std::uint32_t r : rows) positives += table.label(r) == 1 ? 1 : 0;
+
+  const std::int32_t node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].prob = static_cast<double>(positives) / static_cast<double>(n);
+
+  const std::size_t max_depth = config_.max_depth == 0 ? kDepthCap : config_.max_depth;
+  const bool pure = positives == 0 || positives == n;
+  if (pure || depth >= max_depth || n < config_.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features: all, or a random subset (random forest mode).
+  std::vector<std::size_t> candidates;
+  if (config_.max_features == 0 || config_.max_features >= table.n_cols()) {
+    candidates.resize(table.n_cols());
+    std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  } else {
+    candidates = rng.sample_without_replacement(table.n_cols(), config_.max_features);
+  }
+
+  const double parent_impurity =
+      gini_weighted(static_cast<double>(n), static_cast<double>(positives));
+  BestSplit best;
+  best.impurity_after = parent_impurity;
+
+  std::vector<std::pair<double, int>> scratch;
+  const double min_leaf = static_cast<double>(config_.min_samples_leaf);
+
+  for (const std::size_t j : candidates) {
+    if (table.column_is_binary(j)) {
+      // Two-bucket count: threshold 0.5 is the only possible split.
+      double n_left = 0.0;
+      double pos_left = 0.0;
+      for (const std::uint32_t r : rows) {
+        if (table.value(r, j) <= 0.5) {
+          n_left += 1.0;
+          if (table.label(r) == 1) pos_left += 1.0;
+        }
+      }
+      const double n_right = static_cast<double>(n) - n_left;
+      if (n_left < min_leaf || n_right < min_leaf) continue;
+      const double pos_right = static_cast<double>(positives) - pos_left;
+      const double after =
+          gini_weighted(n_left, pos_left) + gini_weighted(n_right, pos_right);
+      if (after + 1e-12 < best.impurity_after) {
+        best = {static_cast<std::int32_t>(j), 0.5, after};
+      }
+      continue;
+    }
+
+    // Continuous column: sort this node's values and scan the midpoints.
+    scratch.clear();
+    scratch.reserve(n);
+    for (const std::uint32_t r : rows) {
+      scratch.emplace_back(table.value(r, j), table.label(r));
+    }
+    std::sort(scratch.begin(), scratch.end());
+    double n_left = 0.0;
+    double pos_left = 0.0;
+    for (std::size_t i = 0; i + 1 < scratch.size(); ++i) {
+      n_left += 1.0;
+      pos_left += scratch[i].second;
+      if (scratch[i].first == scratch[i + 1].first) continue;  // no boundary
+      const double n_right = static_cast<double>(n) - n_left;
+      if (n_left < min_leaf || n_right < min_leaf) continue;
+      const double pos_right = static_cast<double>(positives) - pos_left;
+      const double after =
+          gini_weighted(n_left, pos_left) + gini_weighted(n_right, pos_right);
+      if (after + 1e-12 < best.impurity_after) {
+        best = {static_cast<std::int32_t>(j),
+                0.5 * (scratch[i].first + scratch[i + 1].first), after};
+      }
+    }
+  }
+
+  if (best.feature < 0) return node_id;  // no useful split found
+  importances_[static_cast<std::size_t>(best.feature)] +=
+      parent_impurity - best.impurity_after;
+
+  std::vector<std::uint32_t> left_rows;
+  std::vector<std::uint32_t> right_rows;
+  left_rows.reserve(n);
+  right_rows.reserve(n);
+  for (const std::uint32_t r : rows) {
+    (table.value(r, static_cast<std::size_t>(best.feature)) <= best.threshold
+         ? left_rows
+         : right_rows)
+        .push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  nodes_[node_id].feature = best.feature;
+  nodes_[node_id].threshold = best.threshold;
+  const std::int32_t left = build(table, left_rows, depth + 1, rng);
+  nodes_[node_id].left = left;
+  const std::int32_t right = build(table, right_rows, depth + 1, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict_proba(std::span<const double> x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  if (x.size() != n_features_) {
+    throw std::invalid_argument("DecisionTree: query arity mismatch");
+  }
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    node = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].prob;
+}
+
+}  // namespace hdc::ml

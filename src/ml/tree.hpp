@@ -1,0 +1,70 @@
+// CART classification tree (gini impurity, binary splits).
+//
+// Split search is exact: continuous columns are sorted per node; columns
+// whose values are all 0/1 (hypervector inputs) skip sorting and use a
+// two-bucket count, which keeps 10,000-column trees tractable.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 0;  // 0 = unlimited (capped internally at 64)
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Number of feature candidates per node; 0 = all features. Random forests
+  /// set this to sqrt(d).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 1;
+};
+
+/// A single fitted tree. Also exposes the internal fit-from-table entry point
+/// used by RandomForest (bootstrapped row sets, per-node feature sampling).
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(TreeConfig config = {});
+
+  void fit(const Matrix& X, const Labels& y) override;
+
+  /// Fit on a subset of a prepared table (rows may repeat = bootstrap).
+  void fit_from_table(const ColumnTable& table, std::vector<std::uint32_t> rows,
+                      std::uint64_t seed);
+
+  [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override { return "Decision Tree"; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+  /// Gini importance per feature: total impurity decrease contributed by
+  /// splits on that feature, normalised to sum to 1 (all-zero if the tree is
+  /// a single leaf).
+  [[nodiscard]] const std::vector<double>& feature_importances() const noexcept {
+    return importances_;
+  }
+
+ private:
+  struct Node {
+    // Internal node: feature >= 0; leaf: feature == -1.
+    std::int32_t feature = -1;
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double prob = 0.0;  // positive-class fraction at the node
+  };
+
+  std::int32_t build(const ColumnTable& table, std::vector<std::uint32_t>& rows,
+                     std::size_t depth, util::Rng& rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  std::size_t n_features_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace hdc::ml

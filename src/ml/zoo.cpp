@@ -1,0 +1,70 @@
+#include "ml/zoo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/forest.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/hist_gbdt.hpp"
+#include "ml/knn.hpp"
+#include "ml/logistic.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/ordered_gbdt.hpp"
+#include "ml/sgd.hpp"
+#include "ml/svm.hpp"
+#include "ml/tree.hpp"
+#include "util/str.hpp"
+
+namespace hdc::ml {
+
+namespace {
+std::size_t scaled(std::size_t base, double budget) {
+  return std::max<std::size_t>(
+      8, static_cast<std::size_t>(static_cast<double>(base) * budget));
+}
+}  // namespace
+
+std::vector<ZooEntry> paper_model_zoo(double budget) {
+  if (budget <= 0.0) throw std::invalid_argument("paper_model_zoo: budget <= 0");
+  std::vector<ZooEntry> zoo;
+
+  zoo.push_back({"Random Forest", [budget] {
+                   ForestConfig config;
+                   config.n_trees = scaled(100, budget);
+                   return std::make_unique<RandomForest>(config);
+                 }});
+  zoo.push_back({"KNN", [] { return std::make_unique<KnnClassifier>(); }});
+  zoo.push_back({"Decision Tree", [] { return std::make_unique<DecisionTree>(); }});
+  zoo.push_back({"XGBoost", [budget] {
+                   GbdtConfig config;
+                   config.n_rounds = scaled(100, budget);
+                   return std::make_unique<GbdtClassifier>(config);
+                 }});
+  zoo.push_back({"CatBoost", [budget] {
+                   OrderedGbdtConfig config;
+                   config.n_rounds = scaled(100, budget);
+                   return std::make_unique<OrderedGbdtClassifier>(config);
+                 }});
+  zoo.push_back({"SGD", [] { return std::make_unique<SgdClassifier>(); }});
+  zoo.push_back({"Logistic Regression",
+                 [] { return std::make_unique<LogisticRegression>(); }});
+  zoo.push_back({"SVC", [] { return std::make_unique<SvcClassifier>(); }});
+  zoo.push_back({"LGBM", [budget] {
+                   HistGbdtConfig config;
+                   config.n_rounds = scaled(100, budget);
+                   return std::make_unique<HistGbdtClassifier>(config);
+                 }});
+  return zoo;
+}
+
+std::unique_ptr<Classifier> make_model(const std::string& name, double budget) {
+  for (ZooEntry& entry : paper_model_zoo(budget)) {
+    if (util::iequals(entry.name, name)) return entry.make();
+  }
+  if (util::iequals(name, "Naive Bayes")) {
+    return std::make_unique<NaiveBayesClassifier>();
+  }
+  throw std::invalid_argument("make_model: unknown model '" + name + "'");
+}
+
+}  // namespace hdc::ml

@@ -1,0 +1,32 @@
+// Model zoo: the nine classical models of the paper's Tables III-V, with the
+// default hyper-parameters used throughout the benches. A factory keyed by
+// the paper's model names lets benches and examples iterate the whole zoo.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace hdc::ml {
+
+struct ZooEntry {
+  std::string name;  // exactly as printed in the paper's tables
+  std::function<std::unique_ptr<Classifier>()> make;
+};
+
+/// The nine models of Table III, in the paper's row order:
+/// Random Forest, KNN, Decision Tree, XGBoost, CatBoost, SGD,
+/// Logistic Regression, SVC, LGBM.
+///
+/// `budget` scales the iteration counts of the expensive boosted models so
+/// the benches can trade fidelity for wall-clock (1.0 = library defaults).
+[[nodiscard]] std::vector<ZooEntry> paper_model_zoo(double budget = 1.0);
+
+/// Look up one zoo entry by (case-insensitive) name; throws if unknown.
+[[nodiscard]] std::unique_ptr<Classifier> make_model(const std::string& name,
+                                                     double budget = 1.0);
+
+}  // namespace hdc::ml

@@ -1,0 +1,116 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hdc::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, std::uint64_t seed)
+    : weights_(in_features, out_features), bias_(1, out_features) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("Dense: zero-sized layer");
+  }
+  util::Rng rng(seed);
+  const double limit = std::sqrt(6.0 / static_cast<double>(in_features));
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_.data()[i] = rng.uniform(-limit, limit);
+  }
+}
+
+Matrix Dense::forward(const Matrix& input) {
+  if (input.cols() != weights_.rows()) {
+    throw std::invalid_argument("Dense: input width mismatch");
+  }
+  cached_input_ = input;
+  Matrix out = input.matmul(weights_);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) out.at(i, j) += bias_.at(0, j);
+  }
+  return out;
+}
+
+Matrix Dense::infer(const Matrix& input) const {
+  if (input.cols() != weights_.rows()) {
+    throw std::invalid_argument("Dense: input width mismatch");
+  }
+  Matrix out = input.matmul(weights_);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) out.at(i, j) += bias_.at(0, j);
+  }
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output, Adam& opt) {
+  const double inv_batch = 1.0 / static_cast<double>(grad_output.rows());
+  // dW = X^T * dY / batch
+  Matrix grad_w = cached_input_.transposed_matmul(grad_output);
+  for (std::size_t i = 0; i < grad_w.size(); ++i) grad_w.data()[i] *= inv_batch;
+  // db = column means of dY
+  Matrix grad_b(1, grad_output.cols());
+  for (std::size_t i = 0; i < grad_output.rows(); ++i) {
+    for (std::size_t j = 0; j < grad_output.cols(); ++j) {
+      grad_b.at(0, j) += grad_output.at(i, j) * inv_batch;
+    }
+  }
+  // dX = dY * W^T
+  Matrix grad_input = grad_output.matmul_transposed(weights_);
+
+  opt.update(weights_.data(), grad_w.data(), weights_.size(), w_state_);
+  opt.update(bias_.data(), grad_b.data(), bias_.size(), b_state_);
+  return grad_input;
+}
+
+Matrix Relu::forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0) out.data()[i] = 0.0;
+  }
+  return out;
+}
+
+Matrix Relu::infer(const Matrix& input) const {
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0) out.data()[i] = 0.0;
+  }
+  return out;
+}
+
+Matrix Relu::backward(const Matrix& grad_output, Adam& /*opt*/) {
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  }
+  return grad;
+}
+
+Matrix Sigmoid::forward(const Matrix& input) {
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0 / (1.0 + std::exp(-out.data()[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Sigmoid::infer(const Matrix& input) const {
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0 / (1.0 + std::exp(-out.data()[i]));
+  }
+  return out;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_output, Adam& /*opt*/) {
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const double s = cached_output_.data()[i];
+    grad.data()[i] *= s * (1.0 - s);
+  }
+  return grad;
+}
+
+}  // namespace hdc::nn

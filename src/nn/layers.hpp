@@ -1,0 +1,72 @@
+// Layers for the sequential network: dense (fully connected), ReLU, sigmoid.
+// The paper's model is Dense(32)-ReLU, Dense(32)-ReLU, Dense(1)-Sigmoid.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/matrix.hpp"
+#include "nn/optimizer.hpp"
+
+namespace hdc::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass on a batch (rows = samples). Must cache what backward needs.
+  [[nodiscard]] virtual Matrix forward(const Matrix& input) = 0;
+
+  /// Inference-only forward pass: no caching, usable on a const model.
+  [[nodiscard]] virtual Matrix infer(const Matrix& input) const = 0;
+
+  /// Backward pass: gradient w.r.t. this layer's output -> gradient w.r.t.
+  /// its input; parameter gradients are applied through `opt` immediately.
+  [[nodiscard]] virtual Matrix backward(const Matrix& grad_output, Adam& opt) = 0;
+
+  [[nodiscard]] virtual std::size_t parameter_count() const noexcept { return 0; }
+};
+
+class Dense final : public Layer {
+ public:
+  /// He-uniform initialisation, seeded.
+  Dense(std::size_t in_features, std::size_t out_features, std::uint64_t seed);
+
+  [[nodiscard]] Matrix forward(const Matrix& input) override;
+  [[nodiscard]] Matrix infer(const Matrix& input) const override;
+  [[nodiscard]] Matrix backward(const Matrix& grad_output, Adam& opt) override;
+  [[nodiscard]] std::size_t parameter_count() const noexcept override {
+    return weights_.size() + bias_.size();
+  }
+
+  [[nodiscard]] const Matrix& weights() const noexcept { return weights_; }
+
+ private:
+  Matrix weights_;  // in x out
+  Matrix bias_;     // 1 x out
+  Matrix cached_input_;
+  AdamState w_state_;
+  AdamState b_state_;
+};
+
+class Relu final : public Layer {
+ public:
+  [[nodiscard]] Matrix forward(const Matrix& input) override;
+  [[nodiscard]] Matrix infer(const Matrix& input) const override;
+  [[nodiscard]] Matrix backward(const Matrix& grad_output, Adam& opt) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  [[nodiscard]] Matrix forward(const Matrix& input) override;
+  [[nodiscard]] Matrix infer(const Matrix& input) const override;
+  [[nodiscard]] Matrix backward(const Matrix& grad_output, Adam& opt) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+}  // namespace hdc::nn

@@ -1,0 +1,50 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdc::nn {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+void check_shapes(const Matrix& predictions, const std::vector<int>& targets) {
+  if (predictions.cols() != 1) {
+    throw std::invalid_argument("BCE: predictions must be a column");
+  }
+  if (predictions.rows() != targets.size()) {
+    throw std::invalid_argument("BCE: batch size mismatch");
+  }
+}
+}  // namespace
+
+LossResult binary_cross_entropy(const Matrix& predictions,
+                                const std::vector<int>& targets) {
+  check_shapes(predictions, targets);
+  LossResult result;
+  result.grad = Matrix(predictions.rows(), 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const double p = std::clamp(predictions.at(i, 0), kEps, 1.0 - kEps);
+    const double t = static_cast<double>(targets[i]);
+    total += -(t * std::log(p) + (1.0 - t) * std::log(1.0 - p));
+    result.grad.at(i, 0) = (p - t) / (p * (1.0 - p));
+  }
+  result.loss = total / static_cast<double>(targets.size());
+  return result;
+}
+
+double binary_cross_entropy_value(const Matrix& predictions,
+                                  const std::vector<int>& targets) {
+  check_shapes(predictions, targets);
+  double total = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const double p = std::clamp(predictions.at(i, 0), kEps, 1.0 - kEps);
+    const double t = static_cast<double>(targets[i]);
+    total += -(t * std::log(p) + (1.0 - t) * std::log(1.0 - p));
+  }
+  return total / static_cast<double>(targets.size());
+}
+
+}  // namespace hdc::nn

@@ -1,0 +1,23 @@
+// Binary cross-entropy loss on a (batch x 1) sigmoid output.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace hdc::nn {
+
+struct LossResult {
+  double loss = 0.0;  // mean BCE over the batch
+  Matrix grad;        // dLoss/dPred, same shape as predictions
+};
+
+/// predictions: (n x 1) in (0, 1); targets: n labels in {0, 1}.
+[[nodiscard]] LossResult binary_cross_entropy(const Matrix& predictions,
+                                              const std::vector<int>& targets);
+
+/// Mean BCE only (no gradient) — used for validation-loss early stopping.
+[[nodiscard]] double binary_cross_entropy_value(const Matrix& predictions,
+                                                const std::vector<int>& targets);
+
+}  // namespace hdc::nn

@@ -1,0 +1,58 @@
+#include "nn/matrix.hpp"
+
+#include <stdexcept>
+
+namespace hdc::nn {
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    double* o = out.data() + i * other.cols_;
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double av = a[k];
+      if (av == 0.0) continue;  // hypervector inputs are ~50% zeros
+      const double* b = other.data() + k * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += av * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed_matmul(const Matrix& other) const {
+  if (rows_ != other.rows_) {
+    throw std::invalid_argument("transposed_matmul: shape mismatch");
+  }
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* a = data_.data() + k * cols_;
+    const double* b = other.data() + k * other.cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double av = a[i];
+      if (av == 0.0) continue;
+      double* o = out.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += av * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed(const Matrix& other) const {
+  if (cols_ != other.cols_) {
+    throw std::invalid_argument("matmul_transposed: shape mismatch");
+  }
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const double* b = other.data() + j * other.cols_;
+      double sum = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) sum += a[k] * b[k];
+      out.at(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace hdc::nn

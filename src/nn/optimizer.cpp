@@ -1,0 +1,23 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace hdc::nn {
+
+void Adam::update(double* params, const double* grads, std::size_t n,
+                  AdamState& state) const {
+  state.ensure_size(n);
+  const double t = static_cast<double>(t_ == 0 ? 1 : t_);
+  const double bc1 = 1.0 - std::pow(beta1_, t);
+  const double bc2 = 1.0 - std::pow(beta2_, t);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double g = grads[i];
+    state.m[i] = beta1_ * state.m[i] + (1.0 - beta1_) * g;
+    state.v[i] = beta2_ * state.v[i] + (1.0 - beta2_) * g * g;
+    const double m_hat = state.m[i] / bc1;
+    const double v_hat = state.v[i] / bc2;
+    params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+}  // namespace hdc::nn

@@ -1,0 +1,47 @@
+// Adam optimiser (Kingma & Ba). Each parameter tensor owns an AdamState;
+// the shared Adam object carries the hyper-parameters and the step counter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hdc::nn {
+
+struct AdamState {
+  std::vector<double> m;  // first moment
+  std::vector<double> v;  // second moment
+
+  void ensure_size(std::size_t n) {
+    if (m.size() != n) {
+      m.assign(n, 0.0);
+      v.assign(n, 0.0);
+    }
+  }
+};
+
+class Adam {
+ public:
+  explicit Adam(double learning_rate = 1e-3, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+
+  /// Advance the shared step counter; call once per optimisation step
+  /// (i.e. once per batch), before updating any tensors for that batch.
+  void begin_step() noexcept { ++t_; }
+
+  [[nodiscard]] std::size_t step() const noexcept { return t_; }
+  [[nodiscard]] double learning_rate() const noexcept { return lr_; }
+
+  /// In-place Adam update of `params` given `grads` (same length).
+  void update(double* params, const double* grads, std::size_t n,
+              AdamState& state) const;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace hdc::nn

@@ -1,0 +1,74 @@
+// Sequential dense network with early stopping — the paper's "Sequential NN":
+// two Dense(32)+ReLU blocks and a Dense(1)+Sigmoid head, trained with binary
+// cross-entropy for up to 1000 epochs, stopping when the monitored loss has
+// not improved for 20 consecutive epochs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+
+namespace hdc::nn {
+
+/// What early stopping watches. The paper stops "if the loss function
+/// doesn't improve across 20 consecutive epochs" — i.e. the *training* loss
+/// (Keras monitor='loss'), which matters: on raw unscaled features the
+/// training loss keeps improving for hundreds of epochs while a noisy
+/// validation loss would stop the run at ~40.
+enum class EarlyStopMonitor { kTrainLoss, kValLoss };
+
+struct SequentialConfig {
+  std::vector<std::size_t> hidden = {32, 32};  // paper's architecture
+  std::size_t max_epochs = 1000;               // paper's epoch cap
+  std::size_t patience = 20;                   // paper's early stopping
+  EarlyStopMonitor monitor = EarlyStopMonitor::kTrainLoss;
+  double min_delta = 1e-4;  // smallest loss drop that counts as improvement
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  /// Fraction of fit() data held out for early stopping when no explicit
+  /// validation set is supplied (the paper's protocol passes one).
+  double internal_val_fraction = 0.15;
+  std::uint64_t seed = 29;
+};
+
+struct TrainHistory {
+  std::vector<double> train_loss;  // per epoch
+  std::vector<double> val_loss;    // per epoch (monitored metric)
+  std::size_t best_epoch = 0;
+  bool early_stopped = false;
+};
+
+class Sequential final : public ml::Classifier {
+ public:
+  explicit Sequential(SequentialConfig config = {});
+
+  /// ml::Classifier entry point; splits off an internal validation set.
+  void fit(const ml::Matrix& X, const ml::Labels& y) override;
+
+  /// Paper protocol: explicit validation set monitors early stopping.
+  TrainHistory fit_with_validation(const ml::Matrix& train_X,
+                                   const ml::Labels& train_y,
+                                   const ml::Matrix& val_X, const ml::Labels& val_y);
+
+  [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::vector<double> predict_proba_batch(const ml::Matrix& X) const;
+  [[nodiscard]] std::string name() const override { return "Sequential NN"; }
+
+  [[nodiscard]] const TrainHistory& history() const noexcept { return history_; }
+  [[nodiscard]] std::size_t parameter_count() const noexcept;
+
+ private:
+  void build(std::size_t input_dim);
+  [[nodiscard]] Matrix forward_batch(const Matrix& input) const;
+
+  SequentialConfig config_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  TrainHistory history_;
+  std::size_t input_dim_ = 0;
+};
+
+}  // namespace hdc::nn

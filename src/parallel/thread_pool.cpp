@@ -1,0 +1,102 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hdc::parallel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+namespace {
+constexpr std::size_t kInlineGrain = 256;
+}
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         ThreadPool* pool) {
+  if (begin >= end) return;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool->size();
+  if (n < kInlineGrain || workers <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunks = std::min(workers * 4, n);
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  std::size_t cursor = begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    const std::size_t lo = cursor;
+    const std::size_t hi = cursor + len;
+    cursor = hi;
+    pool->submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  pool->wait_idle();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn, ThreadPool* pool) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      pool);
+}
+
+}  // namespace hdc::parallel

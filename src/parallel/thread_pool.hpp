@@ -1,0 +1,63 @@
+// Work-queue thread pool with a deterministic parallel_for wrapper.
+//
+// Results of all library algorithms are independent of thread count: parallel
+// loops partition the index space statically and any per-item randomness is
+// derived by hashing (seed, item index) rather than by sharing a generator.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hdc::parallel {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Invoke fn(i) for i in [begin, end). Splits the range into contiguous
+/// chunks, one per worker. Blocks until complete. `fn` must be thread-safe
+/// for distinct indices. Grain below which the loop runs inline: 256.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool = nullptr);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) once per chunk. Useful when
+/// per-iteration dispatch overhead matters (e.g. Hamming all-pairs rows).
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         ThreadPool* pool = nullptr);
+
+}  // namespace hdc::parallel

@@ -1,0 +1,65 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace hdc::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        flags_.emplace_back(std::string(arg.substr(0, eq)),
+                            std::string(arg.substr(eq + 1)));
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        flags_.emplace_back(std::string(arg), std::string(argv[i + 1]));
+        ++i;
+      } else {
+        flags_.emplace_back(std::string(arg), std::string());
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+const std::string* Cli::find(std::string_view name) const noexcept {
+  for (const auto& [key, value] : flags_) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool Cli::has_flag(std::string_view name) const noexcept { return find(name) != nullptr; }
+
+std::string Cli::get_string(std::string_view name, std::string fallback) const {
+  const std::string* v = find(name);
+  return v != nullptr ? *v : std::move(fallback);
+}
+
+long long Cli::get_int(std::string_view name, long long fallback) const {
+  const std::string* v = find(name);
+  if (v == nullptr) return fallback;
+  const auto parsed = parse_int(*v);
+  if (!parsed) throw std::invalid_argument("Cli: bad integer for " + std::string(name));
+  return *parsed;
+}
+
+std::uint64_t Cli::get_uint(std::string_view name, std::uint64_t fallback) const {
+  const long long v = get_int(name, static_cast<long long>(fallback));
+  if (v < 0) throw std::invalid_argument("Cli: negative value for " + std::string(name));
+  return static_cast<std::uint64_t>(v);
+}
+
+double Cli::get_double(std::string_view name, double fallback) const {
+  const std::string* v = find(name);
+  if (v == nullptr) return fallback;
+  const auto parsed = parse_double(*v);
+  if (!parsed) throw std::invalid_argument("Cli: bad double for " + std::string(name));
+  return *parsed;
+}
+
+}  // namespace hdc::util

@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for examples and benches.
+//
+//   Cli cli(argc, argv);
+//   const auto dim  = cli.get_int("--dim", 10000);
+//   const auto seed = cli.get_uint("--seed", 42);
+//   const bool fast = cli.has_flag("--fast");
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdc::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if `--name` is present (with or without a value).
+  [[nodiscard]] bool has_flag(std::string_view name) const noexcept;
+
+  /// Value of `--name value` or `--name=value`; fallback if absent.
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string fallback) const;
+  [[nodiscard]] long long get_int(std::string_view name, long long fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(std::string_view name,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name, double fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  [[nodiscard]] const std::string* find(std::string_view name) const noexcept;
+
+  std::vector<std::pair<std::string, std::string>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hdc::util

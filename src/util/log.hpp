@@ -1,0 +1,46 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hdc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit a single log line (adds timestamp + level prefix).
+void log_message(LogLevel level, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug) log_message(LogLevel::kDebug, detail::concat(args...));
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) log_message(LogLevel::kInfo, detail::concat(args...));
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) log_message(LogLevel::kWarn, detail::concat(args...));
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::kError) log_message(LogLevel::kError, detail::concat(args...));
+}
+
+}  // namespace hdc::util

@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdc::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  const char c = s.front();
+  return (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '+';
+}
+}  // namespace
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto hline = [&] {
+    out << '+';
+    for (std::size_t w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (looks_numeric(cell)) {
+        out << ' ' << std::string(pad, ' ') << cell << ' ';
+      } else {
+        out << ' ' << cell << std::string(pad, ' ') << ' ';
+      }
+      out << '|';
+    }
+    out << '\n';
+  };
+
+  hline();
+  emit(header_);
+  hline();
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      hline();
+    } else {
+      emit(r.cells);
+    }
+  }
+  hline();
+  return out.str();
+}
+
+}  // namespace hdc::util

@@ -1,0 +1,39 @@
+// ASCII table renderer used by the bench binaries to print the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hdc::util {
+
+/// Column-aligned ASCII table. Usage:
+///   Table t({"Model", "Features", "Hypervectors"});
+///   t.add_row({"Random Forest", "78.4%", "78.5%"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing padding. Each cell is left-aligned except cells
+  /// that look numeric (start with digit/'-'/'.') which are right-aligned.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hdc::util

@@ -1,0 +1,157 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/extractor.hpp"
+#include "core/hamming_classifier.hpp"
+#include "data/preprocess.hpp"
+#include "data/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::core {
+namespace {
+
+struct Clustered {
+  std::vector<hv::BitVector> vectors;
+  std::vector<int> labels;
+};
+
+Clustered make_clusters(std::size_t per_class, std::size_t dim, std::size_t noise_bits,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  const hv::BitVector anchor0 = hv::BitVector::random_balanced(dim, rng);
+  const hv::BitVector anchor1 = hv::BitVector::random_balanced(dim, rng);
+  Clustered out;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    out.vectors.push_back(anchor0.with_flipped(noise_bits, noise_bits, rng));
+    out.labels.push_back(0);
+    out.vectors.push_back(anchor1.with_flipped(noise_bits, noise_bits, rng));
+    out.labels.push_back(1);
+  }
+  return out;
+}
+
+TEST(OnlineHd, LearnsCleanClusters) {
+  const Clustered c = make_clusters(20, 2000, 100, 1);
+  OnlineHdClassifier model;
+  model.fit(c.vectors, c.labels);
+  for (std::size_t i = 0; i < c.vectors.size(); ++i) {
+    EXPECT_EQ(model.predict(c.vectors[i]), c.labels[i]) << i;
+  }
+}
+
+TEST(OnlineHd, ConvergesAndStops) {
+  const Clustered c = make_clusters(15, 1000, 50, 2);
+  OnlineHdClassifier model;
+  model.fit(c.vectors, c.labels);
+  ASSERT_FALSE(model.updates_per_epoch().empty());
+  EXPECT_EQ(model.updates_per_epoch().back(), 0u);  // converged
+  EXPECT_LT(model.updates_per_epoch().size(), 30u);
+}
+
+TEST(OnlineHd, RetrainingBeatsPlainBundlingOnImbalance) {
+  // With 5x class imbalance the plain majority prototype of the small class
+  // drowns; retraining recovers the boundary.
+  util::Rng rng(3);
+  Clustered c = make_clusters(5, 2000, 400, 3);
+  // add many extra negatives
+  const hv::BitVector anchor0 = c.vectors[0];
+  for (int i = 0; i < 50; ++i) {
+    c.vectors.push_back(anchor0.with_flipped(400, 400, rng));
+    c.labels.push_back(0);
+  }
+  OnlineHdClassifier online;
+  online.fit(c.vectors, c.labels);
+  std::size_t online_hits = 0;
+  for (std::size_t i = 0; i < c.vectors.size(); ++i) {
+    if (online.predict(c.vectors[i]) == c.labels[i]) ++online_hits;
+  }
+  HammingClassifier prototype(HammingMode::kPrototype);
+  prototype.fit(c.vectors, c.labels);
+  std::size_t proto_hits = 0;
+  for (std::size_t i = 0; i < c.vectors.size(); ++i) {
+    if (prototype.predict(c.vectors[i]) == c.labels[i]) ++proto_hits;
+  }
+  EXPECT_GE(online_hits, proto_hits);
+  EXPECT_GT(static_cast<double>(online_hits) / c.vectors.size(), 0.9);
+}
+
+TEST(OnlineHd, PartialFitInitialisesAndLearns) {
+  const Clustered c = make_clusters(10, 1000, 40, 4);
+  OnlineHdClassifier model;
+  for (std::size_t i = 0; i < c.vectors.size(); ++i) {
+    model.partial_fit(c.vectors[i], c.labels[i]);
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < c.vectors.size(); ++i) {
+    if (model.predict(c.vectors[i]) == c.labels[i]) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / c.vectors.size(), 0.9);
+}
+
+TEST(OnlineHd, MarginSignMatchesPrediction) {
+  const Clustered c = make_clusters(10, 1000, 30, 5);
+  OnlineHdClassifier model;
+  model.fit(c.vectors, c.labels);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double m = model.margin(c.vectors[i]);
+    EXPECT_EQ(model.predict(c.vectors[i]), m >= 0.0 ? 1 : 0);
+  }
+}
+
+TEST(OnlineHd, RejectsBadInput) {
+  OnlineHdClassifier model;
+  EXPECT_THROW(model.fit({}, {}), std::invalid_argument);
+  util::Rng rng(6);
+  std::vector<hv::BitVector> vectors = {hv::BitVector::random(100, rng)};
+  EXPECT_THROW(model.fit(vectors, {2}), std::invalid_argument);
+  EXPECT_THROW(model.partial_fit(vectors[0], 3), std::invalid_argument);
+}
+
+TEST(OnlineHd, UnfittedThrows) {
+  const OnlineHdClassifier model;
+  EXPECT_THROW((void)model.margin(hv::BitVector(10)), std::logic_error);
+  EXPECT_THROW((void)model.prototype(0), std::logic_error);
+}
+
+TEST(OnlineHd, DimensionMismatchThrows) {
+  const Clustered c = make_clusters(5, 500, 20, 7);
+  OnlineHdClassifier model;
+  model.fit(c.vectors, c.labels);
+  EXPECT_THROW((void)model.predict(hv::BitVector(400)), std::invalid_argument);
+  EXPECT_THROW(model.partial_fit(hv::BitVector(400), 0), std::invalid_argument);
+}
+
+TEST(OnlineHd, ZeroEpochConfigRejected) {
+  OnlineHdConfig config;
+  config.max_epochs = 0;
+  EXPECT_THROW(OnlineHdClassifier{config}, std::invalid_argument);
+}
+
+TEST(OnlineHd, ImprovesOverPrototypesOnPima) {
+  // End-to-end: retraining should not be worse than one-shot prototypes on
+  // the harder Pima R encoding.
+  const data::Dataset ds =
+      data::remove_missing_rows(data::make_pima({150, 80, true, 0.05, 8}));
+  ExtractorConfig config;
+  config.dimensions = 2000;
+  HdcFeatureExtractor extractor(config);
+  extractor.fit(ds);
+  const auto vectors = extractor.transform(ds);
+
+  OnlineHdClassifier online;
+  online.fit(vectors, ds.labels());
+  std::size_t online_hits = 0;
+  HammingClassifier prototype(HammingMode::kPrototype);
+  prototype.fit(vectors, ds.labels());
+  std::size_t proto_hits = 0;
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    if (online.predict(vectors[i]) == ds.label(i)) ++online_hits;
+    if (prototype.predict(vectors[i]) == ds.label(i)) ++proto_hits;
+  }
+  EXPECT_GE(online_hits + 2, proto_hits);  // allow tiny regression
+  EXPECT_GT(static_cast<double>(online_hits) / vectors.size(), 0.7);
+}
+
+}  // namespace
+}  // namespace hdc::core

@@ -1,0 +1,156 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::core {
+namespace {
+
+TEST(SerializeBitVector, RoundTrip) {
+  util::Rng rng(1);
+  const hv::BitVector original = hv::BitVector::random(10000, rng);
+  std::stringstream stream;
+  write_bitvector(stream, original);
+  EXPECT_EQ(read_bitvector(stream), original);
+}
+
+TEST(SerializeBitVector, OddSizesRoundTrip) {
+  util::Rng rng(2);
+  for (const std::size_t bits : {1u, 63u, 64u, 65u, 127u, 1000u}) {
+    const hv::BitVector original = hv::BitVector::random(bits, rng);
+    std::stringstream stream;
+    write_bitvector(stream, original);
+    EXPECT_EQ(read_bitvector(stream), original) << bits;
+  }
+}
+
+TEST(SerializeBitVector, TruncatedInputThrows) {
+  std::istringstream stream("128 deadbeef");  // needs 2 words, has 1
+  EXPECT_THROW((void)read_bitvector(stream), std::runtime_error);
+}
+
+TEST(SerializeExtractor, RoundTripPreservesEncoding) {
+  const data::Dataset ds = data::make_sylhet({30, 40, 3});
+  ExtractorConfig config;
+  config.dimensions = 2000;
+  config.seed = 777;
+  HdcFeatureExtractor original(config);
+  original.fit(ds);
+
+  std::stringstream stream;
+  save_extractor(stream, original);
+  const HdcFeatureExtractor loaded = load_extractor(stream);
+
+  ASSERT_TRUE(loaded.fitted());
+  EXPECT_EQ(loaded.dimensions(), original.dimensions());
+  // The loaded extractor must encode identically — same seeds, same ranges.
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(loaded.encode_row(ds.row(i)), original.encode_row(ds.row(i))) << i;
+  }
+}
+
+TEST(SerializeExtractor, PreservesColumnMetadata) {
+  const data::Dataset ds = data::make_pima({40, 20, false, 0.05, 4});
+  HdcFeatureExtractor original;
+  original.fit(ds);
+  std::stringstream stream;
+  save_extractor(stream, original);
+  const HdcFeatureExtractor loaded = load_extractor(stream);
+  const auto& columns = loaded.column_encodings();
+  ASSERT_EQ(columns.size(), 8u);
+  EXPECT_EQ(columns[1].name, "Glucose");
+  EXPECT_EQ(columns[1].kind, data::ColumnKind::kContinuous);
+  EXPECT_DOUBLE_EQ(columns[1].lo, original.column_encodings()[1].lo);
+}
+
+TEST(SerializeExtractor, UnfittedSaveThrows) {
+  const HdcFeatureExtractor extractor;
+  std::ostringstream out;
+  EXPECT_THROW(save_extractor(out, extractor), std::invalid_argument);
+}
+
+TEST(SerializeExtractor, BadMagicThrows) {
+  std::istringstream in("not-a-model\n");
+  EXPECT_THROW((void)load_extractor(in), std::runtime_error);
+}
+
+TEST(SerializeExtractor, TruncatedThrows) {
+  std::istringstream in("hdc-extractor v1\n2000\n");
+  EXPECT_THROW((void)load_extractor(in), std::runtime_error);
+}
+
+TEST(SerializeHamming, RoundTripPredictsIdentically) {
+  util::Rng rng(5);
+  std::vector<hv::BitVector> vectors;
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    vectors.push_back(hv::BitVector::random(500, rng));
+    labels.push_back(i % 2);
+  }
+  HammingClassifier original;
+  original.fit(vectors, labels);
+
+  std::stringstream stream;
+  save_hamming(stream, original);
+  const HammingClassifier loaded = load_hamming(stream);
+
+  for (int q = 0; q < 10; ++q) {
+    const hv::BitVector query = hv::BitVector::random(500, rng);
+    EXPECT_EQ(loaded.predict(query), original.predict(query)) << q;
+  }
+}
+
+TEST(SerializeHamming, PrototypeModeRoundTrip) {
+  util::Rng rng(6);
+  std::vector<hv::BitVector> vectors;
+  std::vector<int> labels;
+  for (int i = 0; i < 16; ++i) {
+    vectors.push_back(hv::BitVector::random(256, rng));
+    labels.push_back(i % 2);
+  }
+  HammingClassifier original(HammingMode::kPrototype);
+  original.fit(vectors, labels);
+  std::stringstream stream;
+  save_hamming(stream, original);
+  const HammingClassifier loaded = load_hamming(stream);
+  EXPECT_EQ(loaded.mode(), HammingMode::kPrototype);
+  EXPECT_EQ(loaded.prototype(0), original.prototype(0));
+  EXPECT_EQ(loaded.prototype(1), original.prototype(1));
+}
+
+TEST(SerializeHamming, UnfittedSaveThrows) {
+  const HammingClassifier model;
+  std::ostringstream out;
+  EXPECT_THROW(save_hamming(out, model), std::invalid_argument);
+}
+
+TEST(SerializeHamming, BadInputThrows) {
+  std::istringstream bad_magic("nope\n");
+  EXPECT_THROW((void)load_hamming(bad_magic), std::runtime_error);
+  std::istringstream bad_mode("hdc-hamming v1\nwarp\n1\n");
+  EXPECT_THROW((void)load_hamming(bad_mode), std::runtime_error);
+  std::istringstream empty_model("hdc-hamming v1\nnearest\n0\n");
+  EXPECT_THROW((void)load_hamming(empty_model), std::runtime_error);
+}
+
+TEST(SerializeFiles, ExtractorFileRoundTrip) {
+  const data::Dataset ds = data::make_sylhet({20, 20, 7});
+  HdcFeatureExtractor original;
+  original.fit(ds);
+  const std::string path = ::testing::TempDir() + "/extractor.hdc";
+  save_extractor_file(path, original);
+  const HdcFeatureExtractor loaded = load_extractor_file(path);
+  EXPECT_EQ(loaded.encode_row(ds.row(0)), original.encode_row(ds.row(0)));
+}
+
+TEST(SerializeFiles, MissingFileThrows) {
+  EXPECT_THROW((void)load_extractor_file("/no/such/file.hdc"), std::runtime_error);
+  EXPECT_THROW((void)load_hamming_file("/no/such/file.hdc"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hdc::core

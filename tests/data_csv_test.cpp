@@ -1,0 +1,120 @@
+#include "data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace hdc::data {
+namespace {
+
+TEST(ReadCsv, BasicNumericTable) {
+  std::istringstream in("a,b,label\n1,2,0\n3,4,1\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_EQ(ds.n_rows(), 2u);
+  EXPECT_EQ(ds.n_cols(), 2u);
+  EXPECT_DOUBLE_EQ(ds.value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ds.value(1, 1), 4.0);
+  EXPECT_EQ(ds.label(0), 0);
+  EXPECT_EQ(ds.label(1), 1);
+}
+
+TEST(ReadCsv, MissingTokens) {
+  std::istringstream in("a,b,label\n,NA,0\nnan,?,1\n5,6,0\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_TRUE(Dataset::is_missing(ds.value(0, 0)));
+  EXPECT_TRUE(Dataset::is_missing(ds.value(0, 1)));
+  EXPECT_TRUE(Dataset::is_missing(ds.value(1, 0)));
+  EXPECT_TRUE(Dataset::is_missing(ds.value(1, 1)));
+  EXPECT_DOUBLE_EQ(ds.value(2, 0), 5.0);
+}
+
+TEST(ReadCsv, SylhetStyleYesNo) {
+  std::istringstream in(
+      "Age,Polyuria,Gender,class\n40,Yes,Male,Positive\n55,No,Female,Negative\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_DOUBLE_EQ(ds.value(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ds.value(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(ds.value(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ds.value(1, 2), 0.0);
+  EXPECT_EQ(ds.label(0), 1);
+  EXPECT_EQ(ds.label(1), 0);
+}
+
+TEST(ReadCsv, BinaryKindInference) {
+  std::istringstream in("cont,bin,label\n1.5,1,0\n2.5,0,1\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_EQ(ds.column(0).kind, ColumnKind::kContinuous);
+  EXPECT_EQ(ds.column(1).kind, ColumnKind::kBinary);
+}
+
+TEST(ReadCsv, ExplicitLabelColumn) {
+  std::istringstream in("label,x\n1,10\n0,20\n");
+  CsvOptions options;
+  options.label_column = "label";
+  const Dataset ds = read_csv(in, options);
+  EXPECT_EQ(ds.n_cols(), 1u);
+  EXPECT_DOUBLE_EQ(ds.value(0, 0), 10.0);
+  EXPECT_EQ(ds.label(0), 1);
+}
+
+TEST(ReadCsv, UnknownLabelColumnThrows) {
+  std::istringstream in("a,b\n1,2\n");
+  CsvOptions options;
+  options.label_column = "nope";
+  EXPECT_THROW((void)read_csv(in, options), std::runtime_error);
+}
+
+TEST(ReadCsv, ZeroAsMissingForSelectedColumns) {
+  std::istringstream in("Glucose,Age,label\n0,30,1\n120,0,0\n");
+  CsvOptions options;
+  options.zero_is_missing = {"Glucose"};
+  const Dataset ds = read_csv(in, options);
+  EXPECT_TRUE(Dataset::is_missing(ds.value(0, 0)));
+  EXPECT_DOUBLE_EQ(ds.value(1, 1), 0.0);  // Age zero stays zero
+}
+
+TEST(ReadCsv, RaggedRowThrows) {
+  std::istringstream in("a,b,label\n1,2,0\n1,0\n");
+  EXPECT_THROW((void)read_csv(in), std::runtime_error);
+}
+
+TEST(ReadCsv, BadCellThrows) {
+  std::istringstream in("a,label\nxyz,0\n");
+  EXPECT_THROW((void)read_csv(in), std::runtime_error);
+}
+
+TEST(ReadCsv, EmptyInputThrows) {
+  std::istringstream in("");
+  EXPECT_THROW((void)read_csv(in), std::runtime_error);
+}
+
+TEST(ReadCsv, SkipsBlankLines) {
+  std::istringstream in("a,label\n1,0\n\n2,1\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_EQ(ds.n_rows(), 2u);
+}
+
+TEST(WriteCsv, RoundTripsThroughReader) {
+  Dataset ds({{"x", ColumnKind::kContinuous}, {"flag", ColumnKind::kBinary}});
+  ds.add_row(std::vector<double>{1.25, 1.0}, 1);
+  ds.add_row(std::vector<double>{std::nan(""), 0.0}, 0);
+  std::ostringstream out;
+  write_csv(out, ds);
+
+  std::istringstream in(out.str());
+  const Dataset back = read_csv(in);
+  EXPECT_EQ(back.n_rows(), 2u);
+  EXPECT_EQ(back.n_cols(), 2u);
+  EXPECT_NEAR(back.value(0, 0), 1.25, 1e-9);
+  EXPECT_TRUE(Dataset::is_missing(back.value(1, 0)));
+  EXPECT_EQ(back.label(0), 1);
+  EXPECT_EQ(back.label(1), 0);
+}
+
+TEST(ReadCsvFile, MissingFileThrows) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/path.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hdc::data

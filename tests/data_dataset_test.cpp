@@ -1,0 +1,128 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace hdc::data {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Dataset small_dataset() {
+  Dataset ds({{"a", ColumnKind::kContinuous}, {"b", ColumnKind::kBinary}});
+  ds.add_row(std::vector<double>{1.0, 0.0}, 0);
+  ds.add_row(std::vector<double>{2.0, 1.0}, 1);
+  ds.add_row(std::vector<double>{3.0, 1.0}, 0);
+  ds.add_row(std::vector<double>{kNaN, 0.0}, 1);
+  return ds;
+}
+
+TEST(Dataset, ShapeAndAccess) {
+  const Dataset ds = small_dataset();
+  EXPECT_EQ(ds.n_rows(), 4u);
+  EXPECT_EQ(ds.n_cols(), 2u);
+  EXPECT_DOUBLE_EQ(ds.value(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ds.value(2, 1), 1.0);
+  EXPECT_EQ(ds.label(0), 0);
+  EXPECT_EQ(ds.label(3), 1);
+  EXPECT_EQ(ds.column(1).name, "b");
+  EXPECT_EQ(ds.column(1).kind, ColumnKind::kBinary);
+}
+
+TEST(Dataset, RowSpanMatchesValues) {
+  const Dataset ds = small_dataset();
+  const auto r = ds.row(1);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+}
+
+TEST(Dataset, AddRowValidatesArity) {
+  Dataset ds({{"a", ColumnKind::kContinuous}});
+  EXPECT_THROW(ds.add_row(std::vector<double>{1.0, 2.0}, 0), std::invalid_argument);
+}
+
+TEST(Dataset, AddRowValidatesLabel) {
+  Dataset ds({{"a", ColumnKind::kContinuous}});
+  EXPECT_THROW(ds.add_row(std::vector<double>{1.0}, 2), std::invalid_argument);
+  EXPECT_THROW(ds.add_row(std::vector<double>{1.0}, -1), std::invalid_argument);
+}
+
+TEST(Dataset, MissingDetection) {
+  const Dataset ds = small_dataset();
+  EXPECT_TRUE(Dataset::is_missing(kNaN));
+  EXPECT_FALSE(Dataset::is_missing(0.0));
+  EXPECT_FALSE(ds.row_has_missing(0));
+  EXPECT_TRUE(ds.row_has_missing(3));
+  EXPECT_EQ(ds.rows_with_missing(), 1u);
+}
+
+TEST(Dataset, ClassCounts) {
+  const Dataset ds = small_dataset();
+  const auto [neg, pos] = ds.class_counts();
+  EXPECT_EQ(neg, 2u);
+  EXPECT_EQ(pos, 2u);
+}
+
+TEST(Dataset, ColumnStatsSkipMissing) {
+  const Dataset ds = small_dataset();
+  const ColumnStats s = ds.column_stats(0);
+  EXPECT_EQ(s.present, 3u);
+  EXPECT_EQ(s.missing, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+TEST(Dataset, ColumnStatsEvenCountMedian) {
+  Dataset ds({{"a", ColumnKind::kContinuous}});
+  for (const double v : {1.0, 2.0, 3.0, 10.0}) ds.add_row(std::vector<double>{v}, 0);
+  EXPECT_DOUBLE_EQ(ds.column_stats(0).median, 2.5);
+}
+
+TEST(Dataset, PerClassStats) {
+  const Dataset ds = small_dataset();
+  const ColumnStats neg = ds.column_stats_for_class(0, 0);
+  EXPECT_EQ(neg.present, 2u);
+  EXPECT_DOUBLE_EQ(neg.mean, 2.0);  // rows 0 and 2: values 1, 3
+  const ColumnStats pos = ds.column_stats_for_class(0, 1);
+  EXPECT_EQ(pos.present, 1u);  // row 3 is missing
+  EXPECT_DOUBLE_EQ(pos.mean, 2.0);
+}
+
+TEST(Dataset, SubsetPreservesOrderAndLabels) {
+  const Dataset ds = small_dataset();
+  const std::vector<std::size_t> idx = {2, 0};
+  const Dataset sub = ds.subset(idx);
+  EXPECT_EQ(sub.n_rows(), 2u);
+  EXPECT_DOUBLE_EQ(sub.value(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sub.value(1, 0), 1.0);
+  EXPECT_EQ(sub.label(0), 0);
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  const Dataset ds = small_dataset();
+  const std::vector<std::size_t> idx = {7};
+  EXPECT_THROW((void)ds.subset(idx), std::out_of_range);
+}
+
+TEST(Dataset, FeatureMatrixRoundTrip) {
+  const Dataset ds = small_dataset();
+  const auto X = ds.feature_matrix();
+  ASSERT_EQ(X.size(), 4u);
+  EXPECT_DOUBLE_EQ(X[1][0], 2.0);
+  EXPECT_TRUE(std::isnan(X[3][0]));
+}
+
+TEST(Dataset, EmptyDatasetStats) {
+  Dataset ds({{"a", ColumnKind::kContinuous}});
+  const ColumnStats s = ds.column_stats(0);
+  EXPECT_EQ(s.present, 0u);
+  EXPECT_EQ(s.missing, 0u);
+}
+
+}  // namespace
+}  // namespace hdc::data

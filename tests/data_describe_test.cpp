@@ -1,0 +1,54 @@
+#include "data/describe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "data/synthetic.hpp"
+
+namespace hdc::data {
+namespace {
+
+TEST(Describe, ContainsShapeAndClassBalance) {
+  const Dataset ds = make_sylhet({10, 15, 1});
+  const std::string report = describe(ds);
+  EXPECT_NE(report.find("rows: 25"), std::string::npos);
+  EXPECT_NE(report.find("columns: 16"), std::string::npos);
+  EXPECT_NE(report.find("10 negative / 15 positive"), std::string::npos);
+}
+
+TEST(Describe, ListsEveryColumn) {
+  const Dataset ds = make_pima({10, 10, false, 0.0, 2});
+  const std::string report = describe(ds);
+  for (const char* name : {"Pregnancies", "Glucose", "BloodPressure",
+                           "SkinThickness", "Insulin", "BMI", "DPF", "Age"}) {
+    EXPECT_NE(report.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Describe, ReportsColumnKinds) {
+  const Dataset ds = make_sylhet({5, 5, 3});
+  const std::string report = describe(ds);
+  EXPECT_NE(report.find("continuous"), std::string::npos);  // Age
+  EXPECT_NE(report.find("binary"), std::string::npos);      // symptoms
+}
+
+TEST(Describe, CountsMissing) {
+  Dataset ds({{"x", ColumnKind::kContinuous}});
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  ds.add_row(std::vector<double>{1.0}, 0);
+  ds.add_row(std::vector<double>{kNaN}, 1);
+  const std::string report = describe(ds);
+  EXPECT_NE(report.find("rows with missing: 1"), std::string::npos);
+}
+
+TEST(Describe, SingleClassColumnsShowDash) {
+  Dataset ds({{"x", ColumnKind::kContinuous}});
+  ds.add_row(std::vector<double>{1.0}, 0);
+  ds.add_row(std::vector<double>{2.0}, 0);
+  const std::string report = describe(ds);
+  EXPECT_NE(report.find(" - "), std::string::npos);  // no positive rows
+}
+
+}  // namespace
+}  // namespace hdc::data

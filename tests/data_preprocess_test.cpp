@@ -1,0 +1,144 @@
+#include "data/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hdc::data {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Dataset with_missing() {
+  Dataset ds({{"x", ColumnKind::kContinuous}, {"y", ColumnKind::kContinuous}});
+  ds.add_row(std::vector<double>{1.0, 10.0}, 0);
+  ds.add_row(std::vector<double>{2.0, kNaN}, 0);
+  ds.add_row(std::vector<double>{3.0, 30.0}, 0);
+  ds.add_row(std::vector<double>{100.0, kNaN}, 1);
+  ds.add_row(std::vector<double>{200.0, 80.0}, 1);
+  ds.add_row(std::vector<double>{300.0, 90.0}, 1);
+  return ds;
+}
+
+TEST(RemoveMissingRows, DropsOnlyIncompleteRows) {
+  const Dataset clean = remove_missing_rows(with_missing());
+  EXPECT_EQ(clean.n_rows(), 4u);
+  EXPECT_EQ(clean.rows_with_missing(), 0u);
+  const auto [neg, pos] = clean.class_counts();
+  EXPECT_EQ(neg, 2u);
+  EXPECT_EQ(pos, 2u);
+}
+
+TEST(RemoveMissingRows, NoopOnCompleteData) {
+  Dataset ds({{"x", ColumnKind::kContinuous}});
+  ds.add_row(std::vector<double>{1.0}, 0);
+  ds.add_row(std::vector<double>{2.0}, 1);
+  EXPECT_EQ(remove_missing_rows(ds).n_rows(), 2u);
+}
+
+TEST(ImputeClassMedian, FillsWithClassMedian) {
+  const Dataset imputed = impute_class_median(with_missing());
+  EXPECT_EQ(imputed.rows_with_missing(), 0u);
+  // Negative-class median of y over {10, 30} = 20.
+  EXPECT_DOUBLE_EQ(imputed.value(1, 1), 20.0);
+  // Positive-class median of y over {80, 90} = 85.
+  EXPECT_DOUBLE_EQ(imputed.value(3, 1), 85.0);
+}
+
+TEST(ImputeClassMedian, LeaksLabelInformation) {
+  // The defining property of Pima M: the imputed value differs by class, so
+  // a model can exploit it. Same column, same missingness, different fill.
+  const Dataset imputed = impute_class_median(with_missing());
+  EXPECT_NE(imputed.value(1, 1), imputed.value(3, 1));
+}
+
+TEST(ImputeMedian, UsesOverallMedian) {
+  const Dataset imputed = impute_median(with_missing());
+  EXPECT_EQ(imputed.rows_with_missing(), 0u);
+  // Overall median of y over {10, 30, 80, 90} = 55.
+  EXPECT_DOUBLE_EQ(imputed.value(1, 1), 55.0);
+  EXPECT_DOUBLE_EQ(imputed.value(3, 1), 55.0);
+}
+
+TEST(ImputeKeepsPresentValues, Intact) {
+  const Dataset imputed = impute_class_median(with_missing());
+  EXPECT_DOUBLE_EQ(imputed.value(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(imputed.value(5, 1), 90.0);
+}
+
+TEST(MinMaxScaler, ScalesToUnitInterval) {
+  Dataset ds({{"x", ColumnKind::kContinuous}});
+  for (const double v : {0.0, 5.0, 10.0}) ds.add_row(std::vector<double>{v}, 0);
+  MinMaxScaler scaler;
+  scaler.fit(ds);
+  const Dataset out = scaler.transform(ds);
+  EXPECT_DOUBLE_EQ(out.value(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.value(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(out.value(2, 0), 1.0);
+}
+
+TEST(MinMaxScaler, TrainRangeAppliesToTest) {
+  Dataset train({{"x", ColumnKind::kContinuous}});
+  train.add_row(std::vector<double>{0.0}, 0);
+  train.add_row(std::vector<double>{10.0}, 1);
+  Dataset test({{"x", ColumnKind::kContinuous}});
+  test.add_row(std::vector<double>{20.0}, 0);  // outside the train range
+  MinMaxScaler scaler;
+  scaler.fit(train);
+  EXPECT_DOUBLE_EQ(scaler.transform(test).value(0, 0), 2.0);
+}
+
+TEST(MinMaxScaler, MissingPassesThrough) {
+  Dataset ds({{"x", ColumnKind::kContinuous}});
+  ds.add_row(std::vector<double>{0.0}, 0);
+  ds.add_row(std::vector<double>{kNaN}, 1);
+  ds.add_row(std::vector<double>{4.0}, 0);
+  MinMaxScaler scaler;
+  scaler.fit(ds);
+  EXPECT_TRUE(Dataset::is_missing(scaler.transform(ds).value(1, 0)));
+}
+
+TEST(MinMaxScaler, UnfittedThrows) {
+  const MinMaxScaler scaler;
+  EXPECT_THROW((void)scaler.transform(with_missing()), std::logic_error);
+}
+
+TEST(MinMaxScaler, ConstantColumnMapsToZero) {
+  Dataset ds({{"x", ColumnKind::kContinuous}});
+  ds.add_row(std::vector<double>{7.0}, 0);
+  ds.add_row(std::vector<double>{7.0}, 1);
+  MinMaxScaler scaler;
+  scaler.fit(ds);
+  EXPECT_DOUBLE_EQ(scaler.transform(ds).value(0, 0), 0.0);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  Dataset ds({{"x", ColumnKind::kContinuous}});
+  for (const double v : {2.0, 4.0, 6.0, 8.0}) ds.add_row(std::vector<double>{v}, 0);
+  StandardScaler scaler;
+  scaler.fit(ds);
+  const Dataset out = scaler.transform(ds);
+  double mean = 0.0;
+  double var = 0.0;
+  for (std::size_t i = 0; i < out.n_rows(); ++i) mean += out.value(i, 0);
+  mean /= 4.0;
+  for (std::size_t i = 0; i < out.n_rows(); ++i) {
+    var += (out.value(i, 0) - mean) * (out.value(i, 0) - mean);
+  }
+  var /= 4.0;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+}
+
+TEST(StandardScaler, ColumnCountMismatchThrows) {
+  StandardScaler scaler;
+  Dataset one({{"x", ColumnKind::kContinuous}});
+  one.add_row(std::vector<double>{1.0}, 0);
+  scaler.fit(one);
+  Dataset two({{"x", ColumnKind::kContinuous}, {"y", ColumnKind::kContinuous}});
+  two.add_row(std::vector<double>{1.0, 2.0}, 0);
+  EXPECT_THROW((void)scaler.transform(two), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdc::data

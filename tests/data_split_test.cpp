@@ -1,0 +1,161 @@
+#include "data/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hdc::data {
+namespace {
+
+std::vector<int> make_labels(std::size_t neg, std::size_t pos) {
+  std::vector<int> labels(neg, 0);
+  labels.insert(labels.end(), pos, 1);
+  return labels;
+}
+
+template <typename... Parts>
+void expect_partition(std::size_t n, const Parts&... parts) {
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  const auto absorb = [&](const std::vector<std::size_t>& part) {
+    for (const std::size_t i : part) {
+      EXPECT_LT(i, n);
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    }
+    total += part.size();
+  };
+  (absorb(parts), ...);
+  EXPECT_EQ(total, n);
+}
+
+TEST(StratifiedSplit, IsAPartition) {
+  const auto labels = make_labels(60, 40);
+  const auto split = stratified_split(labels, 0.2, 1);
+  expect_partition(labels.size(), split.train, split.test);
+}
+
+TEST(StratifiedSplit, PreservesClassRatio) {
+  const auto labels = make_labels(60, 40);
+  const auto split = stratified_split(labels, 0.2, 2);
+  std::size_t test_pos = 0;
+  for (const std::size_t i : split.test) test_pos += labels[i];
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(test_pos, 8u);  // 20% of 40 positives
+}
+
+TEST(StratifiedSplit, DeterministicPerSeed) {
+  const auto labels = make_labels(30, 30);
+  const auto a = stratified_split(labels, 0.25, 7);
+  const auto b = stratified_split(labels, 0.25, 7);
+  EXPECT_EQ(a.test, b.test);
+  const auto c = stratified_split(labels, 0.25, 8);
+  EXPECT_NE(a.test, c.test);
+}
+
+TEST(StratifiedSplit, BadFractionThrows) {
+  const auto labels = make_labels(10, 10);
+  EXPECT_THROW((void)stratified_split(labels, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)stratified_split(labels, 1.0, 1), std::invalid_argument);
+}
+
+TEST(StratifiedSplit, RejectsBadLabels) {
+  std::vector<int> labels = {0, 1, 2};
+  EXPECT_THROW((void)stratified_split(labels, 0.5, 1), std::invalid_argument);
+}
+
+TEST(StratifiedSplit3, IsAPartition) {
+  const auto labels = make_labels(70, 30);
+  const auto split = stratified_split3(labels, 0.15, 0.15, 3);
+  expect_partition(labels.size(), split.train, split.val, split.test);
+}
+
+TEST(StratifiedSplit3, FractionsRespected) {
+  const auto labels = make_labels(200, 200);
+  const auto split = stratified_split3(labels, 0.15, 0.15, 4);
+  EXPECT_EQ(split.val.size(), 60u);
+  EXPECT_EQ(split.test.size(), 60u);
+  EXPECT_EQ(split.train.size(), 280u);
+}
+
+TEST(StratifiedSplit3, StratifiesEachPart) {
+  const auto labels = make_labels(100, 100);
+  const auto split = stratified_split3(labels, 0.2, 0.2, 5);
+  const auto count_pos = [&](const std::vector<std::size_t>& part) {
+    std::size_t pos = 0;
+    for (const std::size_t i : part) pos += labels[i];
+    return pos;
+  };
+  EXPECT_EQ(count_pos(split.val), split.val.size() / 2);
+  EXPECT_EQ(count_pos(split.test), split.test.size() / 2);
+}
+
+TEST(StratifiedSplit3, BadFractionsThrow) {
+  const auto labels = make_labels(10, 10);
+  EXPECT_THROW((void)stratified_split3(labels, 0.6, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW((void)stratified_split3(labels, 0.1, 0.0, 1), std::invalid_argument);
+}
+
+class KFoldSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KFoldSweep, FoldsPartitionTheData) {
+  const std::size_t k = GetParam();
+  const auto labels = make_labels(53, 47);
+  const StratifiedKFold folds(labels, k, 11);
+  ASSERT_EQ(folds.k(), k);
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < k; ++f) {
+    for (const std::size_t i : folds.fold_test(f)) {
+      EXPECT_TRUE(seen.insert(i).second);
+    }
+    total += folds.fold_test(f).size();
+  }
+  EXPECT_EQ(total, labels.size());
+}
+
+TEST_P(KFoldSweep, TrainIsComplementOfTest) {
+  const std::size_t k = GetParam();
+  const auto labels = make_labels(40, 20);
+  const StratifiedKFold folds(labels, k, 12);
+  for (std::size_t f = 0; f < k; ++f) {
+    const auto train = folds.fold_train(f);
+    const auto& test = folds.fold_test(f);
+    expect_partition(labels.size(), train, test);
+  }
+}
+
+TEST_P(KFoldSweep, FoldSizesBalanced) {
+  const std::size_t k = GetParam();
+  const auto labels = make_labels(50, 50);
+  const StratifiedKFold folds(labels, k, 13);
+  std::size_t min_size = labels.size();
+  std::size_t max_size = 0;
+  for (std::size_t f = 0; f < k; ++f) {
+    min_size = std::min(min_size, folds.fold_test(f).size());
+    max_size = std::max(max_size, folds.fold_test(f).size());
+  }
+  EXPECT_LE(max_size - min_size, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KFoldSweep, ::testing::Values(2, 3, 5, 10));
+
+TEST(StratifiedKFold, RejectsBadK) {
+  const auto labels = make_labels(5, 5);
+  EXPECT_THROW(StratifiedKFold(labels, 1, 1), std::invalid_argument);
+  EXPECT_THROW(StratifiedKFold(labels, 11, 1), std::invalid_argument);
+}
+
+TEST(StratifiedKFold, ApproximatelyStratifiedFolds) {
+  const auto labels = make_labels(60, 40);
+  const StratifiedKFold folds(labels, 10, 14);
+  for (std::size_t f = 0; f < 10; ++f) {
+    std::size_t pos = 0;
+    for (const std::size_t i : folds.fold_test(f)) pos += labels[i];
+    EXPECT_EQ(folds.fold_test(f).size(), 10u);
+    EXPECT_EQ(pos, 4u);
+  }
+}
+
+}  // namespace
+}  // namespace hdc::data

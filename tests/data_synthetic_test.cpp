@@ -1,0 +1,176 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/preprocess.hpp"
+
+namespace hdc::data {
+namespace {
+
+TEST(MakePima, ShapeAndClassCounts) {
+  const Dataset ds = make_pima();
+  EXPECT_EQ(ds.n_rows(), 768u);
+  EXPECT_EQ(ds.n_cols(), 8u);
+  const auto [neg, pos] = ds.class_counts();
+  EXPECT_EQ(neg, 500u);
+  EXPECT_EQ(pos, 268u);
+}
+
+TEST(MakePima, ColumnNamesMatchPaper) {
+  const Dataset ds = make_pima();
+  EXPECT_EQ(ds.column(0).name, "Pregnancies");
+  EXPECT_EQ(ds.column(1).name, "Glucose");
+  EXPECT_EQ(ds.column(5).name, "BMI");
+  EXPECT_EQ(ds.column(6).name, "DPF");
+  EXPECT_EQ(ds.column(7).name, "Age");
+}
+
+TEST(MakePima, MissingnessRoughlyMatchesRealDataset) {
+  const Dataset ds = make_pima();
+  // Insulin ~49% missing, SkinThickness ~30% in the real CSV.
+  const double insulin_missing =
+      static_cast<double>(ds.column_stats(4).missing) / 768.0;
+  const double skin_missing =
+      static_cast<double>(ds.column_stats(3).missing) / 768.0;
+  EXPECT_NEAR(insulin_missing, 0.47, 0.08);
+  EXPECT_NEAR(skin_missing, 0.29, 0.08);
+  // Roughly half the rows survive removal (real: 392/768 = 0.51).
+  const Dataset clean = remove_missing_rows(ds);
+  EXPECT_NEAR(static_cast<double>(clean.n_rows()) / 768.0, 0.5, 0.08);
+}
+
+TEST(MakePima, Table1StatisticsReproduced) {
+  // The substitution's calibration target: per-class means of the paper's
+  // Table I (within sampling tolerance on the cleaned dataset).
+  const Dataset ds = remove_missing_rows(make_pima());
+  struct Expectation {
+    std::size_t col;
+    double pos_mean;
+    double neg_mean;
+    double tol;
+  };
+  const Expectation expectations[] = {
+      {1, 145.0, 111.0, 8.0},   // Glucose
+      {5, 36.0, 32.0, 3.0},     // BMI
+      {7, 36.0, 28.0, 4.0},     // Age
+      {2, 74.0, 69.0, 5.0},     // BloodPressure
+  };
+  for (const auto& e : expectations) {
+    EXPECT_NEAR(ds.column_stats_for_class(e.col, 1).mean, e.pos_mean, e.tol)
+        << "positive col " << e.col;
+    EXPECT_NEAR(ds.column_stats_for_class(e.col, 0).mean, e.neg_mean, e.tol)
+        << "negative col " << e.col;
+  }
+}
+
+TEST(MakePima, PositiveClassHasHigherGlucose) {
+  const Dataset ds = remove_missing_rows(make_pima());
+  EXPECT_GT(ds.column_stats_for_class(1, 1).mean,
+            ds.column_stats_for_class(1, 0).mean + 15.0);
+}
+
+TEST(MakePima, ValuesWithinPublishedRanges) {
+  const Dataset ds = make_pima({100, 100, false, 0.0, 9});
+  const ColumnStats glucose = ds.column_stats(1);
+  EXPECT_GE(glucose.min, 56.0);
+  EXPECT_LE(glucose.max, 198.0);
+  const ColumnStats dpf = ds.column_stats(6);
+  EXPECT_GE(dpf.min, 0.08);
+  EXPECT_LE(dpf.max, 2.42);
+}
+
+TEST(MakePima, DeterministicPerSeed) {
+  const Dataset a = make_pima({50, 50, true, 0.05, 123});
+  const Dataset b = make_pima({50, 50, true, 0.05, 123});
+  ASSERT_EQ(a.n_rows(), b.n_rows());
+  for (std::size_t i = 0; i < a.n_rows(); ++i) {
+    for (std::size_t j = 0; j < a.n_cols(); ++j) {
+      const double va = a.value(i, j);
+      const double vb = b.value(i, j);
+      if (Dataset::is_missing(va)) {
+        EXPECT_TRUE(Dataset::is_missing(vb));
+      } else {
+        EXPECT_DOUBLE_EQ(va, vb);
+      }
+    }
+  }
+}
+
+TEST(MakePima, NoMissingWhenDisabled) {
+  const Dataset ds = make_pima({100, 50, false, 0.05, 5});
+  EXPECT_EQ(ds.rows_with_missing(), 0u);
+}
+
+TEST(MakeSylhet, ShapeAndClassCounts) {
+  const Dataset ds = make_sylhet();
+  EXPECT_EQ(ds.n_rows(), 520u);
+  EXPECT_EQ(ds.n_cols(), 16u);
+  const auto [neg, pos] = ds.class_counts();
+  EXPECT_EQ(neg, 200u);
+  EXPECT_EQ(pos, 320u);
+  EXPECT_EQ(ds.rows_with_missing(), 0u);
+}
+
+TEST(MakeSylhet, FeatureKinds) {
+  const Dataset ds = make_sylhet();
+  EXPECT_EQ(ds.column(0).kind, ColumnKind::kContinuous);  // Age
+  for (std::size_t j = 1; j < ds.n_cols(); ++j) {
+    EXPECT_EQ(ds.column(j).kind, ColumnKind::kBinary) << j;
+  }
+}
+
+TEST(MakeSylhet, PolyuriaIsDiscriminative) {
+  const Dataset ds = make_sylhet();
+  // Column 2 = Polyuria: prevalence ~0.76 positive vs ~0.10 negative.
+  const double pos_rate = ds.column_stats_for_class(2, 1).mean;
+  const double neg_rate = ds.column_stats_for_class(2, 0).mean;
+  EXPECT_GT(pos_rate, 0.6);
+  EXPECT_LT(neg_rate, 0.25);
+}
+
+TEST(MakeSylhet, ItchingCarriesNoSignal) {
+  const Dataset ds = make_sylhet();
+  // Column 9 = Itching: ~0.5 in both classes.
+  const double pos_rate = ds.column_stats_for_class(9, 1).mean;
+  const double neg_rate = ds.column_stats_for_class(9, 0).mean;
+  EXPECT_NEAR(pos_rate, neg_rate, 0.12);
+}
+
+TEST(MakeSylhet, AgeWithinBounds) {
+  const Dataset ds = make_sylhet();
+  const ColumnStats age = ds.column_stats(0);
+  EXPECT_GE(age.min, 16.0);
+  EXPECT_LE(age.max, 90.0);
+}
+
+TEST(MakeTwoGaussians, SeparationControlsOverlap) {
+  const Dataset far = make_two_gaussians(100, 3, 6.0, 1);
+  // With separation 6 (3 sigma per side), almost no overlap: the mean of
+  // each class's first coordinate is +/- 3.
+  EXPECT_LT(far.column_stats_for_class(0, 0).mean, -2.0);
+  EXPECT_GT(far.column_stats_for_class(0, 1).mean, 2.0);
+}
+
+TEST(MakeTwoGaussians, ShapeAndLabels) {
+  const Dataset ds = make_two_gaussians(25, 4, 1.0, 2);
+  EXPECT_EQ(ds.n_rows(), 50u);
+  EXPECT_EQ(ds.n_cols(), 4u);
+  const auto [neg, pos] = ds.class_counts();
+  EXPECT_EQ(neg, 25u);
+  EXPECT_EQ(pos, 25u);
+}
+
+TEST(MakeXor, QuadrantStructure) {
+  const Dataset ds = make_xor(50, 0.1, 3);
+  EXPECT_EQ(ds.n_rows(), 200u);
+  // Class 1 lives in the off-diagonal quadrants: x0*x1 < 0.
+  std::size_t consistent = 0;
+  for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+    const bool off_diagonal = ds.value(i, 0) * ds.value(i, 1) < 0.0;
+    if (off_diagonal == (ds.label(i) == 1)) ++consistent;
+  }
+  EXPECT_GT(consistent, 190u);  // noise 0.1 keeps quadrants clean
+}
+
+}  // namespace
+}  // namespace hdc::data

@@ -1,0 +1,92 @@
+#include "eval/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hdc::eval {
+namespace {
+
+TEST(Bootstrap, PointEstimateMatchesMetric) {
+  const std::vector<int> y_true = {1, 0, 1, 0, 1, 1, 0, 0};
+  const std::vector<int> y_pred = {1, 0, 0, 0, 1, 1, 1, 0};
+  const BootstrapInterval ci = bootstrap_accuracy(y_true, y_pred, 200);
+  EXPECT_DOUBLE_EQ(ci.point, accuracy(y_true, y_pred));
+  EXPECT_EQ(ci.resamples, 200u);
+}
+
+TEST(Bootstrap, IntervalContainsPoint) {
+  util::Rng rng(1);
+  std::vector<int> y_true;
+  std::vector<int> y_pred;
+  for (int i = 0; i < 100; ++i) {
+    y_true.push_back(rng.bernoulli(0.4) ? 1 : 0);
+    y_pred.push_back(rng.bernoulli(0.8) ? y_true.back() : 1 - y_true.back());
+  }
+  const BootstrapInterval ci = bootstrap_accuracy(y_true, y_pred, 500);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_LT(ci.lo, ci.hi);
+}
+
+TEST(Bootstrap, PerfectPredictionsGiveDegenerateInterval) {
+  const std::vector<int> y = {1, 0, 1, 0, 1};
+  const BootstrapInterval ci = bootstrap_accuracy(y, y, 100);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 1.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+TEST(Bootstrap, WiderSampleNarrowerInterval) {
+  util::Rng rng(2);
+  const auto make = [&](std::size_t n) {
+    std::vector<int> y_true;
+    std::vector<int> y_pred;
+    for (std::size_t i = 0; i < n; ++i) {
+      y_true.push_back(static_cast<int>(i % 2));
+      y_pred.push_back(rng.bernoulli(0.75) ? y_true.back() : 1 - y_true.back());
+    }
+    const BootstrapInterval ci = bootstrap_accuracy(y_true, y_pred, 400);
+    return ci.hi - ci.lo;
+  };
+  EXPECT_GT(make(40), make(4000));
+}
+
+TEST(Bootstrap, DeterministicPerSeed) {
+  const std::vector<int> y_true = {1, 0, 1, 0, 1, 0, 1, 0, 1, 1};
+  const std::vector<int> y_pred = {1, 0, 0, 0, 1, 1, 1, 0, 1, 0};
+  const auto a = bootstrap_accuracy(y_true, y_pred, 300, 0.95, 7);
+  const auto b = bootstrap_accuracy(y_true, y_pred, 300, 0.95, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, CustomMetricSupported) {
+  const std::vector<int> y_true = {1, 1, 0, 0};
+  const std::vector<int> y_pred = {1, 0, 0, 1};
+  const BootstrapInterval ci = bootstrap_metric(
+      y_true, y_pred,
+      [](const std::vector<int>& t, const std::vector<int>& p) {
+        return compute_metrics(t, p).recall;
+      },
+      100);
+  EXPECT_DOUBLE_EQ(ci.point, 0.5);
+}
+
+TEST(Bootstrap, F1Convenience) {
+  const std::vector<int> y_true = {1, 1, 1, 0, 0, 0};
+  const std::vector<int> y_pred = {1, 1, 0, 0, 0, 1};
+  const BootstrapInterval ci = bootstrap_f1(y_true, y_pred, 100);
+  EXPECT_DOUBLE_EQ(ci.point, compute_metrics(y_true, y_pred).f1);
+}
+
+TEST(Bootstrap, RejectsBadArguments) {
+  const std::vector<int> y = {1, 0};
+  EXPECT_THROW((void)bootstrap_accuracy({}, {}, 10), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_accuracy(y, {1}, 10), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_accuracy(y, y, 0), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_accuracy(y, y, 10, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdc::eval

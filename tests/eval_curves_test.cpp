@@ -1,0 +1,142 @@
+#include "eval/curves.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+
+namespace hdc::eval {
+namespace {
+
+TEST(RocCurve, PerfectSeparationHitsCorner) {
+  const std::vector<int> y = {0, 0, 1, 1};
+  const std::vector<double> s = {0.1, 0.2, 0.8, 0.9};
+  const auto curve = roc_curve(y, s);
+  // Some point must reach TPR 1 with FPR 0.
+  bool corner = false;
+  for (const RocPoint& p : curve) {
+    if (p.tpr == 1.0 && p.fpr == 0.0) corner = true;
+  }
+  EXPECT_TRUE(corner);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+}
+
+TEST(RocCurve, MonotoneNonDecreasing) {
+  const std::vector<int> y = {1, 0, 1, 0, 1, 0, 0, 1};
+  const std::vector<double> s = {0.9, 0.8, 0.7, 0.6, 0.55, 0.4, 0.3, 0.2};
+  const auto curve = roc_curve(y, s);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+  }
+}
+
+TEST(RocCurve, TrapezoidAreaMatchesRocAuc) {
+  const std::vector<int> y = {1, 0, 1, 0, 1, 0, 0, 1, 1, 0};
+  const std::vector<double> s = {0.9, 0.8, 0.7, 0.6, 0.55, 0.4, 0.3, 0.2, 0.85, 0.35};
+  const auto curve = roc_curve(y, s);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    area += 0.5 * (curve[i].tpr + curve[i - 1].tpr) *
+            (curve[i].fpr - curve[i - 1].fpr);
+  }
+  EXPECT_NEAR(area, roc_auc(y, s), 1e-12);
+}
+
+TEST(RocCurve, TiedScoresShareOnePoint) {
+  const std::vector<int> y = {1, 0, 1, 0};
+  const std::vector<double> s = {0.5, 0.5, 0.5, 0.5};
+  const auto curve = roc_curve(y, s);
+  ASSERT_EQ(curve.size(), 2u);  // the anchor + one point at (1,1)
+}
+
+TEST(RocCurve, RejectsDegenerateInput) {
+  EXPECT_THROW((void)roc_curve({1, 1}, {0.5, 0.6}), std::invalid_argument);
+  EXPECT_THROW((void)roc_curve({1}, {0.5, 0.6}), std::invalid_argument);
+  EXPECT_THROW((void)roc_curve({}, {}), std::invalid_argument);
+}
+
+TEST(PrCurve, EndsAtFullRecall) {
+  const std::vector<int> y = {1, 0, 1, 0};
+  const std::vector<double> s = {0.9, 0.8, 0.4, 0.1};
+  const auto curve = pr_curve(y, s);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+  // First point: highest-score sample is positive -> precision 1.
+  EXPECT_DOUBLE_EQ(curve.front().precision, 1.0);
+}
+
+TEST(PrCurve, PrecisionMatchesHandComputation) {
+  // scores sorted: pos(0.9), neg(0.8), pos(0.4), neg(0.1)
+  const std::vector<int> y = {1, 0, 1, 0};
+  const std::vector<double> s = {0.9, 0.8, 0.4, 0.1};
+  const auto curve = pr_curve(y, s);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 0.5);       // 1 TP / 2 predicted
+  EXPECT_DOUBLE_EQ(curve[2].precision, 2.0 / 3.0); // 2 TP / 3 predicted
+  EXPECT_DOUBLE_EQ(curve[2].recall, 1.0);
+}
+
+TEST(AveragePrecision, PerfectRankingIsOne) {
+  const std::vector<int> y = {0, 1, 0, 1};
+  const std::vector<double> s = {0.1, 0.9, 0.2, 0.8};
+  EXPECT_DOUBLE_EQ(average_precision(y, s), 1.0);
+}
+
+TEST(AveragePrecision, KnownMixedCase) {
+  // Ranking: pos, neg, pos, neg -> AP = 1/2 * (1 + 2/3) = 0.8333...
+  const std::vector<int> y = {1, 0, 1, 0};
+  const std::vector<double> s = {0.9, 0.8, 0.4, 0.1};
+  EXPECT_NEAR(average_precision(y, s), 0.5 * (1.0 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(Reliability, PerfectCalibrationHasZeroEce) {
+  // Scores equal to empirical rates within each bin.
+  std::vector<int> y;
+  std::vector<double> s;
+  for (int i = 0; i < 10; ++i) {
+    y.push_back(i < 2 ? 1 : 0);  // 20% positives
+    s.push_back(0.2);
+  }
+  EXPECT_NEAR(expected_calibration_error(y, s, 10), 0.0, 1e-12);
+}
+
+TEST(Reliability, OverconfidentScoresPenalised) {
+  std::vector<int> y(10, 0);
+  y[0] = 1;  // 10% positives
+  const std::vector<double> s(10, 0.9);
+  EXPECT_NEAR(expected_calibration_error(y, s, 10), 0.8, 1e-12);
+}
+
+TEST(Reliability, BinsPartitionSamples) {
+  std::vector<int> y;
+  std::vector<double> s;
+  for (int i = 0; i < 100; ++i) {
+    y.push_back(i % 2);
+    s.push_back(static_cast<double>(i) / 100.0);
+  }
+  const auto diagram = reliability_diagram(y, s, 10);
+  std::size_t total = 0;
+  for (const ReliabilityBin& bin : diagram) total += bin.count;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Reliability, ScoreOfOneLandsInLastBin) {
+  const std::vector<int> y = {1, 0};
+  const std::vector<double> s = {1.0, 0.0};
+  const auto diagram = reliability_diagram(y, s, 10);
+  ASSERT_EQ(diagram.size(), 2u);
+  EXPECT_EQ(diagram.back().count, 1u);
+  EXPECT_DOUBLE_EQ(diagram.back().mean_score, 1.0);
+}
+
+TEST(Reliability, ZeroBinsThrows) {
+  EXPECT_THROW((void)reliability_diagram({1, 0}, {0.5, 0.5}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdc::eval

@@ -1,0 +1,133 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdc::eval {
+namespace {
+
+TEST(ConfusionMatrix, TalliesAllFourCells) {
+  const std::vector<int> y_true = {1, 1, 0, 0, 1, 0};
+  const std::vector<int> y_pred = {1, 0, 0, 1, 1, 0};
+  const ConfusionMatrix cm = confusion_matrix(y_true, y_pred);
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.tn, 2u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.total(), 6u);
+}
+
+TEST(ConfusionMatrix, SizeMismatchThrows) {
+  EXPECT_THROW((void)confusion_matrix({1}, {1, 0}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, BadLabelsThrow) {
+  EXPECT_THROW((void)confusion_matrix({2}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)confusion_matrix({1}, {-1}), std::invalid_argument);
+}
+
+TEST(Metrics, PerfectPrediction) {
+  const std::vector<int> y = {1, 0, 1, 0};
+  const BinaryMetrics m = compute_metrics(y, y);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.specificity, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(Metrics, KnownValues) {
+  ConfusionMatrix cm;
+  cm.tp = 40;
+  cm.fn = 10;
+  cm.tn = 30;
+  cm.fp = 20;
+  const BinaryMetrics m = metrics_from_confusion(cm);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.7);
+  EXPECT_DOUBLE_EQ(m.precision, 40.0 / 60.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.8);
+  EXPECT_DOUBLE_EQ(m.specificity, 0.6);
+  const double p = 40.0 / 60.0;
+  EXPECT_DOUBLE_EQ(m.f1, 2.0 * p * 0.8 / (p + 0.8));
+}
+
+TEST(Metrics, DegenerateZeroDenominators) {
+  ConfusionMatrix cm;  // all zeros
+  const BinaryMetrics m = metrics_from_confusion(cm);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(Metrics, AllNegativePredictionsHaveZeroPrecision) {
+  const std::vector<int> y_true = {1, 1, 0};
+  const std::vector<int> y_pred = {0, 0, 0};
+  const BinaryMetrics m = compute_metrics(y_true, y_pred);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.specificity, 1.0);
+}
+
+TEST(Metrics, AccuracyIdentity) {
+  // accuracy == (tp + tn) / total for any confusion matrix.
+  for (std::size_t tp : {0u, 3u}) {
+    for (std::size_t tn : {1u, 4u}) {
+      for (std::size_t fp : {0u, 2u}) {
+        for (std::size_t fn : {1u, 5u}) {
+          ConfusionMatrix cm{tp, tn, fp, fn};
+          const BinaryMetrics m = metrics_from_confusion(cm);
+          EXPECT_DOUBLE_EQ(m.accuracy,
+                           static_cast<double>(tp + tn) /
+                               static_cast<double>(tp + tn + fp + fn));
+        }
+      }
+    }
+  }
+}
+
+TEST(Accuracy, FractionOfMatches) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 0, 1, 0}, {1, 1, 1, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+TEST(Accuracy, SizeMismatchThrows) {
+  EXPECT_THROW((void)accuracy({1}, {1, 0}), std::invalid_argument);
+}
+
+TEST(RocAuc, PerfectRankingIsOne) {
+  const std::vector<int> y = {0, 0, 1, 1};
+  const std::vector<double> s = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(y, s), 1.0);
+}
+
+TEST(RocAuc, ReversedRankingIsZero) {
+  const std::vector<int> y = {0, 0, 1, 1};
+  const std::vector<double> s = {0.9, 0.8, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(roc_auc(y, s), 0.0);
+}
+
+TEST(RocAuc, ConstantScoresAreHalf) {
+  const std::vector<int> y = {0, 1, 0, 1};
+  const std::vector<double> s = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(roc_auc(y, s), 0.5);
+}
+
+TEST(RocAuc, KnownMixedCase) {
+  // Positives at scores {0.9, 0.4}; negatives at {0.6, 0.1}.
+  // Pairs: (0.9 beats both) + (0.4 beats 0.1 only) = 3 of 4.
+  const std::vector<int> y = {1, 0, 1, 0};
+  const std::vector<double> s = {0.9, 0.6, 0.4, 0.1};
+  EXPECT_DOUBLE_EQ(roc_auc(y, s), 0.75);
+}
+
+TEST(RocAuc, SingleClassReturnsHalf) {
+  const std::vector<int> y = {1, 1};
+  const std::vector<double> s = {0.3, 0.7};
+  EXPECT_DOUBLE_EQ(roc_auc(y, s), 0.5);
+}
+
+TEST(RocAuc, SizeMismatchThrows) {
+  EXPECT_THROW((void)roc_auc({1}, {0.5, 0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdc::eval

@@ -1,0 +1,178 @@
+#include "hv/int_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hdc::hv {
+namespace {
+
+TEST(IntVector, DefaultAndZero) {
+  IntVector v;
+  EXPECT_TRUE(v.empty());
+  IntVector z(10);
+  EXPECT_EQ(z.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(z.get(i), 0);
+}
+
+TEST(IntVector, AdditionIsElementwise) {
+  IntVector a(3);
+  IntVector b(3);
+  a.set(0, 2);
+  a.set(1, -1);
+  b.set(0, 3);
+  b.set(2, 5);
+  const IntVector c = a + b;
+  EXPECT_EQ(c.get(0), 5);
+  EXPECT_EQ(c.get(1), -1);
+  EXPECT_EQ(c.get(2), 5);
+}
+
+TEST(IntVector, SubtractionUndoesAddition) {
+  util::Rng rng(1);
+  const IntVector a = IntVector::random_bipolar(100, rng);
+  const IntVector b = IntVector::random_bipolar(100, rng);
+  EXPECT_EQ((a + b) - b, a);
+}
+
+TEST(IntVector, SizeMismatchThrows) {
+  IntVector a(3);
+  IntVector b(4);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW((void)a.dot(b), std::invalid_argument);
+  EXPECT_THROW((void)a.hadamard(b), std::invalid_argument);
+}
+
+TEST(IntVector, HadamardBindingIsSelfInverseForBipolar) {
+  util::Rng rng(2);
+  const IntVector a = IntVector::random_bipolar(1000, rng);
+  const IntVector key = IntVector::random_bipolar(1000, rng);
+  EXPECT_EQ(a.hadamard(key).hadamard(key), a);
+}
+
+TEST(IntVector, BoundVectorDissimilarToInputs) {
+  util::Rng rng(3);
+  const IntVector a = IntVector::random_bipolar(10000, rng);
+  const IntVector key = IntVector::random_bipolar(10000, rng);
+  EXPECT_NEAR(a.hadamard(key).cosine(a), 0.0, 0.05);
+}
+
+TEST(IntVector, CosineIdentities) {
+  util::Rng rng(4);
+  const IntVector a = IntVector::random_bipolar(5000, rng);
+  EXPECT_DOUBLE_EQ(a.cosine(a), 1.0);
+  IntVector neg = IntVector(a.size()) - a;
+  EXPECT_DOUBLE_EQ(a.cosine(neg), -1.0);
+  const IntVector b = IntVector::random_bipolar(5000, rng);
+  EXPECT_NEAR(a.cosine(b), 0.0, 0.06);
+}
+
+TEST(IntVector, CosineOfZeroVectorIsZero) {
+  IntVector z(10);
+  IntVector a(10);
+  a.set(0, 1);
+  EXPECT_DOUBLE_EQ(z.cosine(a), 0.0);
+}
+
+TEST(IntVector, SignTernarises) {
+  IntVector a(4);
+  a.set(0, 7);
+  a.set(1, -3);
+  a.set(2, 0);
+  a.set(3, 1);
+  const IntVector s = a.sign();
+  EXPECT_EQ(s.get(0), 1);
+  EXPECT_EQ(s.get(1), -1);
+  EXPECT_EQ(s.get(2), 0);
+  EXPECT_EQ(s.get(3), 1);
+}
+
+TEST(IntVector, ToBinaryThresholds) {
+  IntVector a(4);
+  a.set(0, 5);
+  a.set(1, -2);
+  a.set(2, 0);
+  a.set(3, 0);
+  const BitVector ones = a.to_binary(true);
+  EXPECT_TRUE(ones.get(0));
+  EXPECT_FALSE(ones.get(1));
+  EXPECT_TRUE(ones.get(2));  // tie -> 1
+  const BitVector zeros = a.to_binary(false);
+  EXPECT_FALSE(zeros.get(2));
+}
+
+TEST(IntVector, RandomBipolarIsBalancedOnAverage) {
+  util::Rng rng(5);
+  const IntVector v = IntVector::random_bipolar(100000, rng);
+  long long sum = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) sum += v.get(i);
+  EXPECT_LT(std::abs(sum), 1500);  // ~5 sigma for n=100k
+}
+
+TEST(IntVector, RandomTernaryDensity) {
+  util::Rng rng(6);
+  const IntVector v = IntVector::random_ternary(100000, 0.1, rng);
+  std::size_t non_zero = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) non_zero += v.get(i) != 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(non_zero) / 100000.0, 0.1, 0.01);
+}
+
+TEST(IntVector, RandomTernaryBadDensityThrows) {
+  util::Rng rng(7);
+  EXPECT_THROW((void)IntVector::random_ternary(10, 1.5, rng), std::invalid_argument);
+}
+
+TEST(IntVector, FromBinaryLiftsToBipolar) {
+  BitVector bits(4);
+  bits.set(1, true);
+  bits.set(3, true);
+  const IntVector v = IntVector::from_binary(bits);
+  EXPECT_EQ(v.get(0), -1);
+  EXPECT_EQ(v.get(1), 1);
+  EXPECT_EQ(v.get(2), -1);
+  EXPECT_EQ(v.get(3), 1);
+}
+
+TEST(IntVector, BundleOfCopiesStaysSimilar) {
+  util::Rng rng(8);
+  const IntVector a = IntVector::random_bipolar(10000, rng);
+  const IntVector b = IntVector::random_bipolar(10000, rng);
+  const IntVector c = IntVector::random_bipolar(10000, rng);
+  IntVector bundle = a;
+  bundle += b;
+  bundle += c;
+  // Integer bundling keeps each input at cosine ~ 1/sqrt(3).
+  EXPECT_NEAR(bundle.cosine(a), 1.0 / std::sqrt(3.0), 0.05);
+  const IntVector outsider = IntVector::random_bipolar(10000, rng);
+  EXPECT_LT(std::abs(bundle.cosine(outsider)), 0.05);
+}
+
+TEST(BipolarLevelEncoder, EndpointsOrthogonal) {
+  const BipolarLevelEncoder enc(10000, 0.0, 1.0, 9);
+  EXPECT_NEAR(enc.encode(0.0).cosine(enc.encode(1.0)), 0.0, 1e-3);
+}
+
+TEST(BipolarLevelEncoder, SimilarityLinearInValue) {
+  const BipolarLevelEncoder enc(10000, 0.0, 100.0, 10);
+  const IntVector v0 = enc.encode(0.0);
+  const double c25 = v0.cosine(enc.encode(25.0));
+  const double c50 = v0.cosine(enc.encode(50.0));
+  const double c75 = v0.cosine(enc.encode(75.0));
+  EXPECT_NEAR(c25, 0.75, 0.01);
+  EXPECT_NEAR(c50, 0.50, 0.01);
+  EXPECT_NEAR(c75, 0.25, 0.01);
+}
+
+TEST(BipolarLevelEncoder, ClampsOutOfRange) {
+  const BipolarLevelEncoder enc(1000, 0.0, 1.0, 11);
+  EXPECT_EQ(enc.encode(-3.0), enc.encode(0.0));
+  EXPECT_EQ(enc.encode(9.0), enc.encode(1.0));
+}
+
+TEST(BipolarLevelEncoder, RejectsBadArguments) {
+  EXPECT_THROW(BipolarLevelEncoder(0, 0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(BipolarLevelEncoder(100, 2.0, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdc::hv

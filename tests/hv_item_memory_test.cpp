@@ -1,0 +1,64 @@
+#include "hv/item_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdc::hv {
+namespace {
+
+TEST(ItemMemory, SameKeySameVector) {
+  ItemMemory mem(1000, 1);
+  EXPECT_EQ(mem.get("glucose"), mem.get("glucose"));
+  EXPECT_EQ(mem.size(), 1u);
+}
+
+TEST(ItemMemory, DistinctKeysQuasiOrthogonal) {
+  ItemMemory mem(10000, 2);
+  const BitVector& a = mem.get("age");
+  const BitVector& b = mem.get("bmi");
+  EXPECT_NEAR(a.hamming_fraction(b), 0.5, 0.05);
+}
+
+TEST(ItemMemory, DeterministicAcrossInstances) {
+  ItemMemory mem1(1000, 7);
+  ItemMemory mem2(1000, 7);
+  EXPECT_EQ(mem1.get("x"), mem2.get("x"));
+}
+
+TEST(ItemMemory, SeedChangesVectors) {
+  ItemMemory mem1(1000, 1);
+  ItemMemory mem2(1000, 2);
+  EXPECT_NE(mem1.get("x"), mem2.get("x"));
+}
+
+TEST(ItemMemory, NearestFindsExactMatch) {
+  ItemMemory mem(2000, 3);
+  const BitVector target = mem.get("insulin");
+  mem.get("skin");
+  mem.get("dpf");
+  EXPECT_EQ(mem.nearest(target), "insulin");
+}
+
+TEST(ItemMemory, NearestToleratesNoise) {
+  ItemMemory mem(10000, 4);
+  BitVector noisy = mem.get("target");
+  mem.get("other1");
+  mem.get("other2");
+  util::Rng rng(5);
+  // Flip 20% of bits; still far below the 50% to random vectors.
+  noisy = noisy.with_flipped(1000, 1000, rng);
+  EXPECT_EQ(mem.nearest(noisy), "target");
+}
+
+TEST(ItemMemory, NearestOnEmptyReturnsEmptyKey) {
+  ItemMemory mem(100, 6);
+  EXPECT_EQ(mem.nearest(BitVector(100)), "");
+}
+
+TEST(ItemMemory, StoresManyDistinctItems) {
+  ItemMemory mem(1000, 8);
+  for (int i = 0; i < 50; ++i) mem.get("key" + std::to_string(i));
+  EXPECT_EQ(mem.size(), 50u);
+}
+
+}  // namespace
+}  // namespace hdc::hv

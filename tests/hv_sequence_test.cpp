@@ -1,0 +1,108 @@
+#include "hv/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hv/item_memory.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::hv {
+namespace {
+
+constexpr std::size_t kDim = 10000;
+
+std::vector<BitVector> random_items(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<BitVector> out;
+  for (std::size_t i = 0; i < count; ++i) out.push_back(BitVector::random(kDim, rng));
+  return out;
+}
+
+TEST(EncodeSequence, SingleElementIsIdentity) {
+  const auto items = random_items(1, 1);
+  EXPECT_EQ(encode_sequence(items), items[0]);
+}
+
+TEST(EncodeSequence, EmptyThrows) {
+  const std::vector<BitVector> none;
+  EXPECT_THROW((void)encode_sequence(none), std::invalid_argument);
+}
+
+TEST(EncodeSequence, MixedDimsThrow) {
+  const std::vector<BitVector> bad = {BitVector(8), BitVector(16)};
+  EXPECT_THROW((void)encode_sequence(bad), std::invalid_argument);
+}
+
+TEST(EncodeSequence, OrderMatters) {
+  const auto items = random_items(2, 2);
+  const std::vector<BitVector> ab = {items[0], items[1]};
+  const std::vector<BitVector> ba = {items[1], items[0]};
+  const BitVector enc_ab = encode_sequence(ab);
+  const BitVector enc_ba = encode_sequence(ba);
+  EXPECT_NE(enc_ab, enc_ba);
+  // Reversed pair is quasi-orthogonal to the original encoding.
+  EXPECT_NEAR(enc_ab.hamming_fraction(enc_ba), 0.5, 0.05);
+}
+
+TEST(EncodeSequence, SameSequenceSameEncoding) {
+  const auto items = random_items(4, 3);
+  EXPECT_EQ(encode_sequence(items), encode_sequence(items));
+}
+
+TEST(EncodeSequence, DissimilarToConstituents) {
+  const auto items = random_items(3, 4);
+  const BitVector enc = encode_sequence(items);
+  for (const BitVector& v : items) {
+    EXPECT_NEAR(enc.hamming_fraction(v), 0.5, 0.05);
+  }
+}
+
+TEST(EncodeSequence, LastElementUnrotated) {
+  // enc(a, b) ^ rho(a) == b: unbinding recovers the filler.
+  const auto items = random_items(2, 5);
+  const std::vector<BitVector> seq = {items[0], items[1]};
+  const BitVector enc = encode_sequence(seq);
+  EXPECT_EQ(enc ^ items[0].rotated(1), items[1]);
+}
+
+TEST(NGramEncoder, RejectsBadConfig) {
+  EXPECT_THROW(NGramEncoder(0), std::invalid_argument);
+  EXPECT_THROW(NGramEncoder(3, TiePolicy::kRandom), std::invalid_argument);
+}
+
+TEST(NGramEncoder, StreamShorterThanNThrows) {
+  const NGramEncoder enc(3);
+  const auto items = random_items(2, 6);
+  EXPECT_THROW((void)enc.encode(items), std::invalid_argument);
+}
+
+TEST(NGramEncoder, UnigramsEqualMajority) {
+  const NGramEncoder enc(1);
+  const auto items = random_items(5, 7);
+  EXPECT_EQ(enc.encode(items), majority(items));
+}
+
+TEST(NGramEncoder, SharedNGramsMakeStreamsSimilar) {
+  // Two streams sharing most trigrams encode closer together than two
+  // unrelated streams.
+  ItemMemory memory(kDim, 8);
+  const auto sym = [&](const std::string& s) { return memory.get(s); };
+  const std::vector<BitVector> base = {sym("glu-high"), sym("bmi-high"),
+                                       sym("age-mid"), sym("bp-high"),
+                                       sym("insulin-high")};
+  std::vector<BitVector> similar = base;
+  similar[4] = sym("insulin-low");  // one symbol differs
+  const std::vector<BitVector> unrelated = {sym("a"), sym("b"), sym("c"),
+                                            sym("d"), sym("e")};
+  const NGramEncoder enc(3);
+  const BitVector eb = enc.encode(base);
+  EXPECT_LT(eb.hamming(enc.encode(similar)), eb.hamming(enc.encode(unrelated)));
+}
+
+TEST(NGramEncoder, DeterministicEncoding) {
+  const NGramEncoder enc(2);
+  const auto items = random_items(6, 9);
+  EXPECT_EQ(enc.encode(items), enc.encode(items));
+}
+
+}  // namespace
+}  // namespace hdc::hv

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/hist_gbdt.hpp"
+#include "ml/ordered_gbdt.hpp"
+
+namespace hdc::ml {
+namespace {
+
+struct Problem {
+  Matrix X;
+  Labels y;
+};
+
+Problem xor_problem() {
+  const data::Dataset ds = data::make_xor(60, 0.2, 51);
+  return {ds.feature_matrix(), ds.labels()};
+}
+
+Problem blob_problem() {
+  const data::Dataset ds = data::make_two_gaussians(120, 4, 2.0, 52);
+  return {ds.feature_matrix(), ds.labels()};
+}
+
+// ----- XGBoost-style exact GBDT -----
+
+TEST(Gbdt, SolvesXor) {
+  const Problem p = xor_problem();
+  GbdtConfig config;
+  config.n_rounds = 30;
+  GbdtClassifier model(config);
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.97);
+}
+
+TEST(Gbdt, SeparatesBlobs) {
+  const Problem p = blob_problem();
+  GbdtConfig config;
+  config.n_rounds = 20;
+  GbdtClassifier model(config);
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.93);
+}
+
+TEST(Gbdt, MoreRoundsFitTighter) {
+  const Problem p = blob_problem();
+  GbdtConfig few;
+  few.n_rounds = 2;
+  few.learning_rate = 0.1;
+  GbdtConfig many = few;
+  many.n_rounds = 60;
+  GbdtClassifier a(few);
+  GbdtClassifier b(many);
+  a.fit(p.X, p.y);
+  b.fit(p.X, p.y);
+  EXPECT_GE(b.accuracy(p.X, p.y) + 1e-9, a.accuracy(p.X, p.y));
+}
+
+TEST(Gbdt, RoundCountMatchesConfig) {
+  const Problem p = blob_problem();
+  GbdtConfig config;
+  config.n_rounds = 7;
+  GbdtClassifier model(config);
+  model.fit(p.X, p.y);
+  EXPECT_EQ(model.round_count(), 7u);
+}
+
+TEST(Gbdt, BinaryFeaturesHandled) {
+  Matrix X;
+  Labels y;
+  for (int i = 0; i < 60; ++i) {
+    const int label = (i % 2) ^ (i % 3 == 0 ? 1 : 0);
+    X.push_back({static_cast<double>(i % 2), static_cast<double>(i % 3 == 0)});
+    y.push_back(label);
+  }
+  GbdtConfig config;
+  config.n_rounds = 20;
+  GbdtClassifier model(config);
+  model.fit(X, y);
+  EXPECT_GT(model.accuracy(X, y), 0.95);  // XOR of two binary columns
+}
+
+TEST(Gbdt, RejectsBadConfig) {
+  GbdtConfig config;
+  config.n_rounds = 0;
+  EXPECT_THROW(GbdtClassifier{config}, std::invalid_argument);
+  config.n_rounds = 10;
+  config.max_depth = 0;
+  EXPECT_THROW(GbdtClassifier{config}, std::invalid_argument);
+}
+
+TEST(Gbdt, NotFittedThrows) {
+  const GbdtClassifier model;
+  const std::vector<double> x = {0.0};
+  EXPECT_THROW((void)model.predict_proba(x), std::logic_error);
+}
+
+// ----- LightGBM-style histogram GBDT -----
+
+TEST(HistGbdt, SolvesXor) {
+  const Problem p = xor_problem();
+  HistGbdtConfig config;
+  config.n_rounds = 40;
+  config.min_data_in_leaf = 5;
+  HistGbdtClassifier model(config);
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.95);
+}
+
+TEST(HistGbdt, SeparatesBlobs) {
+  const Problem p = blob_problem();
+  HistGbdtConfig config;
+  config.n_rounds = 30;
+  HistGbdtClassifier model(config);
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.92);
+}
+
+TEST(HistGbdt, BinningBoundsRespected) {
+  HistGbdtConfig config;
+  config.max_bins = 1;
+  EXPECT_THROW(HistGbdtClassifier{config}, std::invalid_argument);
+  config.max_bins = 256;
+  EXPECT_THROW(HistGbdtClassifier{config}, std::invalid_argument);
+}
+
+TEST(HistGbdt, NumLeavesLowerBound) {
+  HistGbdtConfig config;
+  config.num_leaves = 1;
+  EXPECT_THROW(HistGbdtClassifier{config}, std::invalid_argument);
+}
+
+TEST(HistGbdt, WorksWithFewDistinctValues) {
+  Matrix X;
+  Labels y;
+  for (int i = 0; i < 50; ++i) {
+    X.push_back({static_cast<double>(i % 2)});
+    y.push_back(i % 2);
+  }
+  HistGbdtConfig config;
+  config.n_rounds = 10;
+  config.min_data_in_leaf = 5;
+  HistGbdtClassifier model(config);
+  model.fit(X, y);
+  EXPECT_DOUBLE_EQ(model.accuracy(X, y), 1.0);
+}
+
+TEST(HistGbdt, ProbabilitiesInRange) {
+  const Problem p = blob_problem();
+  HistGbdtClassifier model;
+  model.fit(p.X, p.y);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double prob = model.predict_proba(p.X[i]);
+    EXPECT_GE(prob, 0.0);
+    EXPECT_LE(prob, 1.0);
+  }
+}
+
+// ----- CatBoost-style oblivious GBDT -----
+
+TEST(OrderedGbdt, SolvesXor) {
+  const Problem p = xor_problem();
+  OrderedGbdtConfig config;
+  config.n_rounds = 40;
+  OrderedGbdtClassifier model(config);
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.95);
+}
+
+TEST(OrderedGbdt, SeparatesBlobs) {
+  const Problem p = blob_problem();
+  OrderedGbdtConfig config;
+  config.n_rounds = 30;
+  OrderedGbdtClassifier model(config);
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.92);
+}
+
+TEST(OrderedGbdt, DepthBounds) {
+  OrderedGbdtConfig config;
+  config.depth = 0;
+  EXPECT_THROW(OrderedGbdtClassifier{config}, std::invalid_argument);
+  config.depth = 17;
+  EXPECT_THROW(OrderedGbdtClassifier{config}, std::invalid_argument);
+}
+
+TEST(OrderedGbdt, ObliviousStructureIsSymmetric) {
+  // A depth-D oblivious tree asks the same D questions for every sample, so
+  // two samples with identical answers must land in the same leaf: check via
+  // equal probabilities for duplicated rows.
+  const Problem p = blob_problem();
+  OrderedGbdtConfig config;
+  config.n_rounds = 10;
+  OrderedGbdtClassifier model(config);
+  model.fit(p.X, p.y);
+  EXPECT_DOUBLE_EQ(model.predict_proba(p.X[0]), model.predict_proba(p.X[0]));
+}
+
+TEST(OrderedGbdt, HandlesAllBinaryColumns) {
+  Matrix X;
+  Labels y;
+  for (int i = 0; i < 80; ++i) {
+    const int a = i % 2;
+    const int b = (i / 2) % 2;
+    X.push_back({static_cast<double>(a), static_cast<double>(b)});
+    y.push_back(a ^ b);
+  }
+  OrderedGbdtConfig config;
+  config.n_rounds = 30;
+  config.depth = 2;
+  OrderedGbdtClassifier model(config);
+  model.fit(X, y);
+  EXPECT_DOUBLE_EQ(model.accuracy(X, y), 1.0);
+}
+
+TEST(AllBoosters, AgreeOnEasyProblem) {
+  const data::Dataset ds = data::make_two_gaussians(100, 3, 5.0, 53);
+  const Matrix X = ds.feature_matrix();
+  const Labels& y = ds.labels();
+  GbdtClassifier xgb;
+  HistGbdtClassifier lgbm;
+  OrderedGbdtClassifier cat;
+  xgb.fit(X, y);
+  lgbm.fit(X, y);
+  cat.fit(X, y);
+  EXPECT_GT(xgb.accuracy(X, y), 0.99);
+  EXPECT_GT(lgbm.accuracy(X, y), 0.99);
+  EXPECT_GT(cat.accuracy(X, y), 0.99);
+}
+
+}  // namespace
+}  // namespace hdc::ml

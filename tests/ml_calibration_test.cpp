@@ -1,0 +1,107 @@
+#include "ml/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/curves.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::ml {
+namespace {
+
+TEST(Platt, RecoversAKnownSigmoid) {
+  // Labels drawn from sigmoid(2s - 1): the fitted map should be close.
+  util::Rng rng(1);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 5000; ++i) {
+    const double s = rng.uniform(-3.0, 3.0);
+    const double p = 1.0 / (1.0 + std::exp(-(2.0 * s - 1.0)));
+    scores.push_back(s);
+    labels.push_back(rng.bernoulli(p) ? 1 : 0);
+  }
+  PlattCalibrator cal;
+  cal.fit(scores, labels);
+  EXPECT_NEAR(cal.slope(), 2.0, 0.25);
+  EXPECT_NEAR(cal.intercept(), -1.0, 0.25);
+}
+
+TEST(Platt, OutputIsProbability) {
+  util::Rng rng(2);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(rng.normal());
+    labels.push_back(scores.back() > 0 ? 1 : 0);
+  }
+  PlattCalibrator cal;
+  cal.fit(scores, labels);
+  for (const double s : {-10.0, -1.0, 0.0, 1.0, 10.0}) {
+    const double p = cal.transform(s);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Platt, MonotoneInScoreWhenPositivesScoreHigher) {
+  util::Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const int y = i % 2;
+    scores.push_back(rng.normal(y == 1 ? 1.0 : -1.0, 1.0));
+    labels.push_back(y);
+  }
+  PlattCalibrator cal;
+  cal.fit(scores, labels);
+  EXPECT_GT(cal.slope(), 0.0);
+  EXPECT_LT(cal.transform(-2.0), cal.transform(2.0));
+}
+
+TEST(Platt, ImprovesCalibrationOfOverconfidentScores) {
+  // Raw "probabilities" pushed to the extremes; Platt pulls them back.
+  util::Rng rng(4);
+  std::vector<double> raw;
+  std::vector<int> labels;
+  for (int i = 0; i < 2000; ++i) {
+    const double p_true = rng.uniform(0.3, 0.7);
+    labels.push_back(rng.bernoulli(p_true) ? 1 : 0);
+    // Overconfident transform of the true probability.
+    raw.push_back(p_true > 0.5 ? 0.95 : 0.05);
+  }
+  PlattCalibrator cal;
+  cal.fit(raw, labels);
+  const double ece_raw = eval::expected_calibration_error(labels, raw);
+  const double ece_cal =
+      eval::expected_calibration_error(labels, cal.transform(raw));
+  EXPECT_LT(ece_cal, ece_raw);
+}
+
+TEST(Platt, BatchTransformMatchesScalar) {
+  util::Rng rng(5);
+  std::vector<double> scores = {-1.0, 0.0, 0.5, 2.0};
+  std::vector<int> labels = {0, 0, 1, 1};
+  PlattCalibrator cal;
+  cal.fit(scores, labels);
+  const auto batch = cal.transform(scores);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], cal.transform(scores[i]));
+  }
+}
+
+TEST(Platt, RejectsBadInput) {
+  PlattCalibrator cal;
+  EXPECT_THROW(cal.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(cal.fit({0.5}, {1, 0}), std::invalid_argument);
+  EXPECT_THROW(cal.fit({0.5, 0.6}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(cal.fit({0.5, 0.6}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Platt, UnfittedThrows) {
+  const PlattCalibrator cal;
+  EXPECT_THROW((void)cal.transform(0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hdc::ml

@@ -1,0 +1,113 @@
+#include "ml/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace hdc::ml {
+namespace {
+
+TEST(RandomForest, SolvesXor) {
+  const data::Dataset ds = data::make_xor(50, 0.2, 41);
+  ForestConfig config;
+  config.n_trees = 30;
+  RandomForest forest(config);
+  forest.fit(ds.feature_matrix(), ds.labels());
+  EXPECT_GT(forest.accuracy(ds.feature_matrix(), ds.labels()), 0.95);
+}
+
+TEST(RandomForest, GeneralisesOnHeldOutBlobs) {
+  const data::Dataset train = data::make_two_gaussians(150, 4, 2.0, 42);
+  const data::Dataset test = data::make_two_gaussians(50, 4, 2.0, 43);
+  ForestConfig config;
+  config.n_trees = 50;
+  RandomForest forest(config);
+  forest.fit(train.feature_matrix(), train.labels());
+  EXPECT_GT(forest.accuracy(test.feature_matrix(), test.labels()), 0.85);
+}
+
+TEST(RandomForest, DeterministicPerSeed) {
+  const data::Dataset ds = data::make_two_gaussians(80, 3, 1.0, 44);
+  ForestConfig config;
+  config.n_trees = 10;
+  config.seed = 7;
+  RandomForest a(config);
+  RandomForest b(config);
+  a.fit(ds.feature_matrix(), ds.labels());
+  b.fit(ds.feature_matrix(), ds.labels());
+  for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.predict_proba(ds.row(i)), b.predict_proba(ds.row(i)));
+  }
+}
+
+TEST(RandomForest, SeedChangesEnsemble) {
+  const data::Dataset ds = data::make_two_gaussians(80, 3, 1.0, 45);
+  ForestConfig a_config;
+  a_config.n_trees = 10;
+  a_config.seed = 1;
+  ForestConfig b_config = a_config;
+  b_config.seed = 2;
+  RandomForest a(a_config);
+  RandomForest b(b_config);
+  a.fit(ds.feature_matrix(), ds.labels());
+  b.fit(ds.feature_matrix(), ds.labels());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < ds.n_rows() && !any_difference; ++i) {
+    any_difference = a.predict_proba(ds.row(i)) != b.predict_proba(ds.row(i));
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RandomForest, ProbabilityIsTreeAverage) {
+  const data::Dataset ds = data::make_two_gaussians(60, 2, 3.0, 46);
+  ForestConfig config;
+  config.n_trees = 15;
+  RandomForest forest(config);
+  forest.fit(ds.feature_matrix(), ds.labels());
+  EXPECT_EQ(forest.tree_count(), 15u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double p = forest.predict_proba(ds.row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(RandomForest, SmootherThanSingleTree) {
+  // Ensemble averaging should not be worse than a single deep tree on a
+  // noisy held-out set.
+  const data::Dataset train = data::make_two_gaussians(150, 4, 1.0, 47);
+  const data::Dataset test = data::make_two_gaussians(80, 4, 1.0, 48);
+  DecisionTree tree;
+  tree.fit(train.feature_matrix(), train.labels());
+  ForestConfig config;
+  config.n_trees = 60;
+  RandomForest forest(config);
+  forest.fit(train.feature_matrix(), train.labels());
+  EXPECT_GE(forest.accuracy(test.feature_matrix(), test.labels()) + 0.03,
+            tree.accuracy(test.feature_matrix(), test.labels()));
+}
+
+TEST(RandomForest, ZeroTreesRejected) {
+  ForestConfig config;
+  config.n_trees = 0;
+  EXPECT_THROW(RandomForest{config}, std::invalid_argument);
+}
+
+TEST(RandomForest, NotFittedThrows) {
+  const RandomForest forest;
+  const std::vector<double> x = {1.0};
+  EXPECT_THROW((void)forest.predict_proba(x), std::logic_error);
+}
+
+TEST(RandomForest, NoBootstrapStillWorks) {
+  const data::Dataset ds = data::make_two_gaussians(60, 2, 3.0, 49);
+  ForestConfig config;
+  config.n_trees = 10;
+  config.bootstrap = false;
+  RandomForest forest(config);
+  forest.fit(ds.feature_matrix(), ds.labels());
+  EXPECT_GT(forest.accuracy(ds.feature_matrix(), ds.labels()), 0.95);
+}
+
+}  // namespace
+}  // namespace hdc::ml

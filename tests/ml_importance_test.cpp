@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "data/preprocess.hpp"
+#include "data/synthetic.hpp"
+#include "ml/forest.hpp"
+#include "ml/tree.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::ml {
+namespace {
+
+// Feature 0 carries the label; features 1 and 2 are noise.
+struct Labelled {
+  Matrix X;
+  Labels y;
+};
+
+Labelled signal_and_noise(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Labelled out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    out.X.push_back({static_cast<double>(label) + 0.1 * rng.normal(),
+                     rng.normal(), rng.normal()});
+    out.y.push_back(label);
+  }
+  return out;
+}
+
+TEST(TreeImportance, SignalFeatureDominates) {
+  const Labelled p = signal_and_noise(200, 1);
+  DecisionTree tree;
+  tree.fit(p.X, p.y);
+  const auto& imp = tree.feature_importances();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], 0.8);
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[2]);
+}
+
+TEST(TreeImportance, SumsToOneWhenSplitsExist) {
+  const Labelled p = signal_and_noise(100, 2);
+  DecisionTree tree;
+  tree.fit(p.X, p.y);
+  double sum = 0.0;
+  for (const double v : tree.feature_importances()) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TreeImportance, PureRootHasZeroImportances) {
+  Matrix X = {{1.0, 2.0}, {3.0, 4.0}};
+  Labels y = {1, 1};
+  DecisionTree tree;
+  tree.fit(X, y);
+  for (const double v : tree.feature_importances()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ForestImportance, SignalFeatureDominates) {
+  const Labelled p = signal_and_noise(200, 3);
+  ForestConfig config;
+  config.n_trees = 25;
+  RandomForest forest(config);
+  forest.fit(p.X, p.y);
+  const auto imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], 0.5);
+  EXPECT_GT(imp[0], imp[1] + imp[2]);
+}
+
+TEST(ForestImportance, GlucoseTopsPimaRanking) {
+  // Domain sanity check mirroring the medical literature: glucose is the
+  // most informative Pima feature for tree ensembles.
+  const data::Dataset ds =
+      data::remove_missing_rows(data::make_pima({300, 160, true, 0.05, 4}));
+  ForestConfig config;
+  config.n_trees = 40;
+  RandomForest forest(config);
+  forest.fit(ds.feature_matrix(), ds.labels());
+  const auto imp = forest.feature_importances();
+  ASSERT_EQ(imp.size(), 8u);
+  // Glucose (col 1) must rank in the top two; only age (col 7) is allowed
+  // to rival it. Weak features (blood pressure, DPF) must rank clearly
+  // below it.
+  std::size_t better_than_glucose = 0;
+  for (std::size_t j = 0; j < imp.size(); ++j) {
+    if (j != 1 && imp[j] > imp[1]) ++better_than_glucose;
+  }
+  EXPECT_LE(better_than_glucose, 1u);
+  EXPECT_GT(imp[1], imp[2]);  // glucose > blood pressure
+  EXPECT_GT(imp[1], imp[6]);  // glucose > DPF
+}
+
+TEST(ForestImportance, UnfittedThrows) {
+  const RandomForest forest;
+  EXPECT_THROW((void)forest.feature_importances(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hdc::ml

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "ml/logistic.hpp"
+#include "ml/sgd.hpp"
+#include "ml/svm.hpp"
+
+namespace hdc::ml {
+namespace {
+
+struct Problem {
+  Matrix X;
+  Labels y;
+};
+
+Problem from_dataset(const data::Dataset& ds) {
+  return {ds.feature_matrix(), ds.labels()};
+}
+
+Problem separable_blobs() {
+  return from_dataset(data::make_two_gaussians(100, 4, 5.0, 21));
+}
+
+Problem overlapping_blobs() {
+  return from_dataset(data::make_two_gaussians(150, 4, 1.0, 22));
+}
+
+Problem xor_problem() { return from_dataset(data::make_xor(60, 0.25, 23)); }
+
+TEST(LogisticRegression, SeparatesBlobs) {
+  const Problem p = separable_blobs();
+  LogisticRegression model;
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.98);
+}
+
+TEST(LogisticRegression, ProbabilitiesAreCalibratedDirectionally) {
+  const Problem p = separable_blobs();
+  LogisticRegression model;
+  model.fit(p.X, p.y);
+  // Deep in the positive blob -> probability near 1; negative blob -> near 0.
+  const std::vector<double> pos = {2.5, 2.5, 2.5, 2.5};
+  const std::vector<double> neg = {-2.5, -2.5, -2.5, -2.5};
+  EXPECT_GT(model.predict_proba(pos), 0.9);
+  EXPECT_LT(model.predict_proba(neg), 0.1);
+}
+
+TEST(LogisticRegression, HandlesOverlapGracefully) {
+  const Problem p = overlapping_blobs();
+  LogisticRegression model;
+  model.fit(p.X, p.y);
+  const double acc = model.accuracy(p.X, p.y);
+  EXPECT_GT(acc, 0.6);
+  EXPECT_LT(acc, 1.0);  // overlap means it cannot be perfect
+}
+
+TEST(LogisticRegression, CannotSolveXor) {
+  const Problem p = xor_problem();
+  LogisticRegression model;
+  model.fit(p.X, p.y);
+  EXPECT_LT(model.accuracy(p.X, p.y), 0.7);  // linear model, ~chance
+}
+
+TEST(LogisticRegression, NotFittedThrows) {
+  const LogisticRegression model;
+  const std::vector<double> x = {1.0};
+  EXPECT_THROW((void)model.predict_proba(x), std::logic_error);
+}
+
+TEST(LogisticRegression, ArityMismatchThrows) {
+  const Problem p = separable_blobs();
+  LogisticRegression model;
+  model.fit(p.X, p.y);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW((void)model.predict_proba(bad), std::invalid_argument);
+}
+
+TEST(LogisticRegression, RejectsBadConfig) {
+  LogisticConfig config;
+  config.c = 0.0;
+  EXPECT_THROW(LogisticRegression{config}, std::invalid_argument);
+}
+
+TEST(LogisticRegression, ScaleInvariantViaStandardization) {
+  // Multiply one feature by 1000; internal standardisation should keep the
+  // fit essentially as good.
+  Problem p = separable_blobs();
+  for (auto& row : p.X) row[0] *= 1000.0;
+  LogisticRegression model;
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.97);
+}
+
+TEST(SgdClassifier, SeparatesBlobs) {
+  const Problem p = separable_blobs();
+  SgdClassifier model;
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.95);
+}
+
+TEST(SgdClassifier, SensitiveToFeatureScale) {
+  // The paper's key SGD observation: unscaled features hurt SGD. A feature
+  // blown up 1000x dominates updates and degrades accuracy vs the scaled fit.
+  Problem scaled = overlapping_blobs();
+  SgdClassifier a;
+  a.fit(scaled.X, scaled.y);
+  const double acc_scaled = a.accuracy(scaled.X, scaled.y);
+
+  Problem skewed = overlapping_blobs();
+  for (auto& row : skewed.X) {
+    row[0] *= 1000.0;  // one dominating, weakly-informative axis
+  }
+  SgdClassifier b;
+  b.fit(skewed.X, skewed.y);
+  const double acc_skewed = b.accuracy(skewed.X, skewed.y);
+  EXPECT_LT(acc_skewed, acc_scaled + 0.02);
+}
+
+TEST(SgdClassifier, LogLossVariantWorks) {
+  SgdConfig config;
+  config.loss = SgdLoss::kLog;
+  const Problem p = separable_blobs();
+  SgdClassifier model(config);
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.95);
+}
+
+TEST(SgdClassifier, DeterministicPerSeed) {
+  const Problem p = overlapping_blobs();
+  SgdClassifier a;
+  SgdClassifier b;
+  a.fit(p.X, p.y);
+  b.fit(p.X, p.y);
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(SgdClassifier, RejectsBadConfig) {
+  SgdConfig config;
+  config.epochs = 0;
+  EXPECT_THROW(SgdClassifier{config}, std::invalid_argument);
+}
+
+TEST(Svc, RbfSeparatesBlobs) {
+  const Problem p = separable_blobs();
+  SvcClassifier model;
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.97);
+}
+
+TEST(Svc, RbfSolvesXor) {
+  const Problem p = xor_problem();
+  SvcClassifier model;  // RBF kernel by default
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.9);
+}
+
+TEST(Svc, LinearKernelCannotSolveXor) {
+  SvcConfig config;
+  config.kernel = SvmKernel::kLinear;
+  const Problem p = xor_problem();
+  SvcClassifier model(config);
+  model.fit(p.X, p.y);
+  // A linear boundary on XOR is near chance; allow some training-set
+  // overfit slack through the bias/support-vector placement.
+  EXPECT_LT(model.accuracy(p.X, p.y), 0.8);
+}
+
+TEST(Svc, LinearKernelSeparatesBlobs) {
+  SvcConfig config;
+  config.kernel = SvmKernel::kLinear;
+  const Problem p = separable_blobs();
+  SvcClassifier model(config);
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.accuracy(p.X, p.y), 0.97);
+}
+
+TEST(Svc, HasSupportVectors) {
+  const Problem p = separable_blobs();
+  SvcClassifier model;
+  model.fit(p.X, p.y);
+  EXPECT_GT(model.support_vector_count(), 0u);
+  EXPECT_LT(model.support_vector_count(), p.X.size());
+}
+
+TEST(Svc, DecisionSignMatchesPrediction) {
+  const Problem p = separable_blobs();
+  SvcClassifier model;
+  model.fit(p.X, p.y);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const int pred = model.predict(p.X[i]);
+    const double dec = model.decision(p.X[i]);
+    EXPECT_EQ(pred, dec >= 0.0 ? 1 : 0);
+  }
+}
+
+TEST(Svc, RejectsBadC) {
+  SvcConfig config;
+  config.c = -1.0;
+  EXPECT_THROW(SvcClassifier{config}, std::invalid_argument);
+}
+
+TEST(Svc, NotFittedThrows) {
+  const SvcClassifier model;
+  const std::vector<double> x = {0.0};
+  EXPECT_THROW((void)model.decision(x), std::logic_error);
+}
+
+TEST(AllLinearModels, RejectEmptyTrainingData) {
+  const Matrix empty;
+  const Labels no_labels;
+  LogisticRegression lr;
+  EXPECT_THROW(lr.fit(empty, no_labels), std::invalid_argument);
+  SgdClassifier sgd;
+  EXPECT_THROW(sgd.fit(empty, no_labels), std::invalid_argument);
+  SvcClassifier svc;
+  EXPECT_THROW(svc.fit(empty, no_labels), std::invalid_argument);
+}
+
+TEST(AllLinearModels, RejectRaggedMatrix) {
+  Matrix ragged = {{1.0, 2.0}, {3.0}};
+  Labels y = {0, 1};
+  LogisticRegression lr;
+  EXPECT_THROW(lr.fit(ragged, y), std::invalid_argument);
+}
+
+TEST(AllLinearModels, RejectNonBinaryLabels) {
+  Matrix X = {{1.0}, {2.0}};
+  Labels y = {0, 3};
+  SgdClassifier sgd;
+  EXPECT_THROW(sgd.fit(X, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdc::ml

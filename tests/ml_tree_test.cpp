@@ -1,0 +1,131 @@
+#include "ml/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace hdc::ml {
+namespace {
+
+TEST(DecisionTree, SolvesXorExactly) {
+  const data::Dataset ds = data::make_xor(50, 0.15, 31);
+  DecisionTree tree;
+  tree.fit(ds.feature_matrix(), ds.labels());
+  EXPECT_GT(tree.accuracy(ds.feature_matrix(), ds.labels()), 0.99);
+}
+
+TEST(DecisionTree, PureNodeStopsSplitting) {
+  Matrix X = {{1.0}, {2.0}, {3.0}};
+  Labels y = {1, 1, 1};
+  DecisionTree tree;
+  tree.fit(X, y);
+  EXPECT_EQ(tree.node_count(), 1u);  // root is pure
+  EXPECT_EQ(tree.predict(X[0]), 1);
+}
+
+TEST(DecisionTree, SimpleThresholdSplit) {
+  Matrix X = {{1.0}, {2.0}, {10.0}, {11.0}};
+  Labels y = {0, 0, 1, 1};
+  DecisionTree tree;
+  tree.fit(X, y);
+  const std::vector<double> low = {0.5};
+  const std::vector<double> high = {20.0};
+  EXPECT_EQ(tree.predict(low), 0);
+  EXPECT_EQ(tree.predict(high), 1);
+  EXPECT_EQ(tree.node_count(), 3u);  // root + two leaves
+}
+
+TEST(DecisionTree, MaxDepthLimitsGrowth) {
+  const data::Dataset ds = data::make_two_gaussians(200, 3, 1.0, 32);
+  TreeConfig config;
+  config.max_depth = 2;
+  DecisionTree tree(config);
+  tree.fit(ds.feature_matrix(), ds.labels());
+  EXPECT_LE(tree.depth(), 2u);
+  EXPECT_LE(tree.node_count(), 7u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const data::Dataset ds = data::make_two_gaussians(50, 2, 2.0, 33);
+  TreeConfig config;
+  config.min_samples_leaf = 20;
+  DecisionTree tree(config);
+  tree.fit(ds.feature_matrix(), ds.labels());
+  // With 100 rows and leaves of >= 20, there can be at most 5 leaves.
+  EXPECT_LE(tree.node_count(), 9u);
+}
+
+TEST(DecisionTree, BinaryColumnsSplitWithoutSorting) {
+  // All-binary matrix (the hypervector case): still finds the signal bit.
+  Matrix X;
+  Labels y;
+  for (int i = 0; i < 40; ++i) {
+    const int label = i % 2;
+    // Feature 1 equals the label; features 0 and 2 alternate meaninglessly.
+    X.push_back({static_cast<double>(i % 3 == 0), static_cast<double>(label),
+                 static_cast<double>(i % 5 == 0)});
+    y.push_back(label);
+  }
+  DecisionTree tree;
+  tree.fit(X, y);
+  EXPECT_DOUBLE_EQ(tree.accuracy(X, y), 1.0);
+  EXPECT_EQ(tree.node_count(), 3u);  // a single split on feature 1
+}
+
+TEST(DecisionTree, ProbabilityIsLeafFraction) {
+  // The three identical rows cannot be split apart, so they form one mixed
+  // leaf whose probability is the positive fraction 2/3.
+  Matrix X = {{0.0}, {0.0}, {0.0}, {10.0}};
+  Labels y = {1, 1, 0, 0};
+  DecisionTree tree;
+  tree.fit(X, y);
+  EXPECT_NEAR(tree.predict_proba(X[0]), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(tree.predict_proba(X[3]), 0.0, 1e-9);
+}
+
+TEST(DecisionTree, DeterministicWithFullFeatures) {
+  const data::Dataset ds = data::make_two_gaussians(100, 4, 1.5, 34);
+  DecisionTree a;
+  DecisionTree b;
+  a.fit(ds.feature_matrix(), ds.labels());
+  b.fit(ds.feature_matrix(), ds.labels());
+  for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.predict_proba(ds.row(i)), b.predict_proba(ds.row(i)));
+  }
+}
+
+TEST(DecisionTree, NotFittedThrows) {
+  const DecisionTree tree;
+  const std::vector<double> x = {1.0};
+  EXPECT_THROW((void)tree.predict_proba(x), std::logic_error);
+}
+
+TEST(DecisionTree, QueryArityMismatchThrows) {
+  Matrix X = {{1.0, 2.0}, {3.0, 4.0}};
+  Labels y = {0, 1};
+  DecisionTree tree;
+  tree.fit(X, y);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW((void)tree.predict_proba(bad), std::invalid_argument);
+}
+
+TEST(DecisionTree, ConstantFeaturesYieldSingleLeaf) {
+  Matrix X = {{5.0}, {5.0}, {5.0}, {5.0}};
+  Labels y = {0, 1, 0, 1};
+  DecisionTree tree;
+  tree.fit(X, y);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_NEAR(tree.predict_proba(X[0]), 0.5, 1e-12);
+}
+
+TEST(DecisionTree, OverlappingDataDoesNotOverflowDepth) {
+  const data::Dataset ds = data::make_two_gaussians(300, 2, 0.5, 35);
+  DecisionTree tree;  // unlimited depth (capped at 64)
+  tree.fit(ds.feature_matrix(), ds.labels());
+  EXPECT_LE(tree.depth(), 64u);
+  // Unlimited CART memorises the training set except exact duplicates.
+  EXPECT_GT(tree.accuracy(ds.feature_matrix(), ds.labels()), 0.95);
+}
+
+}  // namespace
+}  // namespace hdc::ml

@@ -1,0 +1,97 @@
+#include "ml/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::ml {
+namespace {
+
+TEST(Zoo, HasTheNinePaperModelsInOrder) {
+  const auto zoo = paper_model_zoo();
+  ASSERT_EQ(zoo.size(), 9u);
+  EXPECT_EQ(zoo[0].name, "Random Forest");
+  EXPECT_EQ(zoo[1].name, "KNN");
+  EXPECT_EQ(zoo[2].name, "Decision Tree");
+  EXPECT_EQ(zoo[3].name, "XGBoost");
+  EXPECT_EQ(zoo[4].name, "CatBoost");
+  EXPECT_EQ(zoo[5].name, "SGD");
+  EXPECT_EQ(zoo[6].name, "Logistic Regression");
+  EXPECT_EQ(zoo[7].name, "SVC");
+  EXPECT_EQ(zoo[8].name, "LGBM");
+}
+
+TEST(Zoo, FactoryNamesMatchModels) {
+  for (const auto& entry : paper_model_zoo(0.2)) {
+    const auto model = entry.make();
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), entry.name);
+  }
+}
+
+TEST(Zoo, MakeModelIsCaseInsensitive) {
+  EXPECT_EQ(make_model("random forest")->name(), "Random Forest");
+  EXPECT_EQ(make_model("XGBOOST", 0.5)->name(), "XGBoost");
+}
+
+TEST(Zoo, MakeModelNaiveBayesExtra) {
+  EXPECT_EQ(make_model("Naive Bayes")->name(), "Naive Bayes");
+}
+
+TEST(Zoo, UnknownModelThrows) {
+  EXPECT_THROW((void)make_model("Perceptron"), std::invalid_argument);
+}
+
+TEST(Zoo, BadBudgetThrows) {
+  EXPECT_THROW((void)paper_model_zoo(0.0), std::invalid_argument);
+  EXPECT_THROW((void)make_model("KNN", -1.0), std::invalid_argument);
+}
+
+// Every zoo model must train and produce valid probabilities on both a
+// continuous and an all-binary (hypervector-like) matrix.
+class ZooModelSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooModelSweep, FitsContinuousBlobs) {
+  const data::Dataset ds = data::make_two_gaussians(60, 4, 4.0, 71);
+  const auto model = make_model(GetParam(), 0.2);
+  model->fit(ds.feature_matrix(), ds.labels());
+  EXPECT_GT(model->accuracy(ds.feature_matrix(), ds.labels()), 0.9)
+      << GetParam();
+}
+
+TEST_P(ZooModelSweep, FitsBinaryMatrix) {
+  // 12 binary columns; label = column 3.
+  Matrix X;
+  Labels y;
+  util::Rng rng(72);
+  for (int i = 0; i < 120; ++i) {
+    std::vector<double> row(12);
+    for (auto& v : row) v = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    X.push_back(row);
+    y.push_back(static_cast<int>(row[3]));
+  }
+  const auto model = make_model(GetParam(), 0.2);
+  model->fit(X, y);
+  EXPECT_GT(model->accuracy(X, y), 0.85) << GetParam();
+}
+
+TEST_P(ZooModelSweep, ProbabilitiesAreValid) {
+  const data::Dataset ds = data::make_two_gaussians(40, 3, 2.0, 73);
+  const auto model = make_model(GetParam(), 0.2);
+  model->fit(ds.feature_matrix(), ds.labels());
+  for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+    const double p = model->predict_proba(ds.row(i));
+    EXPECT_GE(p, 0.0) << GetParam();
+    EXPECT_LE(p, 1.0) << GetParam();
+    EXPECT_EQ(model->predict(ds.row(i)), p >= 0.5 ? 1 : 0) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperModels, ZooModelSweep,
+                         ::testing::Values("Random Forest", "KNN", "Decision Tree",
+                                           "XGBoost", "CatBoost", "SGD",
+                                           "Logistic Regression", "SVC", "LGBM"));
+
+}  // namespace
+}  // namespace hdc::ml

@@ -1,0 +1,181 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace hdc::nn {
+namespace {
+
+TEST(Dense, ForwardShape) {
+  Dense layer(4, 3, 1);
+  Matrix input(2, 4, 0.5);
+  const Matrix out = layer.forward(input);
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out.cols(), 3u);
+}
+
+TEST(Dense, InferMatchesForward) {
+  Dense layer(5, 2, 2);
+  Matrix input(3, 5);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input.data()[i] = 0.1 * static_cast<double>(i);
+  }
+  const Matrix a = layer.forward(input);
+  const Matrix b = layer.infer(input);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Dense, WidthMismatchThrows) {
+  Dense layer(4, 3, 3);
+  Matrix bad(2, 5);
+  EXPECT_THROW((void)layer.forward(bad), std::invalid_argument);
+  EXPECT_THROW((void)layer.infer(bad), std::invalid_argument);
+}
+
+TEST(Dense, ZeroSizeRejected) {
+  EXPECT_THROW(Dense(0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(Dense(3, 0, 1), std::invalid_argument);
+}
+
+TEST(Dense, ParameterCount) {
+  Dense layer(10, 4, 4);
+  EXPECT_EQ(layer.parameter_count(), 44u);  // 10*4 weights + 4 biases
+}
+
+TEST(Dense, InitialisationIsSeededAndBounded) {
+  Dense a(100, 10, 7);
+  Dense b(100, 10, 7);
+  Dense c(100, 10, 8);
+  const double limit = std::sqrt(6.0 / 100.0);
+  bool differs_from_c = false;
+  for (std::size_t i = 0; i < a.weights().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.weights().data()[i], b.weights().data()[i]);
+    EXPECT_LE(std::abs(a.weights().data()[i]), limit);
+    differs_from_c |= a.weights().data()[i] != c.weights().data()[i];
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(Relu, ClampsNegatives) {
+  Relu relu;
+  Matrix input(1, 4);
+  input.at(0, 0) = -1.0;
+  input.at(0, 1) = 0.0;
+  input.at(0, 2) = 2.0;
+  input.at(0, 3) = -0.5;
+  const Matrix out = relu.forward(input);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 3), 0.0);
+}
+
+TEST(Relu, BackwardMasksGradient) {
+  Relu relu;
+  Adam opt;
+  Matrix input(1, 3);
+  input.at(0, 0) = -1.0;
+  input.at(0, 1) = 1.0;
+  input.at(0, 2) = 2.0;
+  (void)relu.forward(input);
+  Matrix grad(1, 3, 1.0);
+  const Matrix out = relu.backward(grad, opt);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 1.0);
+}
+
+TEST(Sigmoid, MapsToUnitInterval) {
+  Sigmoid sig;
+  Matrix input(1, 3);
+  input.at(0, 0) = -100.0;
+  input.at(0, 1) = 0.0;
+  input.at(0, 2) = 100.0;
+  const Matrix out = sig.forward(input);
+  EXPECT_NEAR(out.at(0, 0), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 0.5);
+  EXPECT_NEAR(out.at(0, 2), 1.0, 1e-12);
+}
+
+TEST(Sigmoid, BackwardUsesDerivative) {
+  Sigmoid sig;
+  Adam opt;
+  Matrix input(1, 1);
+  input.at(0, 0) = 0.0;  // sigmoid = 0.5, derivative = 0.25
+  (void)sig.forward(input);
+  Matrix grad(1, 1, 2.0);
+  const Matrix out = sig.backward(grad, opt);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0.5);
+}
+
+TEST(Adam, UpdateMovesAgainstGradient) {
+  Adam opt(0.1);
+  AdamState state;
+  double param = 1.0;
+  const double grad = 2.0;
+  opt.begin_step();
+  opt.update(&param, &grad, 1, state);
+  EXPECT_LT(param, 1.0);
+}
+
+TEST(Adam, StepCounterAdvances) {
+  Adam opt;
+  EXPECT_EQ(opt.step(), 0u);
+  opt.begin_step();
+  opt.begin_step();
+  EXPECT_EQ(opt.step(), 2u);
+}
+
+// Numerical gradient check: analytic backward of Dense+Sigmoid vs finite
+// differences through the BCE loss. Verifies the whole chain rule.
+TEST(GradientCheck, DenseSigmoidBceMatchesFiniteDifferences) {
+  constexpr std::size_t kIn = 3;
+  Dense dense(kIn, 1, 11);
+  Sigmoid sigmoid;
+
+  Matrix input(2, kIn);
+  input.at(0, 0) = 0.4;
+  input.at(0, 1) = -0.7;
+  input.at(0, 2) = 0.2;
+  input.at(1, 0) = -0.1;
+  input.at(1, 1) = 0.9;
+  input.at(1, 2) = 0.5;
+  const std::vector<int> targets = {1, 0};
+
+  const auto loss_at = [&](const Matrix& x) {
+    const Matrix h = dense.infer(x);
+    const Matrix p = sigmoid.infer(h);
+    return binary_cross_entropy_value(p, targets);
+  };
+
+  // Analytic input gradient.
+  Adam frozen(0.0);  // learning rate 0: parameters unchanged by backward
+  Matrix h = dense.forward(input);
+  Matrix p = sigmoid.forward(h);
+  LossResult loss = binary_cross_entropy(p, targets);
+  Matrix grad = sigmoid.backward(loss.grad, frozen);
+  grad = dense.backward(grad, frozen);
+
+  // Finite differences. BCE averages over the batch; the layer backward
+  // keeps per-sample gradients, so scale by 1/batch for comparison.
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < input.rows(); ++i) {
+    for (std::size_t j = 0; j < input.cols(); ++j) {
+      Matrix plus = input;
+      Matrix minus = input;
+      plus.at(i, j) += eps;
+      minus.at(i, j) -= eps;
+      const double numeric = (loss_at(plus) - loss_at(minus)) / (2.0 * eps);
+      const double analytic = grad.at(i, j) / static_cast<double>(input.rows());
+      EXPECT_NEAR(analytic, numeric, 1e-5) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdc::nn

@@ -1,0 +1,117 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdc::nn {
+namespace {
+
+Matrix from_values(std::size_t rows, std::size_t cols,
+                   std::initializer_list<double> values) {
+  Matrix m(rows, cols);
+  std::size_t i = 0;
+  for (const double v : values) m.data()[i++] = v;
+  return m;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+}
+
+TEST(Matrix, RowSpan) {
+  Matrix m = from_values(2, 2, {1, 2, 3, 4});
+  const auto r = m.row(1);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 4.0);
+}
+
+TEST(Matrix, Fill) {
+  Matrix m(3, 3, 9.0);
+  m.fill(0.0);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_DOUBLE_EQ(m.data()[i], 0.0);
+}
+
+TEST(Matrix, MatmulKnownValues) {
+  const Matrix a = from_values(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = from_values(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.matmul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 2);
+  EXPECT_THROW((void)a.matmul(b), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulWithZerosSkipsCorrectly) {
+  // The sparse-row fast path must not change results.
+  const Matrix a = from_values(2, 3, {0, 2, 0, 1, 0, 3});
+  const Matrix b = from_values(3, 2, {1, 2, 3, 4, 5, 6});
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 16.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 20.0);
+}
+
+TEST(Matrix, TransposedMatmulMatchesExplicit) {
+  // a^T * b where a is (2x3) treated as transposed -> (3x2) result with b (2x2).
+  const Matrix a = from_values(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = from_values(2, 2, {1, 0, 0, 1});
+  const Matrix c = a.transposed_matmul(b);  // (3 x 2)
+  ASSERT_EQ(c.rows(), 3u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(c.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c.at(2, 1), 6.0);
+}
+
+TEST(Matrix, TransposedMatmulShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(3, 2);
+  EXPECT_THROW((void)a.transposed_matmul(b), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulTransposedMatchesExplicit) {
+  // a (2x3) * b^T where b is (2x3) -> (2x2).
+  const Matrix a = from_values(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = from_values(2, 3, {1, 1, 1, 2, 2, 2});
+  const Matrix c = a.matmul_transposed(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 12.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 30.0);
+}
+
+TEST(Matrix, MatmulTransposedShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 4);
+  EXPECT_THROW((void)a.matmul_transposed(b), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityComposition) {
+  // (A * I) == A for a random-ish matrix.
+  const Matrix a = from_values(2, 2, {3, -1, 2.5, 4});
+  const Matrix eye = from_values(2, 2, {1, 0, 0, 1});
+  const Matrix c = a.matmul(eye);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c.data()[i], a.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hdc::nn

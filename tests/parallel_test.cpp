@@ -1,0 +1,99 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hdc::parallel {
+namespace {
+
+TEST(ThreadPool, HasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSizeRespected) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(0, kN, [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+TEST(ParallelForChunks, ChunksCoverRangeWithoutOverlap) {
+  constexpr std::size_t kN = 5000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for_chunks(0, kN, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  // Below the grain the loop runs on the calling thread; behaviour must be
+  // identical (all indices visited once).
+  std::vector<int> visits(100, 0);
+  parallel_for(0, 100, [&](std::size_t i) { ++visits[i]; });
+  for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ParallelFor, ResultsMatchSerialReduction) {
+  constexpr std::size_t kN = 100000;
+  std::vector<double> data(kN);
+  for (std::size_t i = 0; i < kN; ++i) data[i] = static_cast<double>(i % 97);
+  std::vector<double> squared(kN);
+  parallel_for(0, kN, [&](std::size_t i) { squared[i] = data[i] * data[i]; });
+  double expected = 0.0;
+  double actual = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    expected += data[i] * data[i];
+    actual += squared[i];
+  }
+  EXPECT_DOUBLE_EQ(expected, actual);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+}  // namespace
+}  // namespace hdc::parallel

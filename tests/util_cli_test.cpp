@@ -1,0 +1,60 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdc::util {
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, FlagWithSeparateValue) {
+  const Cli cli = make_cli({"--dim", "20000"});
+  EXPECT_EQ(cli.get_int("--dim", 0), 20000);
+}
+
+TEST(Cli, FlagWithEqualsValue) {
+  const Cli cli = make_cli({"--seed=99"});
+  EXPECT_EQ(cli.get_uint("--seed", 0), 99u);
+}
+
+TEST(Cli, MissingFlagUsesFallback) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("--dim", 10000), 10000);
+  EXPECT_EQ(cli.get_string("--name", "default"), "default");
+  EXPECT_DOUBLE_EQ(cli.get_double("--frac", 0.5), 0.5);
+}
+
+TEST(Cli, BooleanFlagPresence) {
+  const Cli cli = make_cli({"--fast"});
+  EXPECT_TRUE(cli.has_flag("--fast"));
+  EXPECT_FALSE(cli.has_flag("--slow"));
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli cli = make_cli({"input.csv", "--dim", "100", "output.csv"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.csv");
+  EXPECT_EQ(cli.positional()[1], "output.csv");
+}
+
+TEST(Cli, BadIntegerThrows) {
+  const Cli cli = make_cli({"--dim", "abc"});
+  EXPECT_THROW((void)cli.get_int("--dim", 0), std::invalid_argument);
+}
+
+TEST(Cli, NegativeForUnsignedThrows) {
+  const Cli cli = make_cli({"--seed=-4"});
+  EXPECT_THROW((void)cli.get_uint("--seed", 0), std::invalid_argument);
+}
+
+TEST(Cli, DoubleParsing) {
+  const Cli cli = make_cli({"--frac", "0.25"});
+  EXPECT_DOUBLE_EQ(cli.get_double("--frac", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace hdc::util

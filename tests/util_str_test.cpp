@@ -1,0 +1,100 @@
+#include "util/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdc::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\thello\r\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+}
+
+TEST(Trim, EmptyAndAllSpace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Trim, KeepsInnerWhitespace) { EXPECT_EQ(trim(" a b "), "a b"); }
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(ToLower, Basic) {
+  EXPECT_EQ(to_lower("HeLLo"), "hello");
+  EXPECT_EQ(to_lower("123-ABC"), "123-abc");
+}
+
+TEST(ParseDouble, ValidNumbers) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*parse_double("-1"), -1.0);
+  EXPECT_DOUBLE_EQ(*parse_double("  2.5 "), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("1e3"), 1000.0);
+}
+
+TEST(ParseDouble, Invalid) {
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("   ").has_value());
+}
+
+TEST(ParseInt, ValidNumbers) {
+  EXPECT_EQ(*parse_int("42"), 42);
+  EXPECT_EQ(*parse_int("-7"), -7);
+  EXPECT_EQ(*parse_int(" 0 "), 0);
+}
+
+TEST(ParseInt, Invalid) {
+  EXPECT_FALSE(parse_int("4.2").has_value());
+  EXPECT_FALSE(parse_int("x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Yes", "yes"));
+  EXPECT_TRUE(iequals("POSITIVE", "positive"));
+  EXPECT_FALSE(iequals("yes", "no"));
+  EXPECT_FALSE(iequals("yes", "yess"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(FormatDouble, Decimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatPercent, Basic) {
+  EXPECT_EQ(format_percent(0.796, 1), "79.6%");
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+  EXPECT_EQ(format_percent(0.8305, 2), "83.05%");
+}
+
+}  // namespace
+}  // namespace hdc::util

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hdc::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"Model", "Acc"});
+  t.add_row({"RF", "98.0%"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("RF"), std::string::npos);
+  EXPECT_NE(out.find("98.0%"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, SeparatorRendersFullLine) {
+  Table t({"col"});
+  t.add_row({"a"});
+  t.add_separator();
+  t.add_row({"b"});
+  const std::string out = t.render();
+  // header line + top/bottom + separator -> at least 4 horizontal rules
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find('+'); pos != std::string::npos;
+       pos = out.find('+', pos + 1)) {
+    if (pos == 0 || out[pos - 1] == '\n') ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h"});
+  t.add_row({"wide-cell-content"});
+  const std::string out = t.render();
+  // Every rendered line should have equal length.
+  std::size_t expected = out.find('\n');
+  for (std::size_t start = 0; start < out.size();) {
+    const std::size_t end = out.find('\n', start);
+    EXPECT_EQ(end - start, expected);
+    start = end + 1;
+  }
+}
+
+TEST(Table, NumericCellsRightAligned) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1.5"});
+  const std::string out = t.render();
+  // "value" is 5 wide; "1.5" right-aligned leaves padding before the number.
+  EXPECT_NE(out.find("   1.5 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdc::util
