@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_encoding.dir/ablation_encoding.cpp.o"
+  "CMakeFiles/ablation_encoding.dir/ablation_encoding.cpp.o.d"
+  "ablation_encoding"
+  "ablation_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

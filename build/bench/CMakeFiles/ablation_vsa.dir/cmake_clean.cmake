@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vsa.dir/ablation_vsa.cpp.o"
+  "CMakeFiles/ablation_vsa.dir/ablation_vsa.cpp.o.d"
+  "ablation_vsa"
+  "ablation_vsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

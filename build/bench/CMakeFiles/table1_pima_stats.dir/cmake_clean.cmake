@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pima_stats.dir/table1_pima_stats.cpp.o"
+  "CMakeFiles/table1_pima_stats.dir/table1_pima_stats.cpp.o.d"
+  "table1_pima_stats"
+  "table1_pima_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pima_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hamming_nn.dir/table2_hamming_nn.cpp.o"
+  "CMakeFiles/table2_hamming_nn.dir/table2_hamming_nn.cpp.o.d"
+  "table2_hamming_nn"
+  "table2_hamming_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hamming_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

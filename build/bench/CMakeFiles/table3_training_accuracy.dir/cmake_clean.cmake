@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_training_accuracy.dir/table3_training_accuracy.cpp.o"
+  "CMakeFiles/table3_training_accuracy.dir/table3_training_accuracy.cpp.o.d"
+  "table3_training_accuracy"
+  "table3_training_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_training_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

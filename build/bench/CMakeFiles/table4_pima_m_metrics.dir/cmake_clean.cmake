@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pima_m_metrics.dir/table4_pima_m_metrics.cpp.o"
+  "CMakeFiles/table4_pima_m_metrics.dir/table4_pima_m_metrics.cpp.o.d"
+  "table4_pima_m_metrics"
+  "table4_pima_m_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pima_m_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

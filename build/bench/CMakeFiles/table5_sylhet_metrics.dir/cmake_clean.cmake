@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_sylhet_metrics.dir/table5_sylhet_metrics.cpp.o"
+  "CMakeFiles/table5_sylhet_metrics.dir/table5_sylhet_metrics.cpp.o.d"
+  "table5_sylhet_metrics"
+  "table5_sylhet_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_sylhet_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_encoding.dir/custom_encoding.cpp.o"
+  "CMakeFiles/custom_encoding.dir/custom_encoding.cpp.o.d"
+  "custom_encoding"
+  "custom_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdc_cli.dir/hdc_cli.cpp.o"
+  "CMakeFiles/hdc_cli.dir/hdc_cli.cpp.o.d"
+  "hdc_cli"
+  "hdc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

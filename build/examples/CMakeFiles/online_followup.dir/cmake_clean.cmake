@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_followup.dir/online_followup.cpp.o"
+  "CMakeFiles/online_followup.dir/online_followup.cpp.o.d"
+  "online_followup"
+  "online_followup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_followup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

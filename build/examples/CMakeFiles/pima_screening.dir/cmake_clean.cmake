@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pima_screening.dir/pima_screening.cpp.o"
+  "CMakeFiles/pima_screening.dir/pima_screening.cpp.o.d"
+  "pima_screening"
+  "pima_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pima_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_report.dir/risk_report.cpp.o"
+  "CMakeFiles/risk_report.dir/risk_report.cpp.o.d"
+  "risk_report"
+  "risk_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sylhet_triage.dir/sylhet_triage.cpp.o"
+  "CMakeFiles/sylhet_triage.dir/sylhet_triage.cpp.o.d"
+  "sylhet_triage"
+  "sylhet_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sylhet_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

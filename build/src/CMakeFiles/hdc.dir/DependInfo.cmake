@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/hdc.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/extractor.cpp" "src/CMakeFiles/hdc.dir/core/extractor.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/core/extractor.cpp.o.d"
+  "/root/repo/src/core/hamming_classifier.cpp" "src/CMakeFiles/hdc.dir/core/hamming_classifier.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/core/hamming_classifier.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/CMakeFiles/hdc.dir/core/hybrid.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/core/hybrid.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/CMakeFiles/hdc.dir/core/online.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/core/online.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/hdc.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/CMakeFiles/hdc.dir/data/csv.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/data/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/hdc.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/describe.cpp" "src/CMakeFiles/hdc.dir/data/describe.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/data/describe.cpp.o.d"
+  "/root/repo/src/data/preprocess.cpp" "src/CMakeFiles/hdc.dir/data/preprocess.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/data/preprocess.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/CMakeFiles/hdc.dir/data/split.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/data/split.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/hdc.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/eval/bootstrap.cpp" "src/CMakeFiles/hdc.dir/eval/bootstrap.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/eval/bootstrap.cpp.o.d"
+  "/root/repo/src/eval/cross_validation.cpp" "src/CMakeFiles/hdc.dir/eval/cross_validation.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/eval/cross_validation.cpp.o.d"
+  "/root/repo/src/eval/curves.cpp" "src/CMakeFiles/hdc.dir/eval/curves.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/eval/curves.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/hdc.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/hdc.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/eval/report.cpp.o.d"
+  "/root/repo/src/hv/bitvector.cpp" "src/CMakeFiles/hdc.dir/hv/bitvector.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/hv/bitvector.cpp.o.d"
+  "/root/repo/src/hv/encoders.cpp" "src/CMakeFiles/hdc.dir/hv/encoders.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/hv/encoders.cpp.o.d"
+  "/root/repo/src/hv/int_vector.cpp" "src/CMakeFiles/hdc.dir/hv/int_vector.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/hv/int_vector.cpp.o.d"
+  "/root/repo/src/hv/item_memory.cpp" "src/CMakeFiles/hdc.dir/hv/item_memory.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/hv/item_memory.cpp.o.d"
+  "/root/repo/src/hv/ops.cpp" "src/CMakeFiles/hdc.dir/hv/ops.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/hv/ops.cpp.o.d"
+  "/root/repo/src/hv/sequence.cpp" "src/CMakeFiles/hdc.dir/hv/sequence.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/hv/sequence.cpp.o.d"
+  "/root/repo/src/ml/calibration.cpp" "src/CMakeFiles/hdc.dir/ml/calibration.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/calibration.cpp.o.d"
+  "/root/repo/src/ml/classifier.cpp" "src/CMakeFiles/hdc.dir/ml/classifier.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/classifier.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/CMakeFiles/hdc.dir/ml/forest.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/forest.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/CMakeFiles/hdc.dir/ml/gbdt.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/gbdt.cpp.o.d"
+  "/root/repo/src/ml/hist_gbdt.cpp" "src/CMakeFiles/hdc.dir/ml/hist_gbdt.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/hist_gbdt.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/hdc.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/CMakeFiles/hdc.dir/ml/logistic.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/logistic.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/CMakeFiles/hdc.dir/ml/naive_bayes.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/ordered_gbdt.cpp" "src/CMakeFiles/hdc.dir/ml/ordered_gbdt.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/ordered_gbdt.cpp.o.d"
+  "/root/repo/src/ml/sgd.cpp" "src/CMakeFiles/hdc.dir/ml/sgd.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/sgd.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/CMakeFiles/hdc.dir/ml/svm.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/svm.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/CMakeFiles/hdc.dir/ml/tree.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/tree.cpp.o.d"
+  "/root/repo/src/ml/zoo.cpp" "src/CMakeFiles/hdc.dir/ml/zoo.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/ml/zoo.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/hdc.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/hdc.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/CMakeFiles/hdc.dir/nn/matrix.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/hdc.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/hdc.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/hdc.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/hdc.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/hdc.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/hdc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/str.cpp" "src/CMakeFiles/hdc.dir/util/str.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/util/str.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/hdc.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/hdc.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_determinism_test.dir/core_determinism_test.cpp.o"
+  "CMakeFiles/core_determinism_test.dir/core_determinism_test.cpp.o.d"
+  "core_determinism_test"
+  "core_determinism_test.pdb"
+  "core_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

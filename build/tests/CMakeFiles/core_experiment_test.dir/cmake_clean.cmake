@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_experiment_test.dir/core_experiment_test.cpp.o"
+  "CMakeFiles/core_experiment_test.dir/core_experiment_test.cpp.o.d"
+  "core_experiment_test"
+  "core_experiment_test.pdb"
+  "core_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

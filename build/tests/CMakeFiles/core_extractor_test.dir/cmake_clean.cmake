@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extractor_test.dir/core_extractor_test.cpp.o"
+  "CMakeFiles/core_extractor_test.dir/core_extractor_test.cpp.o.d"
+  "core_extractor_test"
+  "core_extractor_test.pdb"
+  "core_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

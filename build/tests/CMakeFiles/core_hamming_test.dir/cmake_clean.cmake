@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hamming_test.dir/core_hamming_test.cpp.o"
+  "CMakeFiles/core_hamming_test.dir/core_hamming_test.cpp.o.d"
+  "core_hamming_test"
+  "core_hamming_test.pdb"
+  "core_hamming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hamming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

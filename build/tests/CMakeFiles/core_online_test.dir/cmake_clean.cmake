@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_online_test.dir/core_online_test.cpp.o"
+  "CMakeFiles/core_online_test.dir/core_online_test.cpp.o.d"
+  "core_online_test"
+  "core_online_test.pdb"
+  "core_online_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_online_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

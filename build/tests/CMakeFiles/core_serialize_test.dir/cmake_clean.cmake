@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_serialize_test.dir/core_serialize_test.cpp.o"
+  "CMakeFiles/core_serialize_test.dir/core_serialize_test.cpp.o.d"
+  "core_serialize_test"
+  "core_serialize_test.pdb"
+  "core_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

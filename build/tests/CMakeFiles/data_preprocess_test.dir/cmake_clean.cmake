@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_preprocess_test.dir/data_preprocess_test.cpp.o"
+  "CMakeFiles/data_preprocess_test.dir/data_preprocess_test.cpp.o.d"
+  "data_preprocess_test"
+  "data_preprocess_test.pdb"
+  "data_preprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_preprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_bootstrap_test.dir/eval_bootstrap_test.cpp.o"
+  "CMakeFiles/eval_bootstrap_test.dir/eval_bootstrap_test.cpp.o.d"
+  "eval_bootstrap_test"
+  "eval_bootstrap_test.pdb"
+  "eval_bootstrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_curves_test.dir/eval_curves_test.cpp.o"
+  "CMakeFiles/eval_curves_test.dir/eval_curves_test.cpp.o.d"
+  "eval_curves_test"
+  "eval_curves_test.pdb"
+  "eval_curves_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_curves_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

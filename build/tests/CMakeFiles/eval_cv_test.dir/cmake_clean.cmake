@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_cv_test.dir/eval_cv_test.cpp.o"
+  "CMakeFiles/eval_cv_test.dir/eval_cv_test.cpp.o.d"
+  "eval_cv_test"
+  "eval_cv_test.pdb"
+  "eval_cv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_cv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_bitvector_test.dir/hv_bitvector_test.cpp.o"
+  "CMakeFiles/hv_bitvector_test.dir/hv_bitvector_test.cpp.o.d"
+  "hv_bitvector_test"
+  "hv_bitvector_test.pdb"
+  "hv_bitvector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_bitvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

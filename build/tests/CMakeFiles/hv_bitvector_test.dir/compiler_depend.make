@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hv_bitvector_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_encoders_test.dir/hv_encoders_test.cpp.o"
+  "CMakeFiles/hv_encoders_test.dir/hv_encoders_test.cpp.o.d"
+  "hv_encoders_test"
+  "hv_encoders_test.pdb"
+  "hv_encoders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_encoders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

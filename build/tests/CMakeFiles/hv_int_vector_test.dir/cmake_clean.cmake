@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_int_vector_test.dir/hv_int_vector_test.cpp.o"
+  "CMakeFiles/hv_int_vector_test.dir/hv_int_vector_test.cpp.o.d"
+  "hv_int_vector_test"
+  "hv_int_vector_test.pdb"
+  "hv_int_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_int_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_item_memory_test.dir/hv_item_memory_test.cpp.o"
+  "CMakeFiles/hv_item_memory_test.dir/hv_item_memory_test.cpp.o.d"
+  "hv_item_memory_test"
+  "hv_item_memory_test.pdb"
+  "hv_item_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_item_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

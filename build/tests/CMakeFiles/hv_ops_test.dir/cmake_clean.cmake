@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_ops_test.dir/hv_ops_test.cpp.o"
+  "CMakeFiles/hv_ops_test.dir/hv_ops_test.cpp.o.d"
+  "hv_ops_test"
+  "hv_ops_test.pdb"
+  "hv_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

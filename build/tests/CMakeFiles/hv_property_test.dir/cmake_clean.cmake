@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_property_test.dir/hv_property_test.cpp.o"
+  "CMakeFiles/hv_property_test.dir/hv_property_test.cpp.o.d"
+  "hv_property_test"
+  "hv_property_test.pdb"
+  "hv_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

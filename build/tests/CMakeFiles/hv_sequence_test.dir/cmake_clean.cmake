@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hv_sequence_test.dir/hv_sequence_test.cpp.o"
+  "CMakeFiles/hv_sequence_test.dir/hv_sequence_test.cpp.o.d"
+  "hv_sequence_test"
+  "hv_sequence_test.pdb"
+  "hv_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hv_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_boost_test.dir/ml_boost_test.cpp.o"
+  "CMakeFiles/ml_boost_test.dir/ml_boost_test.cpp.o.d"
+  "ml_boost_test"
+  "ml_boost_test.pdb"
+  "ml_boost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_boost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

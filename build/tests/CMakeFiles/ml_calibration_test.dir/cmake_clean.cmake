@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_calibration_test.dir/ml_calibration_test.cpp.o"
+  "CMakeFiles/ml_calibration_test.dir/ml_calibration_test.cpp.o.d"
+  "ml_calibration_test"
+  "ml_calibration_test.pdb"
+  "ml_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_forest_test.dir/ml_forest_test.cpp.o"
+  "CMakeFiles/ml_forest_test.dir/ml_forest_test.cpp.o.d"
+  "ml_forest_test"
+  "ml_forest_test.pdb"
+  "ml_forest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_importance_test.dir/ml_importance_test.cpp.o"
+  "CMakeFiles/ml_importance_test.dir/ml_importance_test.cpp.o.d"
+  "ml_importance_test"
+  "ml_importance_test.pdb"
+  "ml_importance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_importance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

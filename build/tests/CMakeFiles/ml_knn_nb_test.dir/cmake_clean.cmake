@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_knn_nb_test.dir/ml_knn_nb_test.cpp.o"
+  "CMakeFiles/ml_knn_nb_test.dir/ml_knn_nb_test.cpp.o.d"
+  "ml_knn_nb_test"
+  "ml_knn_nb_test.pdb"
+  "ml_knn_nb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_knn_nb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

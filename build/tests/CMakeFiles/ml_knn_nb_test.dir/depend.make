@@ -1,0 +1,2 @@
+# Empty dependencies file for ml_knn_nb_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_linear_test.dir/ml_linear_test.cpp.o"
+  "CMakeFiles/ml_linear_test.dir/ml_linear_test.cpp.o.d"
+  "ml_linear_test"
+  "ml_linear_test.pdb"
+  "ml_linear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

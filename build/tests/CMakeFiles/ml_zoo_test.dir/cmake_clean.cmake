@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_zoo_test.dir/ml_zoo_test.cpp.o"
+  "CMakeFiles/ml_zoo_test.dir/ml_zoo_test.cpp.o.d"
+  "ml_zoo_test"
+  "ml_zoo_test.pdb"
+  "ml_zoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_matrix_test.dir/nn_matrix_test.cpp.o"
+  "CMakeFiles/nn_matrix_test.dir/nn_matrix_test.cpp.o.d"
+  "nn_matrix_test"
+  "nn_matrix_test.pdb"
+  "nn_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

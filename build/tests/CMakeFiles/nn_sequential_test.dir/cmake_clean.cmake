@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_sequential_test.dir/nn_sequential_test.cpp.o"
+  "CMakeFiles/nn_sequential_test.dir/nn_sequential_test.cpp.o.d"
+  "nn_sequential_test"
+  "nn_sequential_test.pdb"
+  "nn_sequential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

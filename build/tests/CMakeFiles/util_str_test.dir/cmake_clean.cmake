@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_str_test.dir/util_str_test.cpp.o"
+  "CMakeFiles/util_str_test.dir/util_str_test.cpp.o.d"
+  "util_str_test"
+  "util_str_test.pdb"
+  "util_str_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_str_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

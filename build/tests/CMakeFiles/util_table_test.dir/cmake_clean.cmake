@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_table_test.dir/util_table_test.cpp.o"
+  "CMakeFiles/util_table_test.dir/util_table_test.cpp.o.d"
+  "util_table_test"
+  "util_table_test.pdb"
+  "util_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
