@@ -1,178 +1,156 @@
-// Runtime observations from Section III-A, as google-benchmark micro-
-// benchmarks:
-//  * NN epoch time is similar for raw features and hypervector inputs
-//    (the 32-unit hidden layers dominate only for tiny inputs; the paper
-//    reports ~10 ms/epoch either way on its hardware),
-//  * LGBM / XGBoost / CatBoost slow down >10x on hypervector inputs,
-//  * core HDC primitives (Hamming distance, row encoding) are cheap.
-#include <benchmark/benchmark.h>
+// Batch-engine runtime bench: encode throughput and Hamming-LOOCV wall time
+// at 1 / 2 / N threads over the synthetic Pima set (768 rows, d=10,000 by
+// default), emitted as machine-readable JSON (BENCH_runtime.json) so future
+// PRs have a perf trajectory to compare against.
+//
+// The run doubles as a determinism check: the LOOCV confusion matrix must be
+// bit-identical at every thread count, or the bench exits non-zero.
+//
+// Flags: --dim N (default 10000), --seed S, --threads T (default 8; the
+// thread set is {1, 2, T} plus hardware_threads() if distinct), --reps R
+// (default 3, best-of), --out PATH (default BENCH_runtime.json), --fast.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/extractor.hpp"
 #include "data/preprocess.hpp"
 #include "data/synthetic.hpp"
-#include "ml/gbdt.hpp"
-#include "ml/hist_gbdt.hpp"
-#include "ml/knn.hpp"
-#include "ml/logistic.hpp"
-#include "ml/ordered_gbdt.hpp"
-#include "nn/sequential.hpp"
+#include "eval/cross_validation.hpp"
+#include "hv/search.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
-using hdc::core::ExtractorConfig;
-using hdc::core::HdcFeatureExtractor;
+using hdc::util::Timer;
 
-struct Workload {
-  hdc::data::Dataset dataset;
-  hdc::ml::Matrix features;
-  hdc::ml::Matrix hypervectors;
-
-  static const Workload& instance() {
-    static const Workload w = [] {
-      Workload out{hdc::data::impute_class_median(
-                       hdc::data::make_pima({130, 70, true, 0.05, 7})),
-                   {}, {}};
-      out.features = out.dataset.feature_matrix();
-      ExtractorConfig config;
-      config.dimensions = 10000;
-      HdcFeatureExtractor extractor(config);
-      extractor.fit(out.dataset);
-      out.hypervectors = extractor.transform_to_matrix(out.dataset);
-      return out;
-    }();
-    return w;
-  }
+struct ThreadSample {
+  std::size_t threads = 0;
+  double encode_seconds = 0.0;
+  double loocv_seconds = 0.0;
+  hdc::eval::BinaryMetrics metrics;
 };
 
-void BM_HammingDistance10k(benchmark::State& state) {
-  hdc::util::Rng rng(1);
-  const auto a = hdc::hv::BitVector::random(10000, rng);
-  const auto b = hdc::hv::BitVector::random(10000, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.hamming(b));
+template <typename Fn>
+double best_of(std::size_t reps, const Fn& fn) {
+  double best = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    best = r == 0 ? timer.seconds() : std::min(best, timer.seconds());
   }
+  return best;
 }
-BENCHMARK(BM_HammingDistance10k);
-
-void BM_EncodePatientRow(benchmark::State& state) {
-  const Workload& w = Workload::instance();
-  ExtractorConfig config;
-  config.dimensions = static_cast<std::size_t>(state.range(0));
-  HdcFeatureExtractor extractor(config);
-  extractor.fit(w.dataset);
-  const auto row = w.dataset.row(0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(extractor.encode_row(row));
-  }
-}
-BENCHMARK(BM_EncodePatientRow)->Arg(1000)->Arg(10000)->Arg(20000);
-
-void BM_MajorityBundle(benchmark::State& state) {
-  hdc::util::Rng rng(2);
-  std::vector<hdc::hv::BitVector> inputs;
-  for (int i = 0; i < 8; ++i) {
-    inputs.push_back(hdc::hv::BitVector::random(10000, rng));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hdc::hv::majority(inputs));
-  }
-}
-BENCHMARK(BM_MajorityBundle);
-
-template <typename Model>
-void fit_benchmark(benchmark::State& state, const hdc::ml::Matrix& X,
-                   const hdc::data::Dataset& ds) {
-  for (auto _ : state) {
-    Model model = [] {
-      if constexpr (std::is_same_v<Model, hdc::ml::GbdtClassifier>) {
-        hdc::ml::GbdtConfig config;
-        config.n_rounds = 10;
-        return hdc::ml::GbdtClassifier(config);
-      } else if constexpr (std::is_same_v<Model, hdc::ml::HistGbdtClassifier>) {
-        hdc::ml::HistGbdtConfig config;
-        config.n_rounds = 10;
-        return hdc::ml::HistGbdtClassifier(config);
-      } else if constexpr (std::is_same_v<Model, hdc::ml::OrderedGbdtClassifier>) {
-        hdc::ml::OrderedGbdtConfig config;
-        config.n_rounds = 10;
-        return hdc::ml::OrderedGbdtClassifier(config);
-      } else {
-        return Model();
-      }
-    }();
-    model.fit(X, ds.labels());
-    benchmark::DoNotOptimize(model);
-  }
-}
-
-void BM_XgbFit_Features(benchmark::State& state) {
-  const Workload& w = Workload::instance();
-  fit_benchmark<hdc::ml::GbdtClassifier>(state, w.features, w.dataset);
-}
-void BM_XgbFit_Hypervectors(benchmark::State& state) {
-  const Workload& w = Workload::instance();
-  fit_benchmark<hdc::ml::GbdtClassifier>(state, w.hypervectors, w.dataset);
-}
-BENCHMARK(BM_XgbFit_Features)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_XgbFit_Hypervectors)->Unit(benchmark::kMillisecond);
-
-void BM_LgbmFit_Features(benchmark::State& state) {
-  const Workload& w = Workload::instance();
-  fit_benchmark<hdc::ml::HistGbdtClassifier>(state, w.features, w.dataset);
-}
-void BM_LgbmFit_Hypervectors(benchmark::State& state) {
-  const Workload& w = Workload::instance();
-  fit_benchmark<hdc::ml::HistGbdtClassifier>(state, w.hypervectors, w.dataset);
-}
-BENCHMARK(BM_LgbmFit_Features)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_LgbmFit_Hypervectors)->Unit(benchmark::kMillisecond);
-
-void BM_CatBoostFit_Features(benchmark::State& state) {
-  const Workload& w = Workload::instance();
-  fit_benchmark<hdc::ml::OrderedGbdtClassifier>(state, w.features, w.dataset);
-}
-void BM_CatBoostFit_Hypervectors(benchmark::State& state) {
-  const Workload& w = Workload::instance();
-  fit_benchmark<hdc::ml::OrderedGbdtClassifier>(state, w.hypervectors, w.dataset);
-}
-BENCHMARK(BM_CatBoostFit_Features)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_CatBoostFit_Hypervectors)->Unit(benchmark::kMillisecond);
-
-void nn_epoch_benchmark(benchmark::State& state, const hdc::ml::Matrix& X,
-                        const hdc::data::Dataset& ds) {
-  hdc::nn::SequentialConfig config;
-  config.max_epochs = 1;  // measure one epoch per iteration, like the paper
-  config.patience = 1;
-  config.internal_val_fraction = 0.15;
-  for (auto _ : state) {
-    hdc::nn::Sequential net(config);
-    net.fit(X, ds.labels());
-    benchmark::DoNotOptimize(net);
-  }
-}
-
-void BM_NnEpoch_Features(benchmark::State& state) {
-  const Workload& w = Workload::instance();
-  nn_epoch_benchmark(state, w.features, w.dataset);
-}
-void BM_NnEpoch_Hypervectors(benchmark::State& state) {
-  const Workload& w = Workload::instance();
-  nn_epoch_benchmark(state, w.hypervectors, w.dataset);
-}
-BENCHMARK(BM_NnEpoch_Features)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_NnEpoch_Hypervectors)->Unit(benchmark::kMillisecond);
-
-void BM_KnnPredict_Hypervectors(benchmark::State& state) {
-  const Workload& w = Workload::instance();
-  hdc::ml::KnnClassifier model;
-  model.fit(w.hypervectors, w.dataset.labels());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.predict(w.hypervectors[0]));
-  }
-}
-BENCHMARK(BM_KnnPredict_Hypervectors)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const hdc::util::Cli cli(argc, argv);
+  const bool fast = cli.has_flag("--fast");
+  const std::size_t dim =
+      static_cast<std::size_t>(cli.get_int("--dim", fast ? 2000 : 10000));
+  const std::uint64_t seed = cli.get_uint("--seed", 2023);
+  const std::size_t max_threads =
+      static_cast<std::size_t>(cli.get_int("--threads", 8));
+  const std::size_t reps = static_cast<std::size_t>(cli.get_int("--reps", fast ? 1 : 3));
+  const std::string out_path = cli.get_string("--out", "BENCH_runtime.json");
+
+  // The paper's Pima protocol: 768 rows, class-median imputed ("Pima M").
+  hdc::data::PimaConfig pima_config;
+  pima_config.seed = seed;
+  const hdc::data::Dataset ds =
+      hdc::data::impute_class_median(hdc::data::make_pima(pima_config));
+
+  hdc::core::ExtractorConfig extractor_config;
+  extractor_config.dimensions = dim;
+  hdc::core::HdcFeatureExtractor extractor(extractor_config);
+  extractor.fit(ds);
+
+  std::vector<std::size_t> thread_counts = {1, 2, max_threads,
+                                            hdc::parallel::hardware_threads()};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  std::printf("# bench_runtime: rows=%zu dim=%zu seed=%llu reps=%zu hw_threads=%zu\n",
+              ds.n_rows(), dim, static_cast<unsigned long long>(seed), reps,
+              hdc::parallel::hardware_threads());
+
+  std::vector<ThreadSample> samples;
+  for (const std::size_t t : thread_counts) {
+    hdc::parallel::ThreadPool pool(t);
+    ThreadSample sample;
+    sample.threads = t;
+
+    std::vector<hdc::hv::BitVector> vectors;
+    sample.encode_seconds =
+        best_of(reps, [&] { vectors = extractor.transform(ds, &pool); });
+    sample.loocv_seconds = best_of(reps, [&] {
+      sample.metrics = hdc::eval::hamming_loocv(vectors, ds.labels(), &pool).metrics;
+    });
+    std::printf("# threads=%zu encode=%.4fs (%.0f rows/s) loocv=%.4fs acc=%.6f f1=%.6f\n",
+                t, sample.encode_seconds,
+                static_cast<double>(ds.n_rows()) / sample.encode_seconds,
+                sample.loocv_seconds, sample.metrics.accuracy, sample.metrics.f1);
+    samples.push_back(sample);
+  }
+
+  // Determinism gate: every thread count must produce the same confusion.
+  const auto& reference = samples.front().metrics.confusion;
+  for (const ThreadSample& s : samples) {
+    if (s.metrics.confusion.tp != reference.tp ||
+        s.metrics.confusion.tn != reference.tn ||
+        s.metrics.confusion.fp != reference.fp ||
+        s.metrics.confusion.fn != reference.fn) {
+      std::fprintf(stderr,
+                   "FATAL: metrics differ between 1 and %zu threads — the "
+                   "batch engine lost its determinism guarantee\n",
+                   s.threads);
+      return 1;
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const ThreadSample& base = samples.front();  // threads == 1
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"bench_runtime\",\n"
+               "  \"dataset\": \"pima_m_synthetic\",\n"
+               "  \"rows\": %zu,\n"
+               "  \"dimensions\": %zu,\n"
+               "  \"seed\": %llu,\n"
+               "  \"reps\": %zu,\n"
+               "  \"hardware_threads\": %zu,\n"
+               "  \"metrics\": {\"accuracy\": %.17g, \"f1\": %.17g, \"tp\": %zu, "
+               "\"tn\": %zu, \"fp\": %zu, \"fn\": %zu},\n"
+               "  \"metrics_identical_across_threads\": true,\n"
+               "  \"threads\": [\n",
+               ds.n_rows(), dim, static_cast<unsigned long long>(seed), reps,
+               hdc::parallel::hardware_threads(), base.metrics.accuracy,
+               base.metrics.f1, reference.tp, reference.tn, reference.fp,
+               reference.fn);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const ThreadSample& s = samples[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"encode_seconds\": %.6f, "
+                 "\"encode_rows_per_sec\": %.1f, \"loocv_seconds\": %.6f, "
+                 "\"encode_speedup\": %.3f, \"loocv_speedup\": %.3f}%s\n",
+                 s.threads, s.encode_seconds,
+                 static_cast<double>(ds.n_rows()) / s.encode_seconds,
+                 s.loocv_seconds, base.encode_seconds / s.encode_seconds,
+                 base.loocv_seconds / s.loocv_seconds,
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

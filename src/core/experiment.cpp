@@ -1,12 +1,14 @@
 #include "core/experiment.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "core/hamming_classifier.hpp"
 #include "data/split.hpp"
 #include "eval/metrics.hpp"
 #include "ml/zoo.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace hdc::core {
@@ -78,10 +80,16 @@ eval::BinaryMetrics holdout_metrics(const data::Dataset& ds,
 
 eval::BinaryMetrics hamming_loo(const data::Dataset& ds,
                                 const ExperimentConfig& config) {
+  // threads > 0 runs encode + search on a dedicated pool of that size; the
+  // result is the same either way, only the wall time changes.
+  std::optional<parallel::ThreadPool> local_pool;
+  parallel::ThreadPool* pool = nullptr;
+  if (config.threads > 0) pool = &local_pool.emplace(config.threads);
+
   HdcFeatureExtractor extractor(config.extractor);
   extractor.fit(ds);
-  const std::vector<hv::BitVector> vectors = extractor.transform(ds);
-  return hamming_loo_metrics(vectors, ds.labels());
+  const std::vector<hv::BitVector> vectors = extractor.transform(ds, pool);
+  return hamming_loo_metrics(vectors, ds.labels(), pool);
 }
 
 NnProtocolResult nn_protocol(const data::Dataset& ds, InputMode mode,

@@ -23,6 +23,10 @@ struct ExperimentConfig {
   ExtractorConfig extractor;
   std::uint64_t seed = 42;   // split / CV seed
   double model_budget = 1.0; // scales boosted-model iteration counts
+  /// Worker threads for the batch encode / Hamming search engine: 0 = the
+  /// process-wide pool. Results are bit-identical for every setting (the
+  /// golden determinism test pins 1 vs hardware_threads()).
+  std::size_t threads = 0;
 };
 
 /// Paper Table III protocol: stratified 10-fold CV accuracy of a zoo model.

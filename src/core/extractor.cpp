@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "hv/batch_encoder.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
@@ -84,13 +85,46 @@ hv::BitVector HdcFeatureExtractor::encode_row(std::span<const double> row) const
   return encoder_->encode(fixed);
 }
 
+namespace {
+
+/// Row accessor for the batch encoder: substitutes missing values with the
+/// column minimum into `scratch` (same policy as encode_row).
+hv::BatchEncoder::RowFn make_row_fn(const data::Dataset& ds,
+                                    const ExtractorConfig& config,
+                                    const std::vector<double>& column_min) {
+  return [&ds, &config, &column_min](std::size_t i, std::vector<double>& scratch)
+             -> std::span<const double> {
+    const std::span<const double> row = ds.row(i);
+    bool any_missing = false;
+    for (const double v : row) {
+      if (data::Dataset::is_missing(v)) any_missing = true;
+    }
+    if (!any_missing) return row;
+    if (!config.missing_as_min) {
+      throw std::invalid_argument("HdcFeatureExtractor: missing value in row");
+    }
+    scratch.assign(row.begin(), row.end());
+    for (std::size_t j = 0; j < scratch.size(); ++j) {
+      if (data::Dataset::is_missing(scratch[j])) scratch[j] = column_min[j];
+    }
+    return scratch;
+  };
+}
+
+}  // namespace
+
 std::vector<hv::BitVector> HdcFeatureExtractor::transform(
-    const data::Dataset& ds) const {
+    const data::Dataset& ds, parallel::ThreadPool* pool) const {
   if (!fitted()) throw std::logic_error("HdcFeatureExtractor: not fitted");
-  std::vector<hv::BitVector> out(ds.n_rows());
-  parallel::parallel_for(0, ds.n_rows(),
-                         [&](std::size_t i) { out[i] = encode_row(ds.row(i)); });
-  return out;
+  const hv::BatchEncoder batch(*encoder_, {pool});
+  return batch.encode_rows(ds.n_rows(), make_row_fn(ds, config_, column_min_));
+}
+
+hv::PackedHVs HdcFeatureExtractor::transform_packed(const data::Dataset& ds,
+                                                    parallel::ThreadPool* pool) const {
+  if (!fitted()) throw std::logic_error("HdcFeatureExtractor: not fitted");
+  const hv::BatchEncoder batch(*encoder_, {pool});
+  return batch.encode_packed(ds.n_rows(), make_row_fn(ds, config_, column_min_));
 }
 
 ml::Matrix HdcFeatureExtractor::transform_to_matrix(const data::Dataset& ds) const {

@@ -14,7 +14,12 @@
 
 #include "data/dataset.hpp"
 #include "hv/encoders.hpp"
+#include "hv/search.hpp"
 #include "ml/classifier.hpp"
+
+namespace hdc::parallel {
+class ThreadPool;
+}
 
 namespace hdc::core {
 
@@ -58,8 +63,14 @@ class HdcFeatureExtractor {
   /// Encode one row (arity must match the fitted dataset).
   [[nodiscard]] hv::BitVector encode_row(std::span<const double> row) const;
 
-  /// Encode every row of a dataset (parallelised; deterministic).
-  [[nodiscard]] std::vector<hv::BitVector> transform(const data::Dataset& ds) const;
+  /// Encode every row of a dataset via the batch engine (parallelised over
+  /// `pool`, nullptr = process-wide pool; results identical either way).
+  [[nodiscard]] std::vector<hv::BitVector> transform(
+      const data::Dataset& ds, parallel::ThreadPool* pool = nullptr) const;
+
+  /// As transform(), but packed for the hv/search kernels.
+  [[nodiscard]] hv::PackedHVs transform_packed(
+      const data::Dataset& ds, parallel::ThreadPool* pool = nullptr) const;
 
   /// Encode to a 0/1 double matrix for the ML / NN substrates.
   [[nodiscard]] ml::Matrix transform_to_matrix(const data::Dataset& ds) const;

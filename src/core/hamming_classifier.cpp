@@ -1,9 +1,9 @@
 #include "core/hamming_classifier.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
 
+#include "eval/cross_validation.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace hdc::core {
@@ -19,6 +19,7 @@ void HammingClassifier::fit(std::vector<hv::BitVector> vectors,
     }
   }
   vectors_ = std::move(vectors);
+  packed_ = hv::PackedHVs::pack(vectors_);
   labels_ = std::move(labels);
 
   if (mode_ == HammingMode::kPrototype) {
@@ -50,30 +51,19 @@ double HammingClassifier::predict_score(const hv::BitVector& query) const {
   }
   // k-NN vote (k = 1 gives the paper's model: score 1 iff the nearest
   // neighbour is positive). Distance ties resolve toward the earliest
-  // training row, matching a stable sort.
+  // training row; both kernels guarantee (distance, index) ordering.
   const std::size_t k = std::min(k_, vectors_.size());
+  const hv::PackedHVs packed_query = hv::PackedHVs::pack({&query, 1});
   if (k == 1) {
-    std::size_t best = std::numeric_limits<std::size_t>::max();
-    int best_label = 0;
-    for (std::size_t i = 0; i < vectors_.size(); ++i) {
-      const std::size_t d = query.hamming(vectors_[i]);
-      if (d < best) {
-        best = d;
-        best_label = labels_[i];
-      }
-    }
-    return best_label == 1 ? 1.0 : 0.0;
+    const std::vector<hv::Neighbor> nearest =
+        hv::nearest_neighbors(packed_query, packed_);
+    return labels_[nearest.front().index] == 1 ? 1.0 : 0.0;
   }
-  std::vector<std::pair<std::size_t, std::size_t>> dist;  // (distance, index)
-  dist.reserve(vectors_.size());
-  for (std::size_t i = 0; i < vectors_.size(); ++i) {
-    dist.emplace_back(query.hamming(vectors_[i]), i);
-  }
-  std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                   dist.end());
+  const std::vector<std::vector<hv::Neighbor>> nearest =
+      hv::top_k_neighbors(packed_query, packed_, k);
   std::size_t positive_votes = 0;
-  for (std::size_t i = 0; i < k; ++i) {
-    positive_votes += labels_[dist[i].second] == 1 ? 1 : 0;
+  for (const hv::Neighbor& n : nearest.front()) {
+    positive_votes += labels_[n.index] == 1 ? 1 : 0;
   }
   return static_cast<double>(positive_votes) / static_cast<double>(k);
 }
@@ -89,30 +79,15 @@ const hv::BitVector& HammingClassifier::prototype(int label) const {
 }
 
 std::vector<int> hamming_loo_predictions(const std::vector<hv::BitVector>& vectors,
-                                         const std::vector<int>& labels) {
-  if (vectors.size() != labels.size() || vectors.size() < 2) {
-    throw std::invalid_argument("hamming_loo: need >= 2 labelled vectors");
-  }
-  std::vector<int> predictions(vectors.size());
-  parallel::parallel_for(0, vectors.size(), [&](std::size_t i) {
-    std::size_t best = std::numeric_limits<std::size_t>::max();
-    int best_label = 0;
-    for (std::size_t j = 0; j < vectors.size(); ++j) {
-      if (j == i) continue;
-      const std::size_t d = vectors[i].hamming(vectors[j]);
-      if (d < best) {
-        best = d;
-        best_label = labels[j];
-      }
-    }
-    predictions[i] = best_label;
-  });
-  return predictions;
+                                         const std::vector<int>& labels,
+                                         parallel::ThreadPool* pool) {
+  return eval::hamming_loocv(vectors, labels, pool).predictions;
 }
 
 eval::BinaryMetrics hamming_loo_metrics(const std::vector<hv::BitVector>& vectors,
-                                        const std::vector<int>& labels) {
-  return eval::compute_metrics(labels, hamming_loo_predictions(vectors, labels));
+                                        const std::vector<int>& labels,
+                                        parallel::ThreadPool* pool) {
+  return eval::hamming_loocv(vectors, labels, pool).metrics;
 }
 
 }  // namespace hdc::core

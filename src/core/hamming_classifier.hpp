@@ -10,6 +10,11 @@
 #include "eval/metrics.hpp"
 #include "hv/bitvector.hpp"
 #include "hv/ops.hpp"
+#include "hv/search.hpp"
+
+namespace hdc::parallel {
+class ThreadPool;
+}
 
 namespace hdc::core {
 
@@ -57,18 +62,22 @@ class HammingClassifier {
   HammingMode mode_;
   std::size_t k_ = 1;
   std::vector<hv::BitVector> vectors_;
+  hv::PackedHVs packed_;  // training vectors packed for the search kernel
   std::vector<int> labels_;
   hv::BitVector prototypes_[2];
 };
 
 /// Leave-one-out evaluation of the 1-NN Hamming model over a full dataset of
 /// hypervectors (the paper's validation protocol): each vector is classified
-/// by its nearest *other* vector. All-pairs distances run in parallel.
+/// by its nearest *other* vector. Runs through the blocked all-pairs kernel
+/// in hv/search; results are identical for any `pool` / thread count.
 [[nodiscard]] std::vector<int> hamming_loo_predictions(
-    const std::vector<hv::BitVector>& vectors, const std::vector<int>& labels);
+    const std::vector<hv::BitVector>& vectors, const std::vector<int>& labels,
+    parallel::ThreadPool* pool = nullptr);
 
 /// Convenience: LOO predictions -> full metrics.
 [[nodiscard]] eval::BinaryMetrics hamming_loo_metrics(
-    const std::vector<hv::BitVector>& vectors, const std::vector<int>& labels);
+    const std::vector<hv::BitVector>& vectors, const std::vector<int>& labels,
+    parallel::ThreadPool* pool = nullptr);
 
 }  // namespace hdc::core

@@ -1,8 +1,10 @@
 #include "eval/cross_validation.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "data/split.hpp"
+#include "hv/search.hpp"
 
 namespace hdc::eval {
 
@@ -51,6 +53,22 @@ CvResult kfold_accuracy(const ModelFactory& factory, const ml::Matrix& X,
                      return static_cast<double>(hits) /
                             static_cast<double>(test.size());
                    });
+}
+
+LoocvResult hamming_loocv(const std::vector<hv::BitVector>& vectors,
+                          const std::vector<int>& labels,
+                          parallel::ThreadPool* pool) {
+  if (vectors.size() != labels.size() || vectors.size() < 2) {
+    throw std::invalid_argument("hamming_loocv: need >= 2 labelled vectors");
+  }
+  hv::SearchOptions options;
+  options.pool = pool;
+  const std::vector<hv::Neighbor> nearest = hv::loo_nearest_neighbors(vectors, options);
+  LoocvResult result;
+  result.predictions.reserve(nearest.size());
+  for (const hv::Neighbor& n : nearest) result.predictions.push_back(labels[n.index]);
+  result.metrics = compute_metrics(labels, result.predictions);
+  return result;
 }
 
 }  // namespace hdc::eval

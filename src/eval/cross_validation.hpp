@@ -11,7 +11,13 @@
 #include <span>
 #include <vector>
 
+#include "eval/metrics.hpp"
+#include "hv/bitvector.hpp"
 #include "ml/classifier.hpp"
+
+namespace hdc::parallel {
+class ThreadPool;
+}
 
 namespace hdc::eval {
 
@@ -34,5 +40,18 @@ struct CvResult {
 [[nodiscard]] CvResult kfold_accuracy(const ModelFactory& factory,
                                       const ml::Matrix& X, const ml::Labels& y,
                                       std::size_t k, std::uint64_t seed);
+
+struct LoocvResult {
+  std::vector<int> predictions;  // per-row 1-NN label among all other rows
+  BinaryMetrics metrics;
+};
+
+/// Leave-one-out 1-NN Hamming cross-validation over precomputed patient
+/// hypervectors (the paper's validation protocol for its pure HDC model),
+/// run through the blocked search kernel in hv/search. Distance ties resolve
+/// to the lowest row index; results are identical for any `pool`.
+[[nodiscard]] LoocvResult hamming_loocv(const std::vector<hv::BitVector>& vectors,
+                                        const std::vector<int>& labels,
+                                        parallel::ThreadPool* pool = nullptr);
 
 }  // namespace hdc::eval

@@ -1,0 +1,51 @@
+#include "hv/batch_encoder.hpp"
+
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace hdc::hv {
+
+std::vector<BitVector> BatchEncoder::encode_rows(std::size_t n_rows,
+                                                 const RowFn& row_of) const {
+  std::vector<BitVector> out(n_rows);
+  parallel::parallel_for_chunks(
+      0, n_rows,
+      [&](std::size_t lo, std::size_t hi) {
+        RecordEncoder::Scratch scratch;
+        std::vector<double> row_scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = encoder_->encode(row_of(i, row_scratch), scratch);
+        }
+      },
+      options_.pool);
+  return out;
+}
+
+std::vector<BitVector> BatchEncoder::encode_matrix(std::span<const double> values,
+                                                   std::size_t n_cols) const {
+  if (n_cols == 0 || values.size() % n_cols != 0) {
+    throw std::invalid_argument("BatchEncoder: values not a whole number of rows");
+  }
+  return encode_rows(values.size() / n_cols, [values, n_cols](std::size_t i,
+                                                              std::vector<double>&) {
+    return values.subspan(i * n_cols, n_cols);
+  });
+}
+
+PackedHVs BatchEncoder::encode_packed(std::size_t n_rows, const RowFn& row_of) const {
+  PackedHVs out(bits(), n_rows);
+  parallel::parallel_for_chunks(
+      0, n_rows,
+      [&](std::size_t lo, std::size_t hi) {
+        RecordEncoder::Scratch scratch;
+        std::vector<double> row_scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          out.set_row(i, encoder_->encode(row_of(i, row_scratch), scratch));
+        }
+      },
+      options_.pool);
+  return out;
+}
+
+}  // namespace hdc::hv

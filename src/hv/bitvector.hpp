@@ -33,6 +33,10 @@ class BitVector {
     return words_;
   }
 
+  /// Mutable word storage for kernel code (hv/ops, hv/search). Writers must
+  /// keep the trailing padding bits of the last word zero.
+  [[nodiscard]] std::uint64_t* word_data() noexcept { return words_.data(); }
+
   [[nodiscard]] bool get(std::size_t i) const noexcept {
     return (words_[i >> 6] >> (i & 63)) & 1ULL;
   }

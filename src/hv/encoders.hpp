@@ -34,6 +34,10 @@ class FeatureEncoder {
 
   /// Encode a single value. Implementations must be deterministic.
   [[nodiscard]] virtual BitVector encode(double value) const = 0;
+
+  /// Encode into an existing vector, reusing its storage when possible (the
+  /// batch-encoding hot path). Semantically identical to `out = encode(v)`.
+  virtual void encode_into(double value, BitVector& out) const { out = encode(value); }
 };
 
 /// The paper's linear (level) encoding for continuous features.
@@ -57,6 +61,7 @@ class LevelEncoder final : public FeatureEncoder {
   [[nodiscard]] std::size_t flip_count(double value) const noexcept;
 
   [[nodiscard]] BitVector encode(double value) const override;
+  void encode_into(double value, BitVector& out) const override;
 
   /// The hypervector representing min(V).
   [[nodiscard]] const BitVector& seed_vector() const noexcept { return seed_vector_; }
@@ -79,6 +84,9 @@ class BinaryEncoder final : public FeatureEncoder {
 
   [[nodiscard]] std::size_t bits() const noexcept override { return zero_.size(); }
   [[nodiscard]] BitVector encode(double value) const override;
+  void encode_into(double value, BitVector& out) const override {
+    out = value >= 0.5 ? one_ : zero_;
+  }
 
   [[nodiscard]] const BitVector& zero_vector() const noexcept { return zero_; }
   [[nodiscard]] const BitVector& one_vector() const noexcept { return one_; }
@@ -118,8 +126,17 @@ class RecordEncoder {
   /// Append a feature encoder; encoders are applied positionally to rows.
   void add_feature(std::unique_ptr<FeatureEncoder> encoder);
 
+  /// Reusable per-thread buffers for the batch-encoding hot path.
+  struct Scratch {
+    std::vector<BitVector> features;
+  };
+
   /// Encode one row (size must equal feature_count()).
   [[nodiscard]] BitVector encode(std::span<const double> row) const;
+
+  /// Encode one row reusing `scratch` across calls (no per-row allocation of
+  /// the feature-vector block). Identical output to encode(row).
+  [[nodiscard]] BitVector encode(std::span<const double> row, Scratch& scratch) const;
 
   /// Per-feature encoder access (for introspection / tests).
   [[nodiscard]] const FeatureEncoder& feature(std::size_t i) const {

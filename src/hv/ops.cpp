@@ -1,5 +1,7 @@
 #include "hv/ops.hpp"
 
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
 
 namespace hdc::hv {
@@ -27,13 +29,65 @@ bool resolve_tie(TiePolicy tie, util::Rng* rng) {
   return true;
 }
 
+/// Word-parallel majority via bit-sliced counters: each bit position's vote
+/// count is held as a little-endian binary number spread across `planes`
+/// 64-bit words, so adding one input is a ripple-carry add of 64 positions at
+/// once. ~n*log2(n) word ops per 64 positions instead of 64*n bit probes.
+BitVector majority_bitsliced(std::span<const BitVector> inputs, TiePolicy tie) {
+  const std::size_t n = inputs.size();
+  const std::size_t words = inputs.front().words().size();
+  const int planes = std::bit_width(n);  // counts span [0, n]
+  std::vector<std::uint64_t> counter(static_cast<std::size_t>(planes) * words, 0ULL);
+
+  for (const BitVector& v : inputs) {
+    const std::uint64_t* src = v.words().data();
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t carry = src[w];
+      for (int p = 0; p < planes && carry != 0; ++p) {
+        std::uint64_t& plane = counter[static_cast<std::size_t>(p) * words + w];
+        const std::uint64_t next = plane & carry;
+        plane ^= carry;
+        carry = next;
+      }
+    }
+  }
+
+  // count >= t per position == carry-out of count + (2^planes - t): ripple a
+  // constant through the planes and keep the final carry.
+  const auto mask_ge = [&](std::size_t t, std::size_t w) {
+    const std::uint64_t constant = (1ULL << planes) - t;
+    std::uint64_t carry = 0;
+    for (int p = 0; p < planes; ++p) {
+      const std::uint64_t a = counter[static_cast<std::size_t>(p) * words + w];
+      const std::uint64_t b = ((constant >> p) & 1ULL) ? ~0ULL : 0ULL;
+      carry = (a & b) | (carry & (a ^ b));
+    }
+    return carry;
+  };
+
+  BitVector out(inputs.front().size());
+  std::uint64_t* dst = out.word_data();
+  const std::size_t strict = n / 2 + 1;  // 2*count > n
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = mask_ge(strict, w);
+    if (n % 2 == 0 && tie == TiePolicy::kOne) {
+      bits |= mask_ge(n / 2, w);  // ties (count == n/2) resolve to 1
+    }
+    dst[w] = bits;  // padding positions count 0 < strict, so they stay zero
+  }
+  return out;
+}
+
 }  // namespace
 
 BitVector majority(std::span<const BitVector> inputs, TiePolicy tie, util::Rng* rng) {
   check_inputs(inputs);
   const std::size_t d = inputs.front().size();
   if (inputs.size() == 1) return inputs.front();
+  if (tie != TiePolicy::kRandom) return majority_bitsliced(inputs, tie);
 
+  // Random tie policy keeps the scalar loop: it must consume one rng draw per
+  // tie position in ascending bit order to stay stream-compatible.
   BitVector out(d);
   const std::size_t half_votes = inputs.size();  // compare 2*count vs n
   for (std::size_t i = 0; i < d; ++i) {

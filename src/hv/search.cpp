@@ -1,0 +1,175 @@
+#include "hv/search.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace hdc::hv {
+
+PackedHVs::PackedHVs(std::size_t bits, std::size_t rows)
+    : bits_(bits), words_per_row_((bits + 63) / 64), rows_(rows),
+      words_(words_per_row_ * rows, 0ULL) {}
+
+PackedHVs PackedHVs::pack(std::span<const BitVector> vectors) {
+  if (vectors.empty()) return {};
+  PackedHVs out(vectors.front().size(), vectors.size());
+  for (std::size_t i = 0; i < vectors.size(); ++i) out.set_row(i, vectors[i]);
+  return out;
+}
+
+void PackedHVs::set_row(std::size_t i, const BitVector& v) {
+  if (v.size() != bits_) {
+    throw std::invalid_argument("PackedHVs: row dimensionality mismatch (" +
+                                std::to_string(v.size()) + " vs " +
+                                std::to_string(bits_) + ")");
+  }
+  std::copy(v.words().begin(), v.words().end(), row(i));
+}
+
+BitVector PackedHVs::unpack_row(std::size_t i) const {
+  BitVector out(bits_);
+  const std::uint64_t* src = row(i);
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    for (std::size_t b = 0; b < 64; ++b) {
+      const std::size_t bit = w * 64 + b;
+      if (bit >= bits_) break;
+      if ((src[w] >> b) & 1ULL) out.set(bit, true);
+    }
+  }
+  return out;
+}
+
+std::size_t hamming_words(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+namespace {
+
+void check_search_inputs(const PackedHVs& queries, const PackedHVs& database,
+                         const SearchOptions& options) {
+  if (queries.empty() || database.empty()) {
+    throw std::invalid_argument("hv::search: empty queries or database");
+  }
+  if (queries.bits() != database.bits()) {
+    throw std::invalid_argument("hv::search: dimensionality mismatch");
+  }
+  if (options.exclude_same_index) {
+    if (queries.rows() != database.rows()) {
+      throw std::invalid_argument(
+          "hv::search: exclude_same_index needs queries == database");
+    }
+    if (database.rows() < 2) {
+      throw std::invalid_argument("hv::search: leave-one-out needs >= 2 rows");
+    }
+  }
+}
+
+/// Drive `visit(q, j, distance)` over every (query, database) pair in tiled
+/// order: queries are chunked across the pool, and within a chunk a database
+/// tile is swept by a small block of queries before moving on. For a fixed
+/// query, database rows arrive in strictly ascending j order — reductions
+/// that only depend on per-query visit order are thread-count-invariant.
+template <typename Visit>
+void tiled_sweep(const PackedHVs& queries, const PackedHVs& database,
+                 const SearchOptions& options, const Visit& visit) {
+  const std::size_t words = queries.words_per_row();
+  const std::size_t tile_q = std::max<std::size_t>(1, options.tile_queries);
+  const std::size_t tile_db = std::max<std::size_t>(1, options.tile_database);
+  parallel::parallel_for_chunks(
+      0, queries.rows(),
+      [&](std::size_t q_lo, std::size_t q_hi) {
+        for (std::size_t qt = q_lo; qt < q_hi; qt += tile_q) {
+          const std::size_t qt_end = std::min(qt + tile_q, q_hi);
+          for (std::size_t jt = 0; jt < database.rows(); jt += tile_db) {
+            const std::size_t jt_end = std::min(jt + tile_db, database.rows());
+            for (std::size_t q = qt; q < qt_end; ++q) {
+              const std::uint64_t* qrow = queries.row(q);
+              for (std::size_t j = jt; j < jt_end; ++j) {
+                if (options.exclude_same_index && j == q) continue;
+                visit(q, j, hamming_words(qrow, database.row(j), words));
+              }
+            }
+          }
+        }
+      },
+      options.pool);
+}
+
+}  // namespace
+
+std::vector<Neighbor> nearest_neighbors(const PackedHVs& queries,
+                                        const PackedHVs& database,
+                                        const SearchOptions& options) {
+  check_search_inputs(queries, database, options);
+  // Sentinel larger than any real distance; first visited row replaces it.
+  std::vector<Neighbor> best(queries.rows(),
+                             Neighbor{database.rows(), queries.bits() + 1});
+  tiled_sweep(queries, database, options,
+              [&](std::size_t q, std::size_t j, std::size_t d) {
+                // Database tiles arrive in ascending order per query, so a
+                // strict < keeps the lowest index among tied distances.
+                if (d < best[q].distance) best[q] = Neighbor{j, d};
+              });
+  return best;
+}
+
+std::vector<std::vector<Neighbor>> top_k_neighbors(const PackedHVs& queries,
+                                                   const PackedHVs& database,
+                                                   std::size_t k,
+                                                   const SearchOptions& options) {
+  check_search_inputs(queries, database, options);
+  if (k == 0) throw std::invalid_argument("hv::search: k must be >= 1");
+  std::vector<std::vector<Neighbor>> best(queries.rows());
+  for (auto& heap : best) heap.reserve(k);
+  const auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.index < b.index;
+  };
+  tiled_sweep(queries, database, options,
+              [&](std::size_t q, std::size_t j, std::size_t d) {
+                std::vector<Neighbor>& list = best[q];
+                const Neighbor cand{j, d};
+                if (list.size() == k && !worse(cand, list.back())) return;
+                // Insertion sort into the short (<= k) candidate list.
+                auto pos = std::upper_bound(list.begin(), list.end(), cand, worse);
+                list.insert(pos, cand);
+                if (list.size() > k) list.pop_back();
+              });
+  return best;
+}
+
+std::vector<std::size_t> distance_matrix(const PackedHVs& queries,
+                                         const PackedHVs& database,
+                                         const SearchOptions& options) {
+  check_search_inputs(queries, database, options);
+  std::vector<std::size_t> out(queries.rows() * database.rows(),
+                               queries.bits() + 1);
+  tiled_sweep(queries, database, options,
+              [&](std::size_t q, std::size_t j, std::size_t d) {
+                out[q * database.rows() + j] = d;
+              });
+  return out;
+}
+
+std::vector<Neighbor> nearest_neighbors(std::span<const BitVector> queries,
+                                        std::span<const BitVector> database,
+                                        const SearchOptions& options) {
+  return nearest_neighbors(PackedHVs::pack(queries), PackedHVs::pack(database),
+                           options);
+}
+
+std::vector<Neighbor> loo_nearest_neighbors(std::span<const BitVector> vectors,
+                                            const SearchOptions& options) {
+  SearchOptions loo = options;
+  loo.exclude_same_index = true;
+  const PackedHVs packed = PackedHVs::pack(vectors);
+  return nearest_neighbors(packed, packed, loo);
+}
+
+}  // namespace hdc::hv

@@ -42,6 +42,10 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+std::size_t hardware_threads() noexcept {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -60,4 +60,8 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& fn,
                          ThreadPool* pool = nullptr);
 
+/// std::thread::hardware_concurrency() clamped to at least 1 — the worker
+/// count a default-constructed ThreadPool ends up with.
+[[nodiscard]] std::size_t hardware_threads() noexcept;
+
 }  // namespace hdc::parallel
