@@ -19,6 +19,8 @@
 #include "data/synthetic.hpp"
 #include "eval/cross_validation.hpp"
 #include "hv/search.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -99,8 +101,32 @@ int main(int argc, char** argv) {
     samples.push_back(sample);
   }
 
-  // Determinism gate: every thread count must produce the same confusion.
+  // Instrumented pass (after the timed reps, so recording overhead never
+  // touches the measured numbers): one encode + LOOCV with the obs registry
+  // on, snapshotted into the JSON so the perf artefact is self-describing.
+  hdc::obs::reset_metrics();
+  hdc::obs::set_enabled(true);
+  hdc::eval::BinaryMetrics obs_metrics;
+  {
+    hdc::parallel::ThreadPool pool(std::max<std::size_t>(2, max_threads));
+    const std::vector<hdc::hv::BitVector> vectors = extractor.transform(ds, &pool);
+    obs_metrics = hdc::eval::hamming_loocv(vectors, ds.labels(), &pool).metrics;
+  }
+  hdc::obs::set_enabled(false);
+  const hdc::obs::MetricsSnapshot obs_snapshot = hdc::obs::snapshot();
+
+  // Determinism gate: every thread count must produce the same confusion —
+  // including the instrumented pass (recording must never perturb results).
   const auto& reference = samples.front().metrics.confusion;
+  if (obs_metrics.confusion.tp != reference.tp ||
+      obs_metrics.confusion.tn != reference.tn ||
+      obs_metrics.confusion.fp != reference.fp ||
+      obs_metrics.confusion.fn != reference.fn) {
+    std::fprintf(stderr,
+                 "FATAL: metrics differ between plain and obs-instrumented "
+                 "runs — observability leaked into results\n");
+    return 1;
+  }
   for (const ThreadSample& s : samples) {
     if (s.metrics.confusion.tp != reference.tp ||
         s.metrics.confusion.tn != reference.tn ||
@@ -149,7 +175,31 @@ int main(int argc, char** argv) {
                  base.loocv_seconds / s.loocv_seconds,
                  i + 1 < samples.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  // Self-describing obs section: headline derived stats + the full registry
+  // snapshot from the (untimed) instrumented pass.
+  const auto* encode_hist = obs_snapshot.histogram("hv.encode.chunk_seconds");
+  const auto* search_hist = obs_snapshot.histogram("hv.search.chunk_seconds");
+  std::fprintf(out,
+               "  ],\n"
+               "  \"obs\": {\n"
+               "    \"encode_rows\": %llu,\n"
+               "    \"search_word_ops\": %llu,\n"
+               "    \"pool_tasks_completed\": %llu,\n"
+               "    \"pool_queue_depth_peak\": %lld,\n"
+               "    \"encode_stage_seconds\": %.6f,\n"
+               "    \"search_stage_seconds\": %.6f,\n"
+               "    \"snapshot\": %s\n"
+               "  }\n}\n",
+               static_cast<unsigned long long>(
+                   obs_snapshot.counter_value("hv.encode.rows")),
+               static_cast<unsigned long long>(
+                   obs_snapshot.counter_value("hv.search.word_ops")),
+               static_cast<unsigned long long>(
+                   obs_snapshot.counter_value("pool.tasks_completed")),
+               static_cast<long long>(obs_snapshot.gauge_max("pool.queue_depth")),
+               encode_hist != nullptr ? encode_hist->sum : 0.0,
+               search_hist != nullptr ? search_hist->sum : 0.0,
+               hdc::obs::to_json(obs_snapshot).c_str());
   std::fclose(out);
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;

@@ -4,21 +4,32 @@
 //   hdc_cli train data.csv model.hdc               # fit extractor + Hamming 1-NN
 //   hdc_cli evaluate data.csv model.hdc            # accuracy report on a CSV
 //   hdc_cli predict data.csv model.hdc             # per-row predictions
+//   hdc_cli experiment data.csv                    # Hamming LOOCV + model fit
 //
 // The model file holds the serialized extractor followed by the serialized
 // Hamming classifier; --label <column> selects the label column (default:
 // last), --dim / --seed control the encoding.
+//
+// Observability (any command): --metrics-out=FILE writes the obs metrics
+// registry as JSON; --trace-out=FILE writes a Chrome trace-event JSON
+// (chrome://tracing / Perfetto) of the run's spans. Both enable the
+// corresponding recording; results are identical either way.
 #include <cstdio>
 #include <fstream>
 #include <string>
 
+#include "core/experiment.hpp"
 #include "core/extractor.hpp"
 #include "core/hamming_classifier.hpp"
 #include "core/serialize.hpp"
 #include "data/csv.hpp"
 #include "data/describe.hpp"
 #include "eval/metrics.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -86,6 +97,32 @@ int cmd_evaluate(const hdc::data::Dataset& ds, const std::string& model_path) {
   return 0;
 }
 
+int cmd_experiment(const hdc::data::Dataset& ds, const hdc::util::Cli& cli) {
+  hdc::core::ExperimentConfig config;
+  config.extractor.dimensions = static_cast<std::size_t>(cli.get_int("--dim", 10000));
+  config.extractor.seed = cli.get_uint("--seed", 2023);
+  // Default to a 2-worker pool so the pool instrumentation is exercised even
+  // on single-core hosts; results are thread-count-invariant by contract.
+  config.threads = static_cast<std::size_t>(cli.get_int("--threads", 2));
+
+  // The paper's pure-HDC protocol: encode every row, leave-one-out 1-NN.
+  const hdc::core::ExperimentResult loo =
+      hdc::core::hamming_loo_observed(ds, config);
+  std::printf("hamming_loo  n=%zu  accuracy=%.2f%%  precision=%.3f  recall=%.3f  "
+              "f1=%.3f\n",
+              ds.n_rows(), 100.0 * loo.metrics.accuracy, loo.metrics.precision,
+              loo.metrics.recall, loo.metrics.f1);
+
+  // A conventional-model stage so the trace shows the full
+  // encode -> search -> fit pipeline (paper Table IV protocol).
+  const std::string model_name = cli.get_string("--model", "Logistic Regression");
+  const hdc::eval::BinaryMetrics holdout = hdc::core::holdout_metrics(
+      ds, model_name, hdc::core::InputMode::kRawFeatures, 0.1, config);
+  std::printf("holdout(%s)  accuracy=%.2f%%  f1=%.3f\n", model_name.c_str(),
+              100.0 * holdout.accuracy, holdout.f1);
+  return 0;
+}
+
 int cmd_predict(const hdc::data::Dataset& ds, const std::string& model_path) {
   const LoadedModel m = load_model(model_path);
   std::printf("row,prediction,score\n");
@@ -99,28 +136,61 @@ int cmd_predict(const hdc::data::Dataset& ds, const std::string& model_path) {
 
 }  // namespace
 
+int run_command(const hdc::util::Cli& cli) {
+  const auto& args = cli.positional();
+  const std::string& command = args[0];
+  const hdc::data::Dataset ds = load(args[1], cli);
+  if (command == "describe") return cmd_describe(ds);
+  if (command == "experiment") return cmd_experiment(ds, cli);
+  if (args.size() < 3) {
+    std::fprintf(stderr, "%s needs a model path\n", command.c_str());
+    return 2;
+  }
+  if (command == "train") return cmd_train(ds, args[2], cli);
+  if (command == "evaluate") return cmd_evaluate(ds, args[2]);
+  if (command == "predict") return cmd_predict(ds, args[2]);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}
+
+/// Flush --metrics-out / --trace-out files after the command ran.
+void flush_observability(const std::string& metrics_out,
+                         const std::string& trace_out) {
+  if (!metrics_out.empty() && !hdc::obs::write_metrics_json(metrics_out)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (hdc::obs::write_chrome_trace(trace_out)) {
+      hdc::util::log_fields(
+          hdc::util::LogLevel::kInfo, "obs: trace flushed",
+          {{"path", trace_out},
+           {"events", std::to_string(hdc::obs::trace_event_count())},
+           {"dropped", std::to_string(hdc::obs::trace_dropped_count())}});
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", trace_out.c_str());
+    }
+  }
+}
+
 int main(int argc, char** argv) {
   const hdc::util::Cli cli(argc, argv);
   const auto& args = cli.positional();
   if (args.size() < 2) {
     std::fprintf(stderr,
-                 "usage: hdc_cli <describe|train|evaluate|predict> <data.csv> "
-                 "[model.hdc] [--label COL] [--dim N] [--seed S] [--k K]\n");
+                 "usage: hdc_cli <describe|train|evaluate|predict|experiment> "
+                 "<data.csv> [model.hdc] [--label COL] [--dim N] [--seed S] "
+                 "[--k K] [--model NAME] [--threads T] [--metrics-out FILE] "
+                 "[--trace-out FILE]\n");
     return 2;
   }
+  const std::string metrics_out = cli.get_string("--metrics-out", "");
+  const std::string trace_out = cli.get_string("--trace-out", "");
+  if (!metrics_out.empty()) hdc::obs::set_enabled(true);
+  if (!trace_out.empty()) hdc::obs::set_trace_enabled(true);
   try {
-    const std::string& command = args[0];
-    const hdc::data::Dataset ds = load(args[1], cli);
-    if (command == "describe") return cmd_describe(ds);
-    if (args.size() < 3) {
-      std::fprintf(stderr, "%s needs a model path\n", command.c_str());
-      return 2;
-    }
-    if (command == "train") return cmd_train(ds, args[2], cli);
-    if (command == "evaluate") return cmd_evaluate(ds, args[2]);
-    if (command == "predict") return cmd_predict(ds, args[2]);
-    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    return 2;
+    const int status = run_command(cli);
+    flush_observability(metrics_out, trace_out);
+    return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -8,6 +8,7 @@
 #include "data/split.hpp"
 #include "eval/metrics.hpp"
 #include "ml/zoo.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
@@ -41,6 +42,7 @@ FoldData materialize(const data::Dataset& ds, std::span<const std::size_t> train
     fold.train_X = train_ds.feature_matrix();
     fold.test_X = test_ds.feature_matrix();
   } else {
+    obs::Span span("experiment.encode");
     HdcFeatureExtractor extractor(config.extractor);
     extractor.fit(train_ds);
     fold.train_X = extractor.transform_to_matrix(train_ds);
@@ -59,9 +61,15 @@ eval::CvResult kfold_cv_accuracy(const data::Dataset& ds,
   return eval::kfold_run(
       ds.labels(), k, config.seed,
       [&](std::span<const std::size_t> train, std::span<const std::size_t> test) {
+        obs::Span fold_span("experiment.fold");
+        obs::counter("experiment.folds").increment();
         const FoldData fold = materialize(ds, train, test, mode, config);
         const auto model = ml::make_model(model_name, config.model_budget);
-        model->fit(fold.train_X, fold.train_y);
+        {
+          obs::Span fit_span("experiment.fit");
+          model->fit(fold.train_X, fold.train_y);
+        }
+        obs::Span eval_span("experiment.eval");
         return model->accuracy(fold.test_X, fold.test_y);
       });
 }
@@ -74,7 +82,11 @@ eval::BinaryMetrics holdout_metrics(const data::Dataset& ds,
       data::stratified_split(ds.labels(), test_fraction, config.seed);
   const FoldData fold = materialize(ds, split.train, split.test, mode, config);
   const auto model = ml::make_model(model_name, config.model_budget);
-  model->fit(fold.train_X, fold.train_y);
+  {
+    obs::Span fit_span("experiment.fit");
+    model->fit(fold.train_X, fold.train_y);
+  }
+  obs::Span eval_span("experiment.eval");
   return eval::compute_metrics(fold.test_y, model->predict_all(fold.test_X));
 }
 
@@ -88,8 +100,21 @@ eval::BinaryMetrics hamming_loo(const data::Dataset& ds,
 
   HdcFeatureExtractor extractor(config.extractor);
   extractor.fit(ds);
-  const std::vector<hv::BitVector> vectors = extractor.transform(ds, pool);
+  std::vector<hv::BitVector> vectors;
+  {
+    obs::Span encode_span("experiment.encode");
+    vectors = extractor.transform(ds, pool);
+  }
+  obs::Span search_span("experiment.search");
   return hamming_loo_metrics(vectors, ds.labels(), pool);
+}
+
+ExperimentResult hamming_loo_observed(const data::Dataset& ds,
+                                      const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.metrics = hamming_loo(ds, config);
+  result.obs = obs::snapshot();
+  return result;
 }
 
 NnProtocolResult nn_protocol(const data::Dataset& ds, InputMode mode,

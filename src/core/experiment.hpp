@@ -11,6 +11,7 @@
 #include "eval/cross_validation.hpp"
 #include "eval/metrics.hpp"
 #include "nn/sequential.hpp"
+#include "obs/metrics.hpp"
 
 namespace hdc::core {
 
@@ -48,6 +49,19 @@ struct ExperimentConfig {
 /// paper builds all patient hypervectors up front).
 [[nodiscard]] eval::BinaryMetrics hamming_loo(const data::Dataset& ds,
                                               const ExperimentConfig& config);
+
+/// Metrics plus the obs-registry state captured when the run finished. The
+/// snapshot is pure observability output — identical metrics are produced
+/// whether obs recording is on or off.
+struct ExperimentResult {
+  eval::BinaryMetrics metrics;
+  obs::MetricsSnapshot obs;
+};
+
+/// hamming_loo() plus a global-registry snapshot taken after the run (the
+/// encode / search / pool counters accumulated so far in this process).
+[[nodiscard]] ExperimentResult hamming_loo_observed(const data::Dataset& ds,
+                                                    const ExperimentConfig& config);
 
 struct NnProtocolResult {
   double mean_test_accuracy = 0.0;

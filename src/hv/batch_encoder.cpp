@@ -1,10 +1,40 @@
 #include "hv/batch_encoder.hpp"
 
+#include <bit>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace hdc::hv {
+
+namespace {
+
+/// Registry handles resolved once per process; recording is gated on
+/// obs::enabled() so the disabled path costs one relaxed load per chunk.
+struct EncodeMetrics {
+  obs::Counter& rows = obs::counter("hv.encode.rows");
+  obs::Counter& bits_set = obs::counter("hv.encode.bits_set");
+  obs::Counter& chunks = obs::counter("hv.encode.chunks");
+  obs::Histogram& chunk_seconds = obs::histogram("hv.encode.chunk_seconds");
+
+  static EncodeMetrics& get() {
+    static EncodeMetrics metrics;
+    return metrics;
+  }
+};
+
+std::size_t popcount_words(const std::uint64_t* words, std::size_t n) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+}  // namespace
 
 std::vector<BitVector> BatchEncoder::encode_rows(std::size_t n_rows,
                                                  const RowFn& row_of) const {
@@ -12,10 +42,22 @@ std::vector<BitVector> BatchEncoder::encode_rows(std::size_t n_rows,
   parallel::parallel_for_chunks(
       0, n_rows,
       [&](std::size_t lo, std::size_t hi) {
+        obs::Span span("hv.encode.chunk");
+        const bool obs_on = obs::enabled();
+        util::Timer timer;
         RecordEncoder::Scratch scratch;
         std::vector<double> row_scratch;
+        std::size_t bits_set = 0;
         for (std::size_t i = lo; i < hi; ++i) {
           out[i] = encoder_->encode(row_of(i, row_scratch), scratch);
+          if (obs_on) bits_set += out[i].popcount();
+        }
+        if (obs_on) {
+          EncodeMetrics& metrics = EncodeMetrics::get();
+          metrics.rows.add(hi - lo);
+          metrics.bits_set.add(bits_set);
+          metrics.chunks.increment();
+          metrics.chunk_seconds.record(timer.seconds());
         }
       },
       options_.pool);
@@ -38,10 +80,22 @@ PackedHVs BatchEncoder::encode_packed(std::size_t n_rows, const RowFn& row_of) c
   parallel::parallel_for_chunks(
       0, n_rows,
       [&](std::size_t lo, std::size_t hi) {
+        obs::Span span("hv.encode.chunk");
+        const bool obs_on = obs::enabled();
+        util::Timer timer;
         RecordEncoder::Scratch scratch;
         std::vector<double> row_scratch;
+        std::size_t bits_set = 0;
         for (std::size_t i = lo; i < hi; ++i) {
           out.set_row(i, encoder_->encode(row_of(i, row_scratch), scratch));
+          if (obs_on) bits_set += popcount_words(out.row(i), out.words_per_row());
+        }
+        if (obs_on) {
+          EncodeMetrics& metrics = EncodeMetrics::get();
+          metrics.rows.add(hi - lo);
+          metrics.bits_set.add(bits_set);
+          metrics.chunks.increment();
+          metrics.chunk_seconds.record(timer.seconds());
         }
       },
       options_.pool);

@@ -4,7 +4,10 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace hdc::hv {
 
@@ -52,6 +55,21 @@ std::size_t hamming_words(const std::uint64_t* a, const std::uint64_t* b,
 
 namespace {
 
+/// Registry handles resolved once per process. Counts are derived
+/// arithmetically outside the XOR-popcount loops, so the kernels themselves
+/// are untouched and the disabled path costs one relaxed load per chunk.
+struct SearchMetrics {
+  obs::Counter& queries = obs::counter("hv.search.queries");
+  obs::Counter& tiles = obs::counter("hv.search.tiles");
+  obs::Counter& word_ops = obs::counter("hv.search.word_ops");
+  obs::Histogram& chunk_seconds = obs::histogram("hv.search.chunk_seconds");
+
+  static SearchMetrics& get() {
+    static SearchMetrics metrics;
+    return metrics;
+  }
+};
+
 void check_search_inputs(const PackedHVs& queries, const PackedHVs& database,
                          const SearchOptions& options) {
   if (queries.empty() || database.empty()) {
@@ -85,6 +103,11 @@ void tiled_sweep(const PackedHVs& queries, const PackedHVs& database,
   parallel::parallel_for_chunks(
       0, queries.rows(),
       [&](std::size_t q_lo, std::size_t q_hi) {
+        obs::Span span("hv.search.chunk");
+        const bool obs_on = obs::enabled();
+        util::Timer timer;
+        std::size_t local_tiles = 0;
+        std::size_t local_pairs = 0;
         for (std::size_t qt = q_lo; qt < q_hi; qt += tile_q) {
           const std::size_t qt_end = std::min(qt + tile_q, q_hi);
           for (std::size_t jt = 0; jt < database.rows(); jt += tile_db) {
@@ -96,7 +119,25 @@ void tiled_sweep(const PackedHVs& queries, const PackedHVs& database,
                 visit(q, j, hamming_words(qrow, database.row(j), words));
               }
             }
+            if (obs_on) {
+              ++local_tiles;
+              std::size_t pairs = (qt_end - qt) * (jt_end - jt);
+              if (options.exclude_same_index) {
+                // Diagonal entries skipped inside this tile.
+                const std::size_t lo = std::max(qt, jt);
+                const std::size_t hi = std::min(qt_end, jt_end);
+                if (hi > lo) pairs -= hi - lo;
+              }
+              local_pairs += pairs;
+            }
           }
+        }
+        if (obs_on) {
+          SearchMetrics& metrics = SearchMetrics::get();
+          metrics.queries.add(q_hi - q_lo);
+          metrics.tiles.add(local_tiles);
+          metrics.word_ops.add(local_pairs * words);
+          metrics.chunk_seconds.record(timer.seconds());
         }
       },
       options.pool);

@@ -6,6 +6,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hdc::ml {
 
 namespace {
@@ -28,6 +31,7 @@ std::uint8_t HistGbdtClassifier::bin_of(std::size_t feature, double value) const
 }
 
 void HistGbdtClassifier::fit(const Matrix& X, const Labels& y) {
+  obs::Span span("ml.hist_gbdt.fit");
   validate_training_data(X, y);
   const std::size_t n = X.size();
   const std::size_t d = X.front().size();
@@ -211,6 +215,7 @@ void HistGbdtClassifier::fit(const Matrix& X, const Labels& y) {
     }
     trees_.push_back(std::move(tree));
   }
+  obs::counter("ml.fit.boost_rounds").add(trees_.size());
 }
 
 double HistGbdtClassifier::tree_output(const Tree& tree, std::span<const double> x) {

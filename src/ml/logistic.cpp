@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hdc::ml {
 
 namespace {
@@ -14,6 +17,7 @@ LogisticRegression::LogisticRegression(LogisticConfig config) : config_(config) 
 }
 
 void LogisticRegression::fit(const Matrix& X, const Labels& y) {
+  obs::Span span("ml.logistic.fit");
   validate_training_data(X, y);
   const std::size_t n = X.size();
   const std::size_t d = X.front().size();
@@ -52,7 +56,9 @@ void LogisticRegression::fit(const Matrix& X, const Labels& y) {
   const double lambda = 1.0 / (config_.c * static_cast<double>(n));
   std::vector<double> grad(d);
 
+  std::size_t iters_run = 0;
   for (std::size_t iter = 0; iter < config_.max_iter; ++iter) {
+    ++iters_run;
     std::fill(grad.begin(), grad.end(), 0.0);
     double grad_b = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -79,6 +85,7 @@ void LogisticRegression::fit(const Matrix& X, const Labels& y) {
     vel_b = config_.momentum * vel_b - config_.learning_rate * grad_b;
     b_ += vel_b;
   }
+  obs::counter("ml.fit.iterations").add(iters_run);
 }
 
 double LogisticRegression::predict_proba(std::span<const double> x) const {

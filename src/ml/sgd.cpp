@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace hdc::ml {
@@ -14,6 +16,7 @@ SgdClassifier::SgdClassifier(SgdConfig config) : config_(config) {
 }
 
 void SgdClassifier::fit(const Matrix& X, const Labels& y) {
+  obs::Span span("ml.sgd.fit");
   validate_training_data(X, y);
   const std::size_t n = X.size();
   const std::size_t d = X.front().size();
@@ -56,6 +59,7 @@ void SgdClassifier::fit(const Matrix& X, const Labels& y) {
       }
     }
   }
+  obs::counter("ml.fit.epochs").add(config_.epochs);
 }
 
 double SgdClassifier::decision(std::span<const double> x) const {

@@ -1,0 +1,24 @@
+// Serialisation of metrics snapshots: JSON (machine-readable, embedded in
+// bench artefacts / written by --metrics-out) and plain-text tables (human
+// inspection, log flushes).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace hdc::obs {
+
+/// One JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+/// Gauges carry {"value", "max"}; histograms carry bounds, per-bucket counts,
+/// total count, and sum.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Aligned plain-text table (one instrument per line).
+[[nodiscard]] std::string to_text(const MetricsSnapshot& snapshot);
+
+/// Snapshot the global registry and write to_json() to `path`; false on I/O
+/// failure. Logs a structured info line on success.
+bool write_metrics_json(const std::string& path);
+
+}  // namespace hdc::obs

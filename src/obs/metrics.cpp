@@ -1,0 +1,261 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace hdc::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept {
+  if constexpr (!kCompiledIn) return false;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t shard_index() noexcept {
+  // One shard per thread, assigned round-robin at first use. A fixed
+  // assignment keeps the hot path to a single thread_local read.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return index;
+}
+
+}  // namespace detail
+
+// -- Counter ------------------------------------------------------------
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const detail::Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (detail::Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+// -- Gauge --------------------------------------------------------------
+
+void Gauge::add(std::int64_t delta) noexcept {
+  if (!enabled()) return;
+  const std::int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  raise_max(now);
+}
+
+void Gauge::set(std::int64_t value) noexcept {
+  if (!enabled()) return;
+  value_.store(value, std::memory_order_relaxed);
+  raise_max(value);
+}
+
+void Gauge::raise_max(std::int64_t candidate) noexcept {
+  std::int64_t seen = max_.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !max_.compare_exchange_weak(seen, candidate, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::reset() noexcept {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// -- Histogram ----------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)),
+      n_buckets_(bounds_.size() + 1),
+      cells_(new std::atomic<std::uint64_t>[kShards * n_buckets_]) {
+  for (std::size_t i = 0; i < kShards * n_buckets_; ++i) cells_[i] = 0;
+}
+
+void Histogram::record(double value) noexcept {
+  if (!enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  cells_[detail::shard_index() * n_buckets_ + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // double sum via bit-cast CAS (atomic<double>::fetch_add is not universal).
+  std::uint64_t seen = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next =
+        std::bit_cast<std::uint64_t>(std::bit_cast<double>(seen) + value);
+    if (sum_bits_.compare_exchange_weak(seen, next, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(n_buckets_, 0);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b < n_buckets_; ++b) {
+      out[b] += cells_[s * n_buckets_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i < kShards * n_buckets_; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(std::bit_cast<std::uint64_t>(0.0), std::memory_order_relaxed);
+}
+
+std::span<const double> default_latency_bounds() noexcept {
+  // 1 µs .. ~8.4 s doubling per bucket (24 bounds + overflow).
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    double v = 1e-6;
+    for (int i = 0; i < 24; ++i) {
+      b.push_back(v);
+      v *= 2.0;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+// -- Snapshot -----------------------------------------------------------
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const noexcept {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge_max(std::string_view name) const noexcept {
+  for (const GaugeSample& g : gauges) {
+    if (g.name == name) return g.max;
+  }
+  return 0;
+}
+
+const HistogramSample* MetricsSnapshot::histogram(std::string_view name) const noexcept {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+// -- Registry -----------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // deques keep element addresses stable across registration.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*, std::less<>> counter_by_name;
+  std::map<std::string, Gauge*, std::less<>> gauge_by_name;
+  std::map<std::string, Histogram*, std::less<>> histogram_by_name;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::global() {
+  // Leaked on purpose: pool workers and Span destructors may record during
+  // static destruction, after a function-local static would have died.
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (const auto it = impl_->counter_by_name.find(name);
+      it != impl_->counter_by_name.end()) {
+    return *it->second;
+  }
+  Counter& created = impl_->counters.emplace_back(std::string(name));
+  impl_->counter_by_name.emplace(created.name(), &created);
+  return created;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (const auto it = impl_->gauge_by_name.find(name);
+      it != impl_->gauge_by_name.end()) {
+    return *it->second;
+  }
+  Gauge& created = impl_->gauges.emplace_back(std::string(name));
+  impl_->gauge_by_name.emplace(created.name(), &created);
+  return created;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (const auto it = impl_->histogram_by_name.find(name);
+      it != impl_->histogram_by_name.end()) {
+    return *it->second;
+  }
+  if (bounds.empty()) bounds = default_latency_bounds();
+  Histogram& created = impl_->histograms.emplace_back(
+      std::string(name), std::vector<double>(bounds.begin(), bounds.end()));
+  impl_->histogram_by_name.emplace(created.name(), &created);
+  return created;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(impl_->counters.size());
+  for (const Counter& c : impl_->counters) {
+    snap.counters.push_back({c.name(), c.value()});
+  }
+  snap.gauges.reserve(impl_->gauges.size());
+  for (const Gauge& g : impl_->gauges) {
+    snap.gauges.push_back({g.name(), g.value(), g.max_value()});
+  }
+  snap.histograms.reserve(impl_->histograms.size());
+  for (const Histogram& h : impl_->histograms) {
+    snap.histograms.push_back(
+        {h.name(), h.bounds(), h.bucket_counts(), h.count(), h.sum()});
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (Counter& c : impl_->counters) c.reset();
+  for (Gauge& g : impl_->gauges) g.reset();
+  for (Histogram& h : impl_->histograms) h.reset();
+}
+
+Counter& counter(std::string_view name) { return Registry::global().counter(name); }
+Gauge& gauge(std::string_view name) { return Registry::global().gauge(name); }
+Histogram& histogram(std::string_view name, std::span<const double> bounds) {
+  return Registry::global().histogram(name, bounds);
+}
+MetricsSnapshot snapshot() { return Registry::global().snapshot(); }
+void reset_metrics() { Registry::global().reset(); }
+
+}  // namespace hdc::obs

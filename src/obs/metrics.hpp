@@ -1,0 +1,203 @@
+// hdc::obs metrics registry — named counters, gauges, and fixed-bucket
+// histograms for the encode / search / train pipeline.
+//
+// Hot paths (per-row encode, per-tile Hamming block, pool dispatch) record
+// through sharded std::atomic cells: each thread lands on a fixed shard, so
+// concurrent adds never contend on one cache line and never take a lock.
+// Reads (snapshot) sum the shards. Recording is gated on a process-wide
+// enabled flag — a single relaxed load when off — and the whole layer can be
+// compiled out with -DHDC_OBS_DISABLE.
+//
+// Instruments are registered once by name and live for the process lifetime
+// (the registry is intentionally leaked so worker threads may record during
+// static destruction). Metrics never feed back into results: the library's
+// determinism contract is independent of whether recording is on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hdc::obs {
+
+/// Compile-time kill switch: with -DHDC_OBS_DISABLE every record call is a
+/// constant-false branch the optimiser removes.
+#ifdef HDC_OBS_DISABLE
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// Process-wide runtime switch (default off). Cheap to flip at any time.
+void set_enabled(bool on) noexcept;
+[[nodiscard]] bool enabled() noexcept;
+
+/// Shard count for counter / histogram cells (power of two).
+inline constexpr std::size_t kShards = 16;
+
+namespace detail {
+
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Stable per-thread shard index in [0, kShards).
+[[nodiscard]] std::size_t shard_index() noexcept;
+
+}  // namespace detail
+
+/// Monotonically increasing sharded counter.
+class Counter {
+ public:
+  /// Create through Registry::counter(); public only for container emplace.
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n) noexcept {
+    if (!enabled()) return;
+    shards_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Sum across shards (approximate only while writers are mid-add).
+  [[nodiscard]] std::uint64_t value() const noexcept;
+  void reset() noexcept;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  detail::Shard shards_[kShards];
+};
+
+/// Up/down instantaneous value with a high-water mark (e.g. queue depth).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void add(std::int64_t delta) noexcept;
+  void set(std::int64_t value) noexcept;
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Highest value observed since construction / reset().
+  [[nodiscard]] std::int64_t max_value() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  void raise_max(std::int64_t candidate) noexcept;
+
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-boundary histogram. Bucket b counts values <= bounds[b]; one extra
+/// overflow bucket counts everything above the last bound. Cells are sharded
+/// like Counter so concurrent record() calls stay lock-free.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket totals (bounds().size() + 1 entries, last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  void reset() noexcept;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  std::size_t n_buckets_;
+  // kShards * n_buckets_ cells, shard-major.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // double stored via bit_cast CAS
+};
+
+/// Exponential latency boundaries in seconds: 1 µs .. ~8.4 s, ×2 per bucket.
+[[nodiscard]] std::span<const double> default_latency_bounds() noexcept;
+
+// -- Snapshot -----------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every registered instrument, in registration order.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Counter value by name (0 if absent) — convenience for tests/benches.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const noexcept;
+  [[nodiscard]] std::int64_t gauge_max(std::string_view name) const noexcept;
+  [[nodiscard]] const HistogramSample* histogram(std::string_view name) const noexcept;
+};
+
+// -- Registry -----------------------------------------------------------
+
+/// Named instrument registry. Lookup takes a mutex; call sites cache the
+/// returned reference (function-local static), so the hot path never locks.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Empty bounds = default_latency_bounds(). Bounds are fixed at first
+  /// registration; later calls with the same name ignore them.
+  Histogram& histogram(std::string_view name, std::span<const double> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every instrument (names stay registered).
+  void reset();
+
+ private:
+  Registry();
+  struct Impl;
+  Impl* impl_;  // leaked with the registry — never destroyed
+};
+
+/// Global-registry conveniences used by instrumentation sites.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name,
+                                   std::span<const double> bounds = {});
+[[nodiscard]] MetricsSnapshot snapshot();
+void reset_metrics();
+
+}  // namespace hdc::obs

@@ -1,0 +1,183 @@
+#include "obs/trace.hpp"
+
+#include "obs/metrics.hpp"  // kCompiledIn
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hdc::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+std::uint64_t now_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+          .count());
+}
+
+struct TraceEvent {
+  const char* name;
+  std::uint64_t begin_ns;
+  std::uint64_t dur_ns;
+};
+
+// Per-thread buffer; the mutex is uncontended on the hot path (only the
+// owning thread appends; flush/clear from other threads is rare).
+struct TraceBuffer {
+  std::mutex mutex;
+  std::uint32_t tid;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+BufferRegistry& buffer_registry() {
+  // Leaked: spans in pool workers may fire during static destruction.
+  static BufferRegistry* registry = new BufferRegistry;
+  return *registry;
+}
+
+TraceBuffer& local_buffer() {
+  thread_local const std::shared_ptr<TraceBuffer> buffer = [] {
+    auto created = std::make_shared<TraceBuffer>();
+    created->events.reserve(1024);
+    BufferRegistry& registry = buffer_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    created->tid = registry.next_tid++;
+    registry.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+void record_event(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+  TraceBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kTraceCapacity) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back({name, begin_ns, end_ns - begin_ns});
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      out += hex;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) noexcept {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  if constexpr (!kCompiledIn) return false;
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) noexcept {
+  if (!trace_enabled()) return;
+  name_ = name;
+  begin_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  record_event(name_, begin_ns_, now_ns());
+}
+
+std::size_t trace_event_count() {
+  BufferRegistry& registry = buffer_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::size_t trace_dropped_count() {
+  BufferRegistry& registry = buffer_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void clear_trace() {
+  BufferRegistry& registry = buffer_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::string chrome_trace_json() {
+  // Complete events ("ph":"X") carry begin + duration in microseconds, so
+  // span nesting is expressed by interval containment — no begin/end pairing
+  // for viewers to lose.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  BufferRegistry& registry = buffer_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const TraceEvent& event : buffer->events) {
+      if (!first) out.push_back(',');
+      first = false;
+      char fields[160];
+      out += "{\"name\":\"";
+      append_json_escaped(out, event.name);
+      std::snprintf(fields, sizeof(fields),
+                    "\",\"cat\":\"hdc\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"pid\":1,\"tid\":%u}",
+                    static_cast<double>(event.begin_ns) / 1e3,
+                    static_cast<double>(event.dur_ns) / 1e3, buffer->tid);
+      out += fields;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  const bool closed = std::fclose(file) == 0;
+  return wrote && closed;
+}
+
+}  // namespace hdc::obs

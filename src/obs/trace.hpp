@@ -1,0 +1,60 @@
+// hdc::obs tracing — RAII spans recorded into thread-local ring buffers and
+// flushed on demand as Chrome trace-event JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// A Span stamps steady-clock begin/end timestamps around a scope; the
+// completed event (name, thread, begin, duration) is appended to the calling
+// thread's buffer. Buffers hold kTraceCapacity events each; overflow drops
+// new events and counts them (pairing is never corrupted). Timestamps are
+// observability output only — they never feed back into any computation, so
+// tracing cannot perturb the library's determinism guarantees.
+//
+// Span names must be string literals (or otherwise outlive the trace); the
+// buffer stores the pointer, not a copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hdc::obs {
+
+/// Process-wide tracing switch (default off). Spans constructed while the
+/// switch is off record nothing, ever; flipping it mid-span is safe.
+void set_trace_enabled(bool on) noexcept;
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Events each thread's ring buffer can hold before dropping.
+inline constexpr std::size_t kTraceCapacity = 1 << 16;
+
+class Span {
+ public:
+  /// `name` must point at storage that outlives the trace (string literal).
+  explicit Span(const char* name) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True if this span is recording (tracing was enabled at construction).
+  [[nodiscard]] bool active() const noexcept { return name_ != nullptr; }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+};
+
+/// Total buffered events / events dropped to overflow, across all threads.
+[[nodiscard]] std::size_t trace_event_count();
+[[nodiscard]] std::size_t trace_dropped_count();
+
+/// Discard all buffered events (buffers stay registered).
+void clear_trace();
+
+/// Serialise every buffered event to Chrome trace-event JSON.
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace hdc::obs

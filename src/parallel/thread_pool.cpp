@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
 namespace hdc::parallel {
+
+namespace {
+
+/// Registry handles resolved once; all pool instances share these.
+struct PoolMetrics {
+  obs::Counter& submitted = obs::counter("pool.tasks_submitted");
+  obs::Counter& completed = obs::counter("pool.tasks_completed");
+  obs::Gauge& queue_depth = obs::gauge("pool.queue_depth");
+  obs::Histogram& task_seconds = obs::histogram("pool.task_seconds");
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -29,12 +49,23 @@ void ThreadPool::submit(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++in_flight_;
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    PoolMetrics& metrics = PoolMetrics::get();
+    metrics.submitted.increment();
+    metrics.queue_depth.add(1);
+  }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
 }
 
 ThreadPool& ThreadPool::global() {
@@ -56,7 +87,17 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (obs::enabled()) {
+      PoolMetrics& metrics = PoolMetrics::get();
+      metrics.queue_depth.add(-1);
+      util::Timer timer;
+      task();
+      metrics.task_seconds.record(timer.seconds());
+      metrics.completed.increment();
+    } else {
+      task();
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

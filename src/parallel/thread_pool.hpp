@@ -3,10 +3,17 @@
 // Results of all library algorithms are independent of thread count: parallel
 // loops partition the index space statically and any per-item randomness is
 // derived by hashing (seed, item index) rather than by sharing a generator.
+//
+// Every pool feeds the process-wide obs registry (pool.tasks_submitted /
+// pool.tasks_completed counters, pool.queue_depth gauge, pool.task_seconds
+// histogram) when obs::enabled(); the per-instance stats accessors below are
+// always live and cost one relaxed atomic each.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -32,6 +39,17 @@ class ThreadPool {
   /// Block until all submitted tasks have finished.
   void wait_idle();
 
+  /// Lifetime totals for this pool instance. After wait_idle() returns,
+  /// tasks_submitted() == tasks_completed() and queue_depth() == 0.
+  [[nodiscard]] std::uint64_t tasks_submitted() const noexcept {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t tasks_completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  /// Tasks queued but not yet picked up by a worker.
+  [[nodiscard]] std::size_t queue_depth() const;
+
   /// Process-wide default pool (lazily constructed).
   static ThreadPool& global();
 
@@ -40,11 +58,13 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
 };
 
 /// Invoke fn(i) for i in [begin, end). Splits the range into contiguous

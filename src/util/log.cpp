@@ -3,12 +3,30 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/str.hpp"
 
 namespace hdc::util {
 
 namespace {
+
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+
+/// First-use initialisation from HDC_LOG_LEVEL; explicit set_log_level()
+/// afterwards wins because it stores after this ran.
+void init_level_from_env_once() noexcept {
+  static const bool initialised = [] {
+    if (const char* env = std::getenv("HDC_LOG_LEVEL")) {
+      if (const std::optional<LogLevel> parsed = parse_log_level(env)) {
+        g_level.store(*parsed, std::memory_order_relaxed);
+      }
+    }
+    return true;
+  }();
+  (void)initialised;
+}
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -19,11 +37,36 @@ const char* level_name(LogLevel level) noexcept {
     default: return "?????";
   }
 }
+
+bool needs_quoting(std::string_view value) noexcept {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '\t' || c == '=' || c == '"') return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+void set_log_level(LogLevel level) noexcept {
+  init_level_from_env_once();
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() noexcept {
+  init_level_from_env_once();
+  return g_level.load(std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  const std::string lower = to_lower(trim(name));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 void log_message(LogLevel level, std::string_view msg) {
   using Clock = std::chrono::steady_clock;
@@ -33,6 +76,32 @@ void log_message(LogLevel level, std::string_view msg) {
   std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "[%9.3f] %s %.*s\n", elapsed, level_name(level),
                static_cast<int>(msg.size()), msg.data());
+}
+
+std::string format_fields(std::string_view msg, std::span<const LogField> fields) {
+  std::string out(msg);
+  for (const LogField& field : fields) {
+    out.push_back(' ');
+    out += field.key;
+    out.push_back('=');
+    if (!needs_quoting(field.value)) {
+      out += field.value;
+      continue;
+    }
+    out.push_back('"');
+    for (const char c : field.value) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+void log_fields(LogLevel level, std::string_view msg,
+                std::span<const LogField> fields) {
+  if (log_level() > level || level == LogLevel::kOff) return;
+  log_message(level, format_fields(msg, fields));
 }
 
 }  // namespace hdc::util

@@ -1,7 +1,15 @@
 // Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// The minimum level is initialised from the HDC_LOG_LEVEL environment
+// variable (debug | info | warn | error | off, case-insensitive) at first
+// use; set_log_level() overrides it. Structured messages append `key=value`
+// fields after the message text (values with spaces / '=' / '"' are quoted).
 #pragma once
 
+#include <initializer_list>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -10,12 +18,36 @@ namespace hdc::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global minimum level; messages below it are discarded.
+/// Global minimum level; messages below it are discarded. Overrides any
+/// HDC_LOG_LEVEL environment setting.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
+/// Parse a level name ("debug", "info", "warn"/"warning", "error", "off"),
+/// case-insensitive; nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+
 /// Emit a single log line (adds timestamp + level prefix).
 void log_message(LogLevel level, std::string_view msg);
+
+/// One structured key=value field.
+struct LogField {
+  std::string key;
+  std::string value;
+};
+
+/// Render `msg key=value ...`; values containing spaces, '=', or '"' are
+/// double-quoted with embedded quotes/backslashes escaped.
+[[nodiscard]] std::string format_fields(std::string_view msg,
+                                        std::span<const LogField> fields);
+
+/// Structured emit: one line, message followed by key=value fields.
+void log_fields(LogLevel level, std::string_view msg,
+                std::span<const LogField> fields);
+inline void log_fields(LogLevel level, std::string_view msg,
+                       std::initializer_list<LogField> fields) {
+  log_fields(level, msg, std::span<const LogField>(fields.begin(), fields.size()));
+}
 
 namespace detail {
 template <typename... Args>

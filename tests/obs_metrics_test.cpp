@@ -1,0 +1,180 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace hdc::obs {
+namespace {
+
+/// Every test runs with recording on and a zeroed registry, and restores the
+/// process default (off) afterwards so other suites see a quiet registry.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_metrics();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset_metrics();
+  }
+};
+
+TEST_F(ObsMetricsTest, InstrumentationIsCompiledIn) {
+  // The default build keeps the recording paths; -DHDC_OBS_DISABLE turns
+  // kCompiledIn false and enabled() into a constant the optimiser removes.
+  EXPECT_TRUE(kCompiledIn);
+  EXPECT_TRUE(enabled());
+}
+
+TEST_F(ObsMetricsTest, CounterAddsAndSumsShards) {
+  Counter& c = counter("test.counter.basic");
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(ObsMetricsTest, ConcurrentIncrementsSumExactly) {
+  Counter& c = counter("test.counter.concurrent");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::size_t i = 0; i < kIncrements; ++i) c.increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kIncrements);
+}
+
+TEST_F(ObsMetricsTest, DisabledRecordingIsInvisible) {
+  Counter& c = counter("test.counter.disabled");
+  Gauge& g = gauge("test.gauge.disabled");
+  Histogram& h = histogram("test.hist.disabled");
+  set_enabled(false);
+  c.add(100);
+  g.add(5);
+  h.record(0.5);
+  set_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max_value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST_F(ObsMetricsTest, GaugeTracksValueAndHighWaterMark) {
+  Gauge& g = gauge("test.gauge.basic");
+  g.add(3);
+  g.add(4);   // 7 — peak
+  g.add(-5);  // 2
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max_value(), 7);
+  g.set(1);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.max_value(), 7);
+}
+
+TEST_F(ObsMetricsTest, ConcurrentGaugeNetsToZero) {
+  Gauge& g = gauge("test.gauge.concurrent");
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (std::size_t i = 0; i < 10000; ++i) {
+        g.add(1);
+        g.add(-1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_GE(g.max_value(), 1);
+  EXPECT_LE(g.max_value(), static_cast<std::int64_t>(kThreads));
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketBoundariesAreInclusiveUpper) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  Histogram& h = histogram("test.hist.bounds", bounds);
+  ASSERT_EQ(h.bounds(), bounds);
+  // Bucket b counts values <= bounds[b]; the 4th bucket is overflow.
+  h.record(0.5);
+  h.record(1.0);  // boundary lands in bucket 0
+  h.record(1.5);
+  h.record(2.0);  // bucket 1
+  h.record(3.0);
+  h.record(100.0);  // overflow
+  const std::vector<std::uint64_t> expected = {2, 2, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), expected);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 108.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramConcurrentRecordsSumExactly) {
+  Histogram& h = histogram("test.hist.concurrent", std::vector<double>{0.5});
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRecords = 10000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::size_t i = 0; i < kRecords; ++i) h.record(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kRecords);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kRecords));
+  EXPECT_EQ(h.bucket_counts().back(), kThreads * kRecords);  // all overflow
+}
+
+TEST_F(ObsMetricsTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const std::span<const double> bounds = default_latency_bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST_F(ObsMetricsTest, RegistryReturnsSameInstrumentForSameName) {
+  EXPECT_EQ(&counter("test.same"), &counter("test.same"));
+  EXPECT_EQ(&gauge("test.same"), &gauge("test.same"));
+  EXPECT_EQ(&histogram("test.same"), &histogram("test.same"));
+  EXPECT_NE(&counter("test.same"), &counter("test.other"));
+}
+
+TEST_F(ObsMetricsTest, SnapshotCarriesEveryInstrumentAndResetZeroes) {
+  counter("test.snap.counter").add(7);
+  gauge("test.snap.gauge").add(3);
+  histogram("test.snap.hist").record(0.25);
+
+  const MetricsSnapshot snap = snapshot();
+  EXPECT_EQ(snap.counter_value("test.snap.counter"), 7u);
+  EXPECT_EQ(snap.gauge_max("test.snap.gauge"), 3);
+  const HistogramSample* hist = snap.histogram("test.snap.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_DOUBLE_EQ(hist->sum, 0.25);
+  EXPECT_EQ(hist->bucket_counts.size(), hist->bounds.size() + 1);
+
+  reset_metrics();
+  const MetricsSnapshot zeroed = snapshot();
+  EXPECT_EQ(zeroed.counter_value("test.snap.counter"), 0u);
+  EXPECT_EQ(zeroed.gauge_max("test.snap.gauge"), 0);
+  const HistogramSample* zeroed_hist = zeroed.histogram("test.snap.hist");
+  ASSERT_NE(zeroed_hist, nullptr);  // names survive a reset
+  EXPECT_EQ(zeroed_hist->count, 0u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotMissingNamesDefaultSafely) {
+  const MetricsSnapshot snap = snapshot();
+  EXPECT_EQ(snap.counter_value("test.never.registered"), 0u);
+  EXPECT_EQ(snap.gauge_max("test.never.registered"), 0);
+  EXPECT_EQ(snap.histogram("test.never.registered"), nullptr);
+}
+
+}  // namespace
+}  // namespace hdc::obs

@@ -1,0 +1,184 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hdc::obs {
+namespace {
+
+/// Minimal parsed view of one Chrome trace-event JSON object, recovered by
+/// string scanning (no JSON library in the repo — the format we emit is flat
+/// enough that field extraction is unambiguous).
+struct ParsedEvent {
+  std::string name;
+  std::string ph;
+  std::uint64_t tid = 0;
+  double ts = 0.0;   // microseconds
+  double dur = 0.0;  // microseconds
+  [[nodiscard]] double end() const { return ts + dur; }
+};
+
+std::string extract_string_field(const std::string& object, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = object.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = object.find('"', begin);
+  return object.substr(begin, end - begin);
+}
+
+double extract_number_field(const std::string& object, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = object.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::stod(object.substr(at + needle.size()));
+}
+
+/// Split the "traceEvents" array into per-event object strings and parse the
+/// fields the tests assert on.
+std::vector<ParsedEvent> parse_trace(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  const std::size_t array_at = json.find("\"traceEvents\"");
+  if (array_at == std::string::npos) return events;
+  std::size_t pos = json.find('[', array_at);
+  const std::size_t array_end = json.find(']', pos);
+  while (pos < array_end) {
+    const std::size_t open = json.find('{', pos);
+    if (open == std::string::npos || open > array_end) break;
+    const std::size_t close = json.find('}', open);
+    const std::string object = json.substr(open, close - open + 1);
+    ParsedEvent e;
+    e.name = extract_string_field(object, "name");
+    e.ph = extract_string_field(object, "ph");
+    e.tid = static_cast<std::uint64_t>(extract_number_field(object, "tid"));
+    e.ts = extract_number_field(object, "ts");
+    e.dur = extract_number_field(object, "dur");
+    events.push_back(e);
+    pos = close + 1;
+  }
+  return events;
+}
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_trace();
+    set_trace_enabled(true);
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    clear_trace();
+  }
+};
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing) {
+  set_trace_enabled(false);
+  {
+    Span span("test.disabled");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(ObsTraceTest, SpanRecordsOneCompleteEvent) {
+  { Span span("test.single"); }
+  EXPECT_EQ(trace_event_count(), 1u);
+  const std::vector<ParsedEvent> events = parse_trace(chrome_trace_json());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.single");
+  EXPECT_EQ(events[0].ph, "X");  // complete event: pairing cannot be lost
+  EXPECT_GE(events[0].ts, 0.0);
+  EXPECT_GE(events[0].dur, 0.0);
+}
+
+TEST_F(ObsTraceTest, NestedSpansAreContainedIntervals) {
+  {
+    Span outer("test.outer");
+    { Span inner("test.inner"); }
+    { Span inner2("test.inner2"); }
+  }
+  EXPECT_EQ(trace_event_count(), 3u);
+  std::vector<ParsedEvent> events = parse_trace(chrome_trace_json());
+  ASSERT_EQ(events.size(), 3u);
+
+  const auto find = [&](const std::string& name) -> const ParsedEvent& {
+    const auto it = std::find_if(events.begin(), events.end(),
+                                 [&](const ParsedEvent& e) { return e.name == name; });
+    EXPECT_NE(it, events.end()) << name;
+    return *it;
+  };
+  const ParsedEvent& outer = find("test.outer");
+  const ParsedEvent& inner = find("test.inner");
+  const ParsedEvent& inner2 = find("test.inner2");
+
+  // Same thread, and children strictly inside the parent interval.
+  EXPECT_EQ(outer.tid, inner.tid);
+  EXPECT_EQ(outer.tid, inner2.tid);
+  EXPECT_LE(outer.ts, inner.ts);
+  EXPECT_GE(outer.end(), inner.end());
+  EXPECT_LE(outer.ts, inner2.ts);
+  EXPECT_GE(outer.end(), inner2.end());
+  // Siblings are sequential, never partially overlapping.
+  EXPECT_LE(inner.end(), inner2.ts + 1e-9);
+}
+
+TEST_F(ObsTraceTest, SpansOnDifferentThreadsGetDistinctTids) {
+  { Span span("test.main_thread"); }
+  std::thread child([] { Span span("test.child_thread"); });
+  child.join();
+  EXPECT_EQ(trace_event_count(), 2u);
+  const std::vector<ParsedEvent> events = parse_trace(chrome_trace_json());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(ObsTraceTest, EventPairingSurvivesManySpans) {
+  constexpr std::size_t kSpans = 500;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    Span a("test.many.a");
+    Span b("test.many.b");
+  }
+  EXPECT_EQ(trace_event_count(), 2 * kSpans);
+  const std::vector<ParsedEvent> events = parse_trace(chrome_trace_json());
+  ASSERT_EQ(events.size(), 2 * kSpans);
+  // Every event is a self-contained "X" record — nothing left unpaired.
+  for (const ParsedEvent& e : events) {
+    EXPECT_EQ(e.ph, "X");
+    EXPECT_GE(e.dur, 0.0);
+  }
+  const std::size_t a_count = static_cast<std::size_t>(std::count_if(
+      events.begin(), events.end(),
+      [](const ParsedEvent& e) { return e.name == "test.many.a"; }));
+  EXPECT_EQ(a_count, kSpans);
+  EXPECT_EQ(trace_dropped_count(), 0u);
+}
+
+TEST_F(ObsTraceTest, JsonIsWellFormedEnvelope) {
+  { Span span("test.envelope"); }
+  const std::string json = chrome_trace_json();
+  // Braces/brackets balance and the required top-level keys are present.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(ObsTraceTest, ClearTraceDiscardsEvents) {
+  { Span span("test.cleared"); }
+  ASSERT_EQ(trace_event_count(), 1u);
+  clear_trace();
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(parse_trace(chrome_trace_json()).size(), 0u);
+}
+
+}  // namespace
+}  // namespace hdc::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
@@ -93,6 +94,39 @@ TEST(ParallelFor, ResultsMatchSerialReduction) {
 
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, StatsStartAtZero) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.tasks_submitted(), 0u);
+  EXPECT_EQ(pool.tasks_completed(), 0u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, StatsConsistentAfterWaitIdle) {
+  ThreadPool pool(3);
+  constexpr std::uint64_t kTasks = 500;
+  std::atomic<int> counter{0};
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  // After wait_idle() every submitted task has run and the queue is drained.
+  EXPECT_EQ(pool.tasks_submitted(), kTasks);
+  EXPECT_EQ(pool.tasks_completed(), kTasks);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(counter.load(), static_cast<int>(kTasks));
+}
+
+TEST(ThreadPool, StatsAccumulateAcrossBatches) {
+  ThreadPool pool(2);
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) pool.submit([] {});
+    pool.wait_idle();
+  }
+  EXPECT_EQ(pool.tasks_submitted(), 30u);
+  EXPECT_EQ(pool.tasks_completed(), 30u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,74 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace hdc::util {
+namespace {
+
+TEST(ParseLogLevel, AcceptsEveryLevelName) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST(ParseLogLevel, IsCaseInsensitiveAndTrims) {
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("  warn  "), LogLevel::kWarn);
+}
+
+TEST(ParseLogLevel, RejectsUnknownNames) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("2"), std::nullopt);
+  EXPECT_EQ(parse_log_level("warn error"), std::nullopt);
+}
+
+TEST(FormatFields, PlainValuesStayUnquoted) {
+  const std::vector<LogField> fields = {{"rows", "768"}, {"path", "out.json"}};
+  EXPECT_EQ(format_fields("encoded", fields), "encoded rows=768 path=out.json");
+}
+
+TEST(FormatFields, NoFieldsLeavesMessageAlone) {
+  EXPECT_EQ(format_fields("plain message", {}), "plain message");
+}
+
+TEST(FormatFields, QuotesValuesWithSpacesEqualsOrEmpty) {
+  const std::vector<LogField> fields = {
+      {"msg", "two words"}, {"expr", "a=b"}, {"empty", ""}};
+  EXPECT_EQ(format_fields("m", fields),
+            "m msg=\"two words\" expr=\"a=b\" empty=\"\"");
+}
+
+TEST(FormatFields, EscapesQuotesAndBackslashes) {
+  const std::vector<LogField> fields = {{"path", "C:\\dir \"x\""}};
+  EXPECT_EQ(format_fields("m", fields), "m path=\"C:\\\\dir \\\"x\\\"\"");
+}
+
+// The env-init tests rely on gtest_discover_tests running each test case in
+// its own process: setenv here precedes the binary's first log_level() call.
+TEST(LogLevelEnv, HdcLogLevelInitialisesMinimumLevel) {
+  ::setenv("HDC_LOG_LEVEL", "debug", 1);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(LogLevelEnv, InvalidValueFallsBackToDefault) {
+  ::setenv("HDC_LOG_LEVEL", "shout", 1);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);  // compiled-in default
+}
+
+TEST(LogLevelEnv, SetLogLevelOverridesEnvironment) {
+  ::setenv("HDC_LOG_LEVEL", "debug", 1);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace hdc::util
