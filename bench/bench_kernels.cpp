@@ -1,0 +1,214 @@
+// Per-kernel, per-dispatch-tier micro-bench: Hamming reduction, bulk
+// popcount, majority bundling, and the end-to-end encode path, measured on
+// every SIMD tier this machine supports and emitted as machine-readable
+// JSON (BENCH_kernels.json) so the perf trajectory is tracked per kernel.
+//
+// Throughput is reported as GB/s of hypervector words streamed through the
+// kernel plus a per-unit latency (ns/pair, ns/word-KiB, ns/bundle, rows/s).
+// The scalar tier is always present, so every row has a speedup baseline.
+//
+// Flags: --dim N (default 10000), --seed S, --reps R (default 5, best-of),
+// --pairs P (default 200000), --out PATH (default BENCH_kernels.json),
+// --fast (smaller problem sizes for CI smoke).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "data/preprocess.hpp"
+#include "data/synthetic.hpp"
+#include "hv/bitvector.hpp"
+#include "hv/search.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simd/dispatch.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using hdc::simd::Tier;
+using hdc::util::Timer;
+
+template <typename Fn>
+double best_of(std::size_t reps, const Fn& fn) {
+  double best = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    best = r == 0 ? timer.seconds() : std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+struct TierResult {
+  Tier tier = Tier::kScalar;
+  double hamming_ns_per_pair = 0.0;
+  double hamming_gbps = 0.0;
+  double popcount_gbps = 0.0;
+  double majority_ns_per_bundle = 0.0;
+  double majority_gbps = 0.0;
+  double encode_rows_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hdc::util::Cli cli(argc, argv);
+  const bool fast = cli.has_flag("--fast");
+  const std::size_t dim =
+      static_cast<std::size_t>(cli.get_int("--dim", 10000));
+  const std::uint64_t seed = cli.get_uint("--seed", 2023);
+  const std::size_t reps = static_cast<std::size_t>(cli.get_int("--reps", fast ? 2 : 5));
+  const std::size_t n_pairs =
+      static_cast<std::size_t>(cli.get_int("--pairs", fast ? 20000 : 200000));
+  const std::string out_path = cli.get_string("--out", "BENCH_kernels.json");
+
+  const std::size_t words = (dim + 63) / 64;
+  const std::size_t db_rows = 768;
+  const std::size_t bundle_n = 9;  // a realistic record's feature count
+  const std::size_t bundle_reps = fast ? 5000 : 50000;
+  const std::size_t pop_words = fast ? 1u << 18 : 1u << 22;
+
+  hdc::util::Rng rng(seed);
+  // Random packed database; queries sweep it round-robin so the working set
+  // matches the LOOCV access pattern rather than a single hot pair.
+  std::vector<std::uint64_t> database(db_rows * words);
+  for (auto& w : database) w = rng();
+  std::vector<std::uint64_t> pop_buffer(pop_words);
+  for (auto& w : pop_buffer) w = rng();
+  std::vector<std::uint64_t> bundle_rows(bundle_n * words);
+  for (auto& w : bundle_rows) w = rng();
+  std::vector<const std::uint64_t*> bundle_ptrs(bundle_n);
+  for (std::size_t r = 0; r < bundle_n; ++r) {
+    bundle_ptrs[r] = bundle_rows.data() + r * words;
+  }
+  std::vector<std::uint64_t> bundle_out(words);
+
+  // Encode path: the paper's Pima protocol (768 rows, class-median imputed).
+  hdc::data::PimaConfig pima_config;
+  pima_config.seed = seed;
+  const hdc::data::Dataset ds =
+      hdc::data::impute_class_median(hdc::data::make_pima(pima_config));
+  hdc::core::ExtractorConfig extractor_config;
+  extractor_config.dimensions = dim;
+  hdc::core::HdcFeatureExtractor extractor(extractor_config);
+  extractor.fit(ds);
+
+  const Tier initial_tier = hdc::simd::active_tier();
+  std::printf("# bench_kernels: dim=%zu words=%zu pairs=%zu reps=%zu\n", dim,
+              words, n_pairs, reps);
+
+  volatile std::size_t sink = 0;  // keep kernel results observable
+  std::vector<TierResult> results;
+  for (const Tier tier : hdc::simd::supported_tiers()) {
+    const hdc::simd::Kernels& kernels = hdc::simd::kernels(tier);
+    TierResult res;
+    res.tier = tier;
+
+    const double hamming_s = best_of(reps, [&] {
+      std::size_t total = 0;
+      for (std::size_t p = 0; p < n_pairs; ++p) {
+        const std::uint64_t* a = database.data() + (p % db_rows) * words;
+        const std::uint64_t* b =
+            database.data() + ((p * 7 + 1) % db_rows) * words;
+        total += kernels.hamming(a, b, words);
+      }
+      sink = total;
+    });
+    res.hamming_ns_per_pair = hamming_s * 1e9 / static_cast<double>(n_pairs);
+    res.hamming_gbps = static_cast<double>(n_pairs * 2 * words * 8) /
+                       hamming_s / 1e9;
+
+    const double pop_s = best_of(reps, [&] {
+      sink = kernels.popcount(pop_buffer.data(), pop_words);
+    });
+    res.popcount_gbps = static_cast<double>(pop_words * 8) / pop_s / 1e9;
+
+    const double majority_s = best_of(reps, [&] {
+      for (std::size_t r = 0; r < bundle_reps; ++r) {
+        kernels.majority(bundle_ptrs.data(), bundle_n, words,
+                         bundle_out.data(), true);
+      }
+      sink = bundle_out[0];
+    });
+    res.majority_ns_per_bundle =
+        majority_s * 1e9 / static_cast<double>(bundle_reps);
+    res.majority_gbps =
+        static_cast<double>(bundle_reps * bundle_n * words * 8) / majority_s /
+        1e9;
+
+    // End-to-end encode throughput with this tier forced (single thread, so
+    // the number is a kernel comparison, not a scaling one).
+    hdc::simd::set_tier(tier);
+    hdc::parallel::ThreadPool pool(1);
+    std::vector<hdc::hv::BitVector> vectors;
+    const double encode_s =
+        best_of(reps, [&] { vectors = extractor.transform(ds, &pool); });
+    res.encode_rows_per_sec = static_cast<double>(ds.n_rows()) / encode_s;
+    hdc::simd::set_tier(initial_tier);
+
+    std::printf("# tier=%-6s hamming=%7.1f ns/pair (%6.2f GB/s)  "
+                "popcount=%6.2f GB/s  majority=%8.1f ns/bundle (%6.2f GB/s)  "
+                "encode=%9.0f rows/s\n",
+                hdc::simd::tier_name(tier), res.hamming_ns_per_pair,
+                res.hamming_gbps, res.popcount_gbps, res.majority_ns_per_bundle,
+                res.majority_gbps, res.encode_rows_per_sec);
+    results.push_back(res);
+  }
+  (void)sink;
+
+  const TierResult& scalar = results.front();
+  const TierResult& best = results.back();
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"bench_kernels\",\n"
+               "  \"dimensions\": %zu,\n"
+               "  \"words_per_vector\": %zu,\n"
+               "  \"seed\": %llu,\n"
+               "  \"reps\": %zu,\n"
+               "  \"hamming_pairs\": %zu,\n"
+               "  \"majority_bundle_rows\": %zu,\n"
+               "  \"popcount_buffer_words\": %zu,\n"
+               "  \"active_tier\": \"%s\",\n"
+               "  \"tiers\": [\n",
+               dim, words, static_cast<unsigned long long>(seed), reps, n_pairs,
+               bundle_n, pop_words, hdc::simd::tier_name(initial_tier));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TierResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"tier\": \"%s\",\n"
+        "     \"hamming\": {\"ns_per_pair\": %.2f, \"gb_per_sec\": %.3f},\n"
+        "     \"popcount\": {\"gb_per_sec\": %.3f},\n"
+        "     \"majority\": {\"ns_per_bundle\": %.1f, \"gb_per_sec\": %.3f},\n"
+        "     \"encode\": {\"rows_per_sec\": %.1f}}%s\n",
+        hdc::simd::tier_name(r.tier), r.hamming_ns_per_pair, r.hamming_gbps,
+        r.popcount_gbps, r.majority_ns_per_bundle, r.majority_gbps,
+        r.encode_rows_per_sec, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"speedup_best_vs_scalar\": {\n"
+               "    \"tier\": \"%s\",\n"
+               "    \"hamming\": %.3f,\n"
+               "    \"popcount\": %.3f,\n"
+               "    \"majority\": %.3f,\n"
+               "    \"encode\": %.3f\n"
+               "  }\n}\n",
+               hdc::simd::tier_name(best.tier),
+               scalar.hamming_ns_per_pair / best.hamming_ns_per_pair,
+               best.popcount_gbps / scalar.popcount_gbps,
+               scalar.majority_ns_per_bundle / best.majority_ns_per_bundle,
+               best.encode_rows_per_sec / scalar.encode_rows_per_sec);
+  std::fclose(out);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/dispatch.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -72,15 +73,23 @@ int main(int argc, char** argv) {
   hdc::core::HdcFeatureExtractor extractor(extractor_config);
   extractor.fit(ds);
 
-  std::vector<std::size_t> thread_counts = {1, 2, max_threads,
-                                            hdc::parallel::hardware_threads()};
+  // Clamp the sweep to available hardware: oversubscribed "speedups" on a
+  // 1-core box are scheduler noise, not engine scaling. speedup_valid in the
+  // JSON records whether the speedup columns mean anything.
+  const std::size_t hw_threads = hdc::parallel::hardware_threads();
+  std::vector<std::size_t> thread_counts;
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2}, max_threads, hw_threads}) {
+    if (t >= 1 && t <= hw_threads) thread_counts.push_back(t);
+  }
   std::sort(thread_counts.begin(), thread_counts.end());
   thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
                       thread_counts.end());
+  const bool speedup_valid = hw_threads > 1 && thread_counts.size() > 1;
 
-  std::printf("# bench_runtime: rows=%zu dim=%zu seed=%llu reps=%zu hw_threads=%zu\n",
+  std::printf("# bench_runtime: rows=%zu dim=%zu seed=%llu reps=%zu hw_threads=%zu "
+              "simd=%s\n",
               ds.n_rows(), dim, static_cast<unsigned long long>(seed), reps,
-              hdc::parallel::hardware_threads());
+              hw_threads, hdc::simd::tier_name(hdc::simd::active_tier()));
 
   std::vector<ThreadSample> samples;
   for (const std::size_t t : thread_counts) {
@@ -140,6 +149,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Dispatch-tier invariance gate: every supported SIMD tier must reproduce
+  // the reference confusion matrix bit-exactly (kernels may only change
+  // throughput, never results).
+  const hdc::simd::Tier initial_tier = hdc::simd::active_tier();
+  std::string tiers_checked;
+  for (const hdc::simd::Tier tier : hdc::simd::supported_tiers()) {
+    hdc::simd::set_tier(tier);
+    const std::vector<hdc::hv::BitVector> tier_vectors = extractor.transform(ds);
+    const hdc::eval::BinaryMetrics tier_metrics =
+        hdc::eval::hamming_loocv(tier_vectors, ds.labels()).metrics;
+    if (tier_metrics.confusion.tp != reference.tp ||
+        tier_metrics.confusion.tn != reference.tn ||
+        tier_metrics.confusion.fp != reference.fp ||
+        tier_metrics.confusion.fn != reference.fn) {
+      std::fprintf(stderr,
+                   "FATAL: metrics differ on SIMD tier '%s' — a kernel tier "
+                   "is not bit-exact\n",
+                   hdc::simd::tier_name(tier));
+      return 1;
+    }
+    if (!tiers_checked.empty()) tiers_checked += ", ";
+    tiers_checked += std::string("\"") + hdc::simd::tier_name(tier) + "\"";
+  }
+  hdc::simd::set_tier(initial_tier);
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "FATAL: cannot write %s\n", out_path.c_str());
@@ -155,14 +189,19 @@ int main(int argc, char** argv) {
                "  \"seed\": %llu,\n"
                "  \"reps\": %zu,\n"
                "  \"hardware_threads\": %zu,\n"
+               "  \"simd_tier\": \"%s\",\n"
+               "  \"simd_tiers_checked\": [%s],\n"
                "  \"metrics\": {\"accuracy\": %.17g, \"f1\": %.17g, \"tp\": %zu, "
                "\"tn\": %zu, \"fp\": %zu, \"fn\": %zu},\n"
                "  \"metrics_identical_across_threads\": true,\n"
+               "  \"metrics_identical_across_tiers\": true,\n"
+               "  \"speedup_valid\": %s,\n"
                "  \"threads\": [\n",
                ds.n_rows(), dim, static_cast<unsigned long long>(seed), reps,
-               hdc::parallel::hardware_threads(), base.metrics.accuracy,
+               hw_threads, hdc::simd::tier_name(initial_tier),
+               tiers_checked.c_str(), base.metrics.accuracy,
                base.metrics.f1, reference.tp, reference.tn, reference.fp,
-               reference.fn);
+               reference.fn, speedup_valid ? "true" : "false");
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const ThreadSample& s = samples[i];
     std::fprintf(out,

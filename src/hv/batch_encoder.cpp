@@ -1,11 +1,11 @@
 #include "hv/batch_encoder.hpp"
 
-#include <bit>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/dispatch.hpp"
 #include "util/timer.hpp"
 
 namespace hdc::hv {
@@ -27,11 +27,7 @@ struct EncodeMetrics {
 };
 
 std::size_t popcount_words(const std::uint64_t* words, std::size_t n) noexcept {
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    total += static_cast<std::size_t>(std::popcount(words[i]));
-  }
-  return total;
+  return simd::active().popcount(words, n);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
+
 namespace hdc::hv {
 
 void BitVector::check_same_size(const BitVector& other) const {
@@ -21,21 +23,12 @@ void BitVector::clear_padding() noexcept {
 }
 
 std::size_t BitVector::popcount() const noexcept {
-  std::size_t total = 0;
-  for (const std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
+  return simd::active().popcount(words_.data(), words_.size());
 }
 
 std::size_t BitVector::hamming(const BitVector& other) const {
   check_same_size(other);
-  std::size_t total = 0;
-  const std::uint64_t* a = words_.data();
-  const std::uint64_t* b = other.words_.data();
-  const std::size_t n = words_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-  }
-  return total;
+  return simd::active().hamming(words_.data(), other.words_.data(), words_.size());
 }
 
 BitVector& BitVector::operator^=(const BitVector& other) {

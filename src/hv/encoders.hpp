@@ -14,8 +14,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "hv/bitvector.hpp"
@@ -38,6 +41,16 @@ class FeatureEncoder {
   /// Encode into an existing vector, reusing its storage when possible (the
   /// batch-encoding hot path). Semantically identical to `out = encode(v)`.
   virtual void encode_into(double value, BitVector& out) const { out = encode(value); }
+
+  /// Quantisation key for memoisation: two values with the same key encode
+  /// to the same hypervector, and the number of distinct keys is small
+  /// enough to cache (e.g. the LevelEncoder's flip count, which is
+  /// quantised to even integers — at most bits/4 + 1 distinct vectors).
+  /// nullopt disables caching for this encoder.
+  [[nodiscard]] virtual std::optional<std::uint64_t> memo_key(double value) const {
+    (void)value;
+    return std::nullopt;
+  }
 };
 
 /// The paper's linear (level) encoding for continuous features.
@@ -63,10 +76,21 @@ class LevelEncoder final : public FeatureEncoder {
   [[nodiscard]] BitVector encode(double value) const override;
   void encode_into(double value, BitVector& out) const override;
 
+  /// The flip count is the quantised level index: equal counts mean equal
+  /// encodings, and there are at most bits/4 + 1 distinct values.
+  [[nodiscard]] std::optional<std::uint64_t> memo_key(double value) const override {
+    return flip_count(value);
+  }
+
   /// The hypervector representing min(V).
   [[nodiscard]] const BitVector& seed_vector() const noexcept { return seed_vector_; }
 
  private:
+  /// Steps covered by one precomputed cumulative flip mask: encode(t) is
+  /// seed XOR checkpoint[half/stride], then at most stride-1 residual
+  /// two-bit flips instead of one set() per flipped bit.
+  static constexpr std::size_t kCheckpointStride = 64;
+
   double lo_;
   double hi_;
   BitVector seed_vector_;
@@ -74,6 +98,10 @@ class LevelEncoder final : public FeatureEncoder {
   // flips prefixes of these lists.
   std::vector<std::uint32_t> zero_order_;
   std::vector<std::uint32_t> one_order_;
+  // Cumulative word-level flip masks for prefixes of length c*stride,
+  // stored back-to-back (words_per_mask_ words each; see encode_into).
+  std::vector<std::uint64_t> checkpoint_masks_;
+  std::size_t words_per_mask_ = 0;
 };
 
 /// Binary (yes/no) features: value 0 -> seed, value 1 -> orthogonal vector.
@@ -87,6 +115,9 @@ class BinaryEncoder final : public FeatureEncoder {
   void encode_into(double value, BitVector& out) const override {
     out = value >= 0.5 ? one_ : zero_;
   }
+  [[nodiscard]] std::optional<std::uint64_t> memo_key(double value) const override {
+    return value >= 0.5 ? 1 : 0;
+  }
 
   [[nodiscard]] const BitVector& zero_vector() const noexcept { return zero_; }
   [[nodiscard]] const BitVector& one_vector() const noexcept { return one_; }
@@ -98,16 +129,31 @@ class BinaryEncoder final : public FeatureEncoder {
 
 /// Unordered categorical features: each distinct integer category gets an
 /// independent random vector. Values are rounded to nearest integer.
+///
+/// Vectors are generated once per category and memoised in a small item
+/// memory (category -> hypervector); contents still depend only on
+/// (seed, category), so outputs are bit-identical to regenerating.
 class CategoricalEncoder final : public FeatureEncoder {
  public:
   CategoricalEncoder(std::size_t bits, std::uint64_t seed);
 
   [[nodiscard]] std::size_t bits() const noexcept override { return bits_; }
   [[nodiscard]] BitVector encode(double value) const override;
+  void encode_into(double value, BitVector& out) const override;
+  [[nodiscard]] std::optional<std::uint64_t> memo_key(double value) const override;
+
+  /// Number of memoised categories (for tests).
+  [[nodiscard]] std::size_t item_memory_size() const;
 
  private:
+  /// Vector for a category, generated and cached on first use. The returned
+  /// reference stays valid for the encoder's lifetime (node-based map).
+  const BitVector& item(long long category) const;
+
   std::size_t bits_;
   std::uint64_t seed_;
+  mutable std::mutex mutex_;  // encode() is called from batch worker threads
+  mutable std::unordered_map<long long, BitVector> item_memory_;
 };
 
 /// Declared feature kinds used when building a RecordEncoder from a dataset.
@@ -126,9 +172,14 @@ class RecordEncoder {
   /// Append a feature encoder; encoders are applied positionally to rows.
   void add_feature(std::unique_ptr<FeatureEncoder> encoder);
 
-  /// Reusable per-thread buffers for the batch-encoding hot path.
+  /// Reusable per-thread buffers for the batch-encoding hot path. The memo
+  /// caches quantised per-feature vectors (keyed by FeatureEncoder::
+  /// memo_key), so repeated values skip re-encoding entirely; being
+  /// per-scratch keeps the hot path lock-free and thread-safe.
   struct Scratch {
     std::vector<BitVector> features;
+    std::vector<std::unordered_map<std::uint64_t, BitVector>> memo;
+    std::vector<const BitVector*> feature_ptrs;
   };
 
   /// Encode one row (size must equal feature_count()).

@@ -1,8 +1,9 @@
 #include "hv/ops.hpp"
 
-#include <bit>
 #include <cstdint>
 #include <stdexcept>
+
+#include "simd/dispatch.hpp"
 
 namespace hdc::hv {
 
@@ -13,6 +14,17 @@ void check_inputs(std::span<const BitVector> inputs) {
   const std::size_t d = inputs.front().size();
   for (const BitVector& v : inputs) {
     if (v.size() != d) throw std::invalid_argument("majority: dimensionality mismatch");
+  }
+}
+
+void check_inputs(std::span<const BitVector* const> inputs) {
+  if (inputs.empty()) throw std::invalid_argument("majority: no inputs");
+  for (const BitVector* v : inputs) {
+    if (v == nullptr) throw std::invalid_argument("majority: null input");
+  }
+  const std::size_t d = inputs.front()->size();
+  for (const BitVector* v : inputs) {
+    if (v->size() != d) throw std::invalid_argument("majority: dimensionality mismatch");
   }
 }
 
@@ -29,53 +41,31 @@ bool resolve_tie(TiePolicy tie, util::Rng* rng) {
   return true;
 }
 
-/// Word-parallel majority via bit-sliced counters: each bit position's vote
-/// count is held as a little-endian binary number spread across `planes`
-/// 64-bit words, so adding one input is a ripple-carry add of 64 positions at
-/// once. ~n*log2(n) word ops per 64 positions instead of 64*n bit probes.
-BitVector majority_bitsliced(std::span<const BitVector> inputs, TiePolicy tie) {
-  const std::size_t n = inputs.size();
-  const std::size_t words = inputs.front().words().size();
-  const int planes = std::bit_width(n);  // counts span [0, n]
-  std::vector<std::uint64_t> counter(static_cast<std::size_t>(planes) * words, 0ULL);
-
-  for (const BitVector& v : inputs) {
-    const std::uint64_t* src = v.words().data();
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t carry = src[w];
-      for (int p = 0; p < planes && carry != 0; ++p) {
-        std::uint64_t& plane = counter[static_cast<std::size_t>(p) * words + w];
-        const std::uint64_t next = plane & carry;
-        plane ^= carry;
-        carry = next;
-      }
-    }
-  }
-
-  // count >= t per position == carry-out of count + (2^planes - t): ripple a
-  // constant through the planes and keep the final carry.
-  const auto mask_ge = [&](std::size_t t, std::size_t w) {
-    const std::uint64_t constant = (1ULL << planes) - t;
-    std::uint64_t carry = 0;
-    for (int p = 0; p < planes; ++p) {
-      const std::uint64_t a = counter[static_cast<std::size_t>(p) * words + w];
-      const std::uint64_t b = ((constant >> p) & 1ULL) ? ~0ULL : 0ULL;
-      carry = (a & b) | (carry & (a ^ b));
-    }
-    return carry;
-  };
-
-  BitVector out(inputs.front().size());
-  std::uint64_t* dst = out.word_data();
-  const std::size_t strict = n / 2 + 1;  // 2*count > n
-  for (std::size_t w = 0; w < words; ++w) {
-    std::uint64_t bits = mask_ge(strict, w);
-    if (n % 2 == 0 && tie == TiePolicy::kOne) {
-      bits |= mask_ge(n / 2, w);  // ties (count == n/2) resolve to 1
-    }
-    dst[w] = bits;  // padding positions count 0 < strict, so they stay zero
-  }
+/// Word-parallel majority through the dispatch-tier kernel (bit-sliced
+/// ripple-carry counters; see src/simd). Padding columns have count 0, which
+/// is below any strict threshold, so trailing bits stay zero.
+BitVector majority_kernel(const std::uint64_t* const* rows, std::size_t n,
+                          std::size_t bits, TiePolicy tie) {
+  BitVector out(bits);
+  simd::active().majority(rows, n, out.words().size(), out.word_data(),
+                          tie == TiePolicy::kOne);
   return out;
+}
+
+/// Collects word pointers without a heap allocation for realistic bundle
+/// sizes (a record's feature count), then runs the kernel.
+template <typename WordsOf>
+BitVector majority_dispatch(std::size_t n, std::size_t bits, TiePolicy tie,
+                            const WordsOf& words_of) {
+  const std::uint64_t* stack_rows[64];
+  std::vector<const std::uint64_t*> heap_rows;
+  const std::uint64_t** rows = stack_rows;
+  if (n > 64) {
+    heap_rows.resize(n);
+    rows = heap_rows.data();
+  }
+  for (std::size_t i = 0; i < n; ++i) rows[i] = words_of(i);
+  return majority_kernel(rows, n, bits, tie);
 }
 
 }  // namespace
@@ -84,7 +74,10 @@ BitVector majority(std::span<const BitVector> inputs, TiePolicy tie, util::Rng* 
   check_inputs(inputs);
   const std::size_t d = inputs.front().size();
   if (inputs.size() == 1) return inputs.front();
-  if (tie != TiePolicy::kRandom) return majority_bitsliced(inputs, tie);
+  if (tie != TiePolicy::kRandom) {
+    return majority_dispatch(inputs.size(), d, tie,
+                             [&](std::size_t i) { return inputs[i].words().data(); });
+  }
 
   // Random tie policy keeps the scalar loop: it must consume one rng draw per
   // tie position in ascending bit order to stay stream-compatible.
@@ -93,6 +86,33 @@ BitVector majority(std::span<const BitVector> inputs, TiePolicy tie, util::Rng* 
   for (std::size_t i = 0; i < d; ++i) {
     std::size_t ones = 0;
     for (const BitVector& v : inputs) ones += v.get(i) ? 1 : 0;
+    const std::size_t twice = 2 * ones;
+    if (twice > half_votes) {
+      out.set(i, true);
+    } else if (twice == half_votes) {
+      out.set(i, resolve_tie(tie, rng));
+    }
+  }
+  return out;
+}
+
+BitVector majority(std::span<const BitVector* const> inputs, TiePolicy tie,
+                   util::Rng* rng) {
+  check_inputs(inputs);
+  const std::size_t d = inputs.front()->size();
+  if (inputs.size() == 1) return *inputs.front();
+  if (tie != TiePolicy::kRandom) {
+    return majority_dispatch(inputs.size(), d, tie,
+                             [&](std::size_t i) { return inputs[i]->words().data(); });
+  }
+
+  // Same rng-draw order as the contiguous overload (one draw per tie
+  // position, ascending bit order).
+  BitVector out(d);
+  const std::size_t half_votes = inputs.size();
+  for (std::size_t i = 0; i < d; ++i) {
+    std::size_t ones = 0;
+    for (const BitVector* v : inputs) ones += v->get(i) ? 1 : 0;
     const std::size_t twice = 2 * ones;
     if (twice > half_votes) {
       out.set(i, true);

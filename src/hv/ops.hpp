@@ -26,6 +26,13 @@ enum class TiePolicy {
                                  TiePolicy tie = TiePolicy::kOne,
                                  util::Rng* rng = nullptr);
 
+/// Pointer form of majority(): inputs are non-null BitVector pointers. Used
+/// by the encoding hot path, where per-feature vectors may live in a memo
+/// cache rather than a contiguous array. Identical results.
+[[nodiscard]] BitVector majority(std::span<const BitVector* const> inputs,
+                                 TiePolicy tie = TiePolicy::kOne,
+                                 util::Rng* rng = nullptr);
+
 /// Weighted majority: input i contributes `weights[i]` votes. Weights must be
 /// positive. Used by the ablation benches to emphasise feature subsets.
 [[nodiscard]] BitVector weighted_majority(std::span<const BitVector> inputs,

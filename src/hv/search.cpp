@@ -1,12 +1,12 @@
 #include "hv/search.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/dispatch.hpp"
 #include "util/timer.hpp"
 
 namespace hdc::hv {
@@ -46,11 +46,7 @@ BitVector PackedHVs::unpack_row(std::size_t i) const {
 
 std::size_t hamming_words(const std::uint64_t* a, const std::uint64_t* b,
                           std::size_t words) noexcept {
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words; ++i) {
-    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-  }
-  return total;
+  return simd::active().hamming(a, b, words);
 }
 
 namespace {
@@ -100,6 +96,9 @@ void tiled_sweep(const PackedHVs& queries, const PackedHVs& database,
   const std::size_t words = queries.words_per_row();
   const std::size_t tile_q = std::max<std::size_t>(1, options.tile_queries);
   const std::size_t tile_db = std::max<std::size_t>(1, options.tile_database);
+  // Resolve the dispatch-tier kernel once per sweep; obs counters stay
+  // derived from tile geometry outside the kernels (see below).
+  const auto hamming_kernel = simd::active().hamming;
   parallel::parallel_for_chunks(
       0, queries.rows(),
       [&](std::size_t q_lo, std::size_t q_hi) {
@@ -116,7 +115,7 @@ void tiled_sweep(const PackedHVs& queries, const PackedHVs& database,
               const std::uint64_t* qrow = queries.row(q);
               for (std::size_t j = jt; j < jt_end; ++j) {
                 if (options.exclude_same_index && j == q) continue;
-                visit(q, j, hamming_words(qrow, database.row(j), words));
+                visit(q, j, hamming_kernel(qrow, database.row(j), words));
               }
             }
             if (obs_on) {

@@ -1,0 +1,164 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "simd/kernels.hpp"
+#include "util/log.hpp"
+
+namespace hdc::simd {
+
+namespace {
+
+bool cpu_supports(Tier tier) noexcept {
+  if (tier == Tier::kScalar) return true;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case Tier::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512vpopcntdq");
+  }
+#endif
+  return false;
+}
+
+const Kernels* table_for(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kScalar:
+      return &detail::scalar_kernels();
+    case Tier::kAvx2:
+#if defined(HDC_SIMD_COMPILED_AVX2)
+      return &detail::avx2_kernels();
+#else
+      return nullptr;
+#endif
+    case Tier::kAvx512:
+#if defined(HDC_SIMD_COMPILED_AVX512)
+      return &detail::avx512_kernels();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+Tier detect_best() noexcept {
+  Tier best = Tier::kScalar;
+  if (tier_supported(Tier::kAvx2)) best = Tier::kAvx2;
+  if (tier_supported(Tier::kAvx512)) best = Tier::kAvx512;
+  return best;
+}
+
+/// Initial tier: HDC_SIMD override when set and usable, else auto-detect.
+Tier initial_tier() {
+  const char* env = std::getenv("HDC_SIMD");
+  if (env != nullptr && *env != '\0') {
+    const std::optional<Tier> requested = parse_tier(env);
+    if (!requested.has_value()) {
+      util::log_fields(util::LogLevel::kWarn,
+                       "HDC_SIMD: unknown tier, using auto-detection",
+                       {{"value", env}});
+    } else if (!tier_supported(*requested)) {
+      util::log_fields(util::LogLevel::kWarn,
+                       "HDC_SIMD: tier not supported on this machine/binary, "
+                       "using auto-detection",
+                       {{"value", env}});
+    } else {
+      return *requested;
+    }
+  }
+  return detect_best();
+}
+
+/// Process-wide dispatch state. The table pointer is what the hot paths
+/// read (one relaxed atomic load per kernel batch).
+struct Dispatch {
+  std::atomic<const Kernels*> table;
+  std::atomic<int> tier;
+
+  Dispatch() {
+    const Tier t = initial_tier();
+    table.store(table_for(t), std::memory_order_relaxed);
+    tier.store(static_cast<int>(t), std::memory_order_relaxed);
+  }
+
+  static Dispatch& get() {
+    static Dispatch dispatch;
+    return dispatch;
+  }
+};
+
+}  // namespace
+
+const char* tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<Tier> parse_tier(std::string_view name) noexcept {
+  if (name == "scalar") return Tier::kScalar;
+  if (name == "avx2") return Tier::kAvx2;
+  if (name == "avx512") return Tier::kAvx512;
+  return std::nullopt;
+}
+
+bool tier_compiled(Tier tier) noexcept { return table_for(tier) != nullptr; }
+
+bool tier_supported(Tier tier) noexcept {
+  return tier_compiled(tier) && cpu_supports(tier);
+}
+
+std::vector<Tier> supported_tiers() {
+  std::vector<Tier> tiers;
+  for (const Tier t : {Tier::kScalar, Tier::kAvx2, Tier::kAvx512}) {
+    if (tier_supported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+const Kernels& kernels(Tier tier) {
+  if (!tier_supported(tier)) {
+    throw std::invalid_argument(std::string("simd: tier '") + tier_name(tier) +
+                                "' is not supported on this machine/binary");
+  }
+  return *table_for(tier);
+}
+
+Tier active_tier() noexcept {
+  return static_cast<Tier>(Dispatch::get().tier.load(std::memory_order_relaxed));
+}
+
+const Kernels& active() noexcept {
+  return *Dispatch::get().table.load(std::memory_order_relaxed);
+}
+
+void set_tier(Tier tier) {
+  const Kernels& table = kernels(tier);  // throws when unsupported
+  Dispatch& dispatch = Dispatch::get();
+  dispatch.table.store(&table, std::memory_order_relaxed);
+  dispatch.tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void reset_tier() noexcept {
+  const Tier t = detect_best();
+  Dispatch& dispatch = Dispatch::get();
+  dispatch.table.store(table_for(t), std::memory_order_relaxed);
+  dispatch.tier.store(static_cast<int>(t), std::memory_order_relaxed);
+}
+
+}  // namespace hdc::simd

@@ -1,0 +1,95 @@
+// Runtime-dispatched SIMD kernel layer for the bit-level hot loops.
+//
+// The paper's pitch is that binary HDC reduces classification to XOR,
+// popcount, and majority voting — operations a CPU executes word-parallel.
+// This module takes that one step further: the three batch kernels behind
+// every hot path (Hamming reduction, bulk popcount, word-parallel majority
+// bundling) live in per-tier translation units compiled with the matching
+// ISA flags, and a process-wide dispatch table picks the best tier the CPU
+// supports at runtime:
+//
+//   * kScalar — portable std::popcount loops (always compiled, the
+//     bit-exactness reference for every other tier);
+//   * kAvx2   — 256-bit Harley–Seal carry-save popcount (nibble-LUT +
+//     PSADBW digit counting) and a bit-sliced AVX2 majority;
+//   * kAvx512 — VPOPCNTDQ hardware popcount with masked tail loads and a
+//     ternary-logic bit-sliced majority.
+//
+// Every tier is bit-exact with kScalar (property-tested across widths that
+// are not a multiple of any vector register), so dispatch never affects
+// results — only throughput. Selection order and overrides:
+//
+//   1. `HDC_SIMD=scalar|avx2|avx512` environment variable (read once at
+//      first use; unsupported or unknown values log a warning and fall back
+//      to auto-detection);
+//   2. `set_tier()` — programmatic override for tests and benches;
+//   3. auto-detection: the highest tier that is both compiled into the
+//      binary (see HDC_DISABLE_SIMD in CMake) and supported by the CPU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace hdc::simd {
+
+/// Kernel implementations, from portable baseline to widest vector ISA.
+enum class Tier { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Batch kernel table. All function pointers are always non-null and all
+/// tiers produce bit-identical results; only throughput differs.
+struct Kernels {
+  /// Hamming distance: popcount(a XOR b) over `words` 64-bit words.
+  std::size_t (*hamming)(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t words) noexcept;
+
+  /// Bulk popcount over `words` 64-bit words.
+  std::size_t (*popcount)(const std::uint64_t* words, std::size_t n) noexcept;
+
+  /// Word-parallel majority vote across `n` rows of `words` words each:
+  /// out bit = 1 where the column's ones-count is > n/2, plus (when `n` is
+  /// even and `tie_to_one`) where it equals exactly n/2. Rows may alias out
+  /// only if out is not written before the row is fully consumed — callers
+  /// must pass a distinct output buffer.
+  void (*majority)(const std::uint64_t* const* rows, std::size_t n,
+                   std::size_t words, std::uint64_t* out,
+                   bool tie_to_one) noexcept;
+};
+
+/// Lower-case tier name ("scalar", "avx2", "avx512").
+[[nodiscard]] const char* tier_name(Tier tier) noexcept;
+
+/// Inverse of tier_name(); nullopt on anything else.
+[[nodiscard]] std::optional<Tier> parse_tier(std::string_view name) noexcept;
+
+/// True when the tier's translation unit is compiled into this binary.
+/// kScalar is always compiled; SIMD tiers depend on compiler support and
+/// the HDC_DISABLE_SIMD build option.
+[[nodiscard]] bool tier_compiled(Tier tier) noexcept;
+
+/// True when the tier is compiled AND the running CPU supports its ISA.
+[[nodiscard]] bool tier_supported(Tier tier) noexcept;
+
+/// All supported tiers in ascending order (always starts with kScalar).
+[[nodiscard]] std::vector<Tier> supported_tiers();
+
+/// Kernel table for a specific tier. Throws std::invalid_argument when the
+/// tier is not supported on this machine/binary.
+[[nodiscard]] const Kernels& kernels(Tier tier);
+
+/// The currently selected tier / kernel table. Initialised on first use
+/// from HDC_SIMD (if set and supported) or auto-detection.
+[[nodiscard]] Tier active_tier() noexcept;
+[[nodiscard]] const Kernels& active() noexcept;
+
+/// Force a tier for this process (tests, benches, reproducibility
+/// debugging). Throws std::invalid_argument when unsupported. Not intended
+/// to race with in-flight kernels: callers switch tiers between runs.
+void set_tier(Tier tier);
+
+/// Drop any set_tier()/HDC_SIMD override and return to auto-detection.
+void reset_tier() noexcept;
+
+}  // namespace hdc::simd

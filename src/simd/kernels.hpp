@@ -1,0 +1,23 @@
+// Internal: per-tier kernel table accessors, linked by simd/dispatch.cpp.
+//
+// Each tier lives in its own translation unit compiled with the matching
+// ISA flags (see src/CMakeLists.txt); the HDC_SIMD_COMPILED_* macros are
+// defined by the build only when that TU is part of the library, so
+// dispatch.cpp can reference exactly the tables that exist.
+#pragma once
+
+#include "simd/dispatch.hpp"
+
+namespace hdc::simd::detail {
+
+const Kernels& scalar_kernels() noexcept;
+
+#if defined(HDC_SIMD_COMPILED_AVX2)
+const Kernels& avx2_kernels() noexcept;
+#endif
+
+#if defined(HDC_SIMD_COMPILED_AVX512)
+const Kernels& avx512_kernels() noexcept;
+#endif
+
+}  // namespace hdc::simd::detail

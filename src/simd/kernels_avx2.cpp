@@ -1,0 +1,204 @@
+// AVX2 kernel tier. This translation unit is compiled with -mavx2 (and only
+// ever entered through the dispatch table after a runtime CPU check).
+//
+// Popcount / Hamming use the Harley–Seal carry-save-adder scheme over blocks
+// of 16 256-bit vectors: CSAs compress 16 input vectors into one vector of
+// sixteens-weight digits plus carry planes, so the (comparatively expensive)
+// byte-LUT popcount runs once per 16 loads instead of once per load. Digit
+// counts are materialised with a nibble shuffle LUT and accumulated with
+// PSADBW into four 64-bit lanes.
+//
+// Majority uses the same bit-sliced ripple-carry counters as the scalar
+// tier, just 256 columns per step instead of 64.
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.hpp"
+
+namespace hdc::simd::detail {
+
+namespace {
+
+inline __m256i popcount_bytes(__m256i v) noexcept {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                         _mm256_shuffle_epi8(lookup, hi));
+}
+
+/// Per-64-bit-lane popcount of `v`, as four u64 counts.
+inline __m256i popcount_lanes(__m256i v) noexcept {
+  return _mm256_sad_epu8(popcount_bytes(v), _mm256_setzero_si256());
+}
+
+/// Carry-save adder: (h, l) = a + b + c per bit column.
+inline void csa(__m256i& h, __m256i& l, __m256i a, __m256i b, __m256i c) noexcept {
+  const __m256i u = _mm256_xor_si256(a, b);
+  h = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c));
+  l = _mm256_xor_si256(u, c);
+}
+
+inline std::uint64_t horizontal_sum(__m256i v) noexcept {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+/// Harley–Seal popcount of `n_vecs` vectors produced by `load(i)`, plus a
+/// scalar tail over `tail` words at `tail_words`.
+template <typename LoadFn>
+std::size_t popcount_harley_seal(const LoadFn& load, std::size_t n_vecs,
+                                 const std::uint64_t* tail_a,
+                                 const std::uint64_t* tail_b,
+                                 std::size_t tail) noexcept {
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+  __m256i fours = _mm256_setzero_si256();
+  __m256i eights = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n_vecs; i += 16) {
+    __m256i twos_a, twos_b, fours_a, fours_b, eights_a, eights_b, sixteens;
+    csa(twos_a, ones, ones, load(i + 0), load(i + 1));
+    csa(twos_b, ones, ones, load(i + 2), load(i + 3));
+    csa(fours_a, twos, twos, twos_a, twos_b);
+    csa(twos_a, ones, ones, load(i + 4), load(i + 5));
+    csa(twos_b, ones, ones, load(i + 6), load(i + 7));
+    csa(fours_b, twos, twos, twos_a, twos_b);
+    csa(eights_a, fours, fours, fours_a, fours_b);
+    csa(twos_a, ones, ones, load(i + 8), load(i + 9));
+    csa(twos_b, ones, ones, load(i + 10), load(i + 11));
+    csa(fours_a, twos, twos, twos_a, twos_b);
+    csa(twos_a, ones, ones, load(i + 12), load(i + 13));
+    csa(twos_b, ones, ones, load(i + 14), load(i + 15));
+    csa(fours_b, twos, twos, twos_a, twos_b);
+    csa(eights_b, fours, fours, fours_a, fours_b);
+    csa(sixteens, eights, eights, eights_a, eights_b);
+    total = _mm256_add_epi64(total, popcount_lanes(sixteens));
+  }
+  total = _mm256_slli_epi64(total, 4);
+  total = _mm256_add_epi64(total,
+                           _mm256_slli_epi64(popcount_lanes(eights), 3));
+  total = _mm256_add_epi64(total,
+                           _mm256_slli_epi64(popcount_lanes(fours), 2));
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(popcount_lanes(twos), 1));
+  total = _mm256_add_epi64(total, popcount_lanes(ones));
+  for (; i < n_vecs; ++i) {
+    total = _mm256_add_epi64(total, popcount_lanes(load(i)));
+  }
+  std::size_t sum = static_cast<std::size_t>(horizontal_sum(total));
+  for (std::size_t w = 0; w < tail; ++w) {
+    const std::uint64_t word =
+        tail_b == nullptr ? tail_a[w] : (tail_a[w] ^ tail_b[w]);
+    sum += static_cast<std::size_t>(std::popcount(word));
+  }
+  return sum;
+}
+
+std::size_t hamming_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t words) noexcept {
+  const std::size_t n_vecs = words / 4;
+  const auto load = [a, b](std::size_t i) noexcept {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4 * i));
+    return _mm256_xor_si256(va, vb);
+  };
+  return popcount_harley_seal(load, n_vecs, a + 4 * n_vecs, b + 4 * n_vecs,
+                              words % 4);
+}
+
+std::size_t popcount_avx2(const std::uint64_t* words, std::size_t n) noexcept {
+  const std::size_t n_vecs = n / 4;
+  const auto load = [words](std::size_t i) noexcept {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + 4 * i));
+  };
+  return popcount_harley_seal(load, n_vecs, words + 4 * n_vecs, nullptr, n % 4);
+}
+
+void majority_avx2(const std::uint64_t* const* rows, std::size_t n,
+                   std::size_t words, std::uint64_t* out,
+                   bool tie_to_one) noexcept {
+  const int planes = std::bit_width(n);
+  const std::size_t strict = n / 2 + 1;
+  const bool check_tie = (n % 2 == 0) && tie_to_one;
+  const std::size_t vec_words = (words / 4) * 4;
+
+  __m256i counter[64];
+  for (std::size_t w = 0; w < vec_words; w += 4) {
+    for (int p = 0; p < planes; ++p) counter[p] = _mm256_setzero_si256();
+    for (std::size_t r = 0; r < n; ++r) {
+      __m256i carry =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows[r] + w));
+      for (int p = 0; p < planes; ++p) {
+        if (_mm256_testz_si256(carry, carry)) break;
+        const __m256i next = _mm256_and_si256(counter[p], carry);
+        counter[p] = _mm256_xor_si256(counter[p], carry);
+        carry = next;
+      }
+    }
+    const auto mask_ge = [&](std::size_t t) noexcept {
+      const std::uint64_t constant = (1ULL << planes) - t;
+      __m256i carry = _mm256_setzero_si256();
+      for (int p = 0; p < planes; ++p) {
+        const __m256i a = counter[p];
+        const __m256i b = ((constant >> p) & 1ULL)
+                              ? _mm256_set1_epi64x(-1)
+                              : _mm256_setzero_si256();
+        carry = _mm256_or_si256(
+            _mm256_and_si256(a, b),
+            _mm256_and_si256(carry, _mm256_xor_si256(a, b)));
+      }
+      return carry;
+    };
+    __m256i bits = mask_ge(strict);
+    if (check_tie) bits = _mm256_or_si256(bits, mask_ge(n / 2));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), bits);
+  }
+
+  // Scalar bit-sliced pass over the remaining (< 4) words.
+  std::uint64_t scounter[64];
+  for (std::size_t w = vec_words; w < words; ++w) {
+    for (int p = 0; p < planes; ++p) scounter[p] = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      std::uint64_t carry = rows[r][w];
+      for (int p = 0; p < planes && carry != 0; ++p) {
+        const std::uint64_t next = scounter[p] & carry;
+        scounter[p] ^= carry;
+        carry = next;
+      }
+    }
+    const auto mask_ge = [&](std::size_t t) noexcept {
+      const std::uint64_t constant = (1ULL << planes) - t;
+      std::uint64_t carry = 0;
+      for (int p = 0; p < planes; ++p) {
+        const std::uint64_t a = scounter[p];
+        const std::uint64_t b = ((constant >> p) & 1ULL) ? ~0ULL : 0ULL;
+        carry = (a & b) | (carry & (a ^ b));
+      }
+      return carry;
+    };
+    std::uint64_t bits = mask_ge(strict);
+    if (check_tie) bits |= mask_ge(n / 2);
+    out[w] = bits;
+  }
+}
+
+}  // namespace
+
+const Kernels& avx2_kernels() noexcept {
+  static const Kernels table{hamming_avx2, popcount_avx2, majority_avx2};
+  return table;
+}
+
+}  // namespace hdc::simd::detail

@@ -1,0 +1,109 @@
+// AVX-512 kernel tier. Compiled with -mavx512f -mavx512vpopcntdq; entered
+// only through the dispatch table after a runtime CPU check.
+//
+// VPOPCNTDQ gives a hardware per-lane popcount, so Hamming/popcount are a
+// straight XOR + VPOPCNTQ + ADD stream; ragged tails use masked loads
+// (zero-filled lanes contribute nothing) so no scalar epilogue is needed.
+// Majority is the bit-sliced ripple-carry counter scheme, 512 columns per
+// step, with the carry chain of the threshold test fused into single
+// VPTERNLOG majority ops.
+#include <immintrin.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.hpp"
+
+namespace hdc::simd::detail {
+
+namespace {
+
+std::size_t hamming_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t words) noexcept {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    total = _mm512_add_epi64(total,
+                             _mm512_popcnt_epi64(_mm512_xor_si512(va, vb)));
+  }
+  const std::size_t tail = words - i;
+  if (tail != 0) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << tail) - 1u);
+    const __m512i va = _mm512_maskz_loadu_epi64(mask, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi64(mask, b + i);
+    total = _mm512_add_epi64(total,
+                             _mm512_popcnt_epi64(_mm512_xor_si512(va, vb)));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(total));
+}
+
+std::size_t popcount_avx512(const std::uint64_t* words, std::size_t n) noexcept {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    total = _mm512_add_epi64(total,
+                             _mm512_popcnt_epi64(_mm512_loadu_si512(words + i)));
+  }
+  const std::size_t tail = n - i;
+  if (tail != 0) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << tail) - 1u);
+    total = _mm512_add_epi64(
+        total, _mm512_popcnt_epi64(_mm512_maskz_loadu_epi64(mask, words + i)));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(total));
+}
+
+void majority_avx512(const std::uint64_t* const* rows, std::size_t n,
+                     std::size_t words, std::uint64_t* out,
+                     bool tie_to_one) noexcept {
+  const int planes = std::bit_width(n);
+  const std::size_t strict = n / 2 + 1;
+  const bool check_tie = (n % 2 == 0) && tie_to_one;
+
+  __m512i counter[64];
+  for (std::size_t w = 0; w < words; w += 8) {
+    const std::size_t tail = words - w;
+    const __mmask8 mask =
+        tail >= 8 ? static_cast<__mmask8>(0xffu)
+                  : static_cast<__mmask8>((1u << tail) - 1u);
+    for (int p = 0; p < planes; ++p) counter[p] = _mm512_setzero_si512();
+    for (std::size_t r = 0; r < n; ++r) {
+      __m512i carry = _mm512_maskz_loadu_epi64(mask, rows[r] + w);
+      for (int p = 0; p < planes; ++p) {
+        if (_mm512_test_epi64_mask(carry, carry) == 0) break;
+        const __m512i next = _mm512_and_si512(counter[p], carry);
+        counter[p] = _mm512_xor_si512(counter[p], carry);
+        carry = next;
+      }
+    }
+    const auto mask_ge = [&](std::size_t t) noexcept {
+      const std::uint64_t constant = (1ULL << planes) - t;
+      __m512i carry = _mm512_setzero_si512();
+      for (int p = 0; p < planes; ++p) {
+        const __m512i a = counter[p];
+        const __m512i b = ((constant >> p) & 1ULL)
+                              ? _mm512_set1_epi64(-1)
+                              : _mm512_setzero_si512();
+        // carry' = (a & b) | (carry & (a ^ b)) == MAJ(a, b, carry): one
+        // ternary-logic op (imm 0xE8 = majority truth table).
+        carry = _mm512_ternarylogic_epi64(a, b, carry, 0xE8);
+      }
+      return carry;
+    };
+    __m512i bits = mask_ge(strict);
+    if (check_tie) bits = _mm512_or_si512(bits, mask_ge(n / 2));
+    _mm512_mask_storeu_epi64(out + w, mask, bits);
+  }
+}
+
+}  // namespace
+
+const Kernels& avx512_kernels() noexcept {
+  static const Kernels table{hamming_avx512, popcount_avx512, majority_avx512};
+  return table;
+}
+
+}  // namespace hdc::simd::detail

@@ -1,0 +1,74 @@
+// Scalar kernel tier: portable std::popcount loops. Always compiled; every
+// SIMD tier is property-tested bit-exact against these implementations.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.hpp"
+
+namespace hdc::simd::detail {
+
+namespace {
+
+std::size_t hamming_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t words) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+std::size_t popcount_scalar(const std::uint64_t* words, std::size_t n) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+/// Bit-sliced majority: each column's ones-count is held as a little-endian
+/// binary number spread across `planes` words, so adding one row is a
+/// ripple-carry add of 64 columns at once. The threshold test "count >= t"
+/// is the carry-out of count + (2^planes - t) rippled through the planes.
+void majority_scalar(const std::uint64_t* const* rows, std::size_t n,
+                     std::size_t words, std::uint64_t* out,
+                     bool tie_to_one) noexcept {
+  const int planes = std::bit_width(n);  // counts span [0, n]
+  const std::size_t strict = n / 2 + 1;  // 2*count > n
+  const bool check_tie = (n % 2 == 0) && tie_to_one;
+  std::uint64_t counter[64];
+  for (std::size_t w = 0; w < words; ++w) {
+    for (int p = 0; p < planes; ++p) counter[p] = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      std::uint64_t carry = rows[r][w];
+      for (int p = 0; p < planes && carry != 0; ++p) {
+        const std::uint64_t next = counter[p] & carry;
+        counter[p] ^= carry;
+        carry = next;
+      }
+    }
+    const auto mask_ge = [&](std::size_t t) {
+      const std::uint64_t constant = (1ULL << planes) - t;
+      std::uint64_t carry = 0;
+      for (int p = 0; p < planes; ++p) {
+        const std::uint64_t a = counter[p];
+        const std::uint64_t b = ((constant >> p) & 1ULL) ? ~0ULL : 0ULL;
+        carry = (a & b) | (carry & (a ^ b));
+      }
+      return carry;
+    };
+    std::uint64_t bits = mask_ge(strict);
+    if (check_tie) bits |= mask_ge(n / 2);
+    out[w] = bits;
+  }
+}
+
+}  // namespace
+
+const Kernels& scalar_kernels() noexcept {
+  static const Kernels table{hamming_scalar, popcount_scalar, majority_scalar};
+  return table;
+}
+
+}  // namespace hdc::simd::detail
