@@ -85,6 +85,13 @@ int main(int argc, char** argv) {
   thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
                       thread_counts.end());
   const bool speedup_valid = hw_threads > 1 && thread_counts.size() > 1;
+  // A one-point sweep is not a failed scaling run — it is a machine that
+  // cannot measure scaling at all. Say so explicitly so downstream gates
+  // can pass on single-core runners instead of reading "invalid".
+  const char* speedup_skipped_reason =
+      thread_counts.size() > 1 ? ""
+      : hw_threads == 1        ? "hardware_threads==1"
+                               : "single-point thread sweep";
 
   std::printf("# bench_runtime: rows=%zu dim=%zu seed=%llu reps=%zu hw_threads=%zu "
               "simd=%s\n",
@@ -196,12 +203,14 @@ int main(int argc, char** argv) {
                "  \"metrics_identical_across_threads\": true,\n"
                "  \"metrics_identical_across_tiers\": true,\n"
                "  \"speedup_valid\": %s,\n"
+               "  \"speedup_skipped_reason\": \"%s\",\n"
                "  \"threads\": [\n",
                ds.n_rows(), dim, static_cast<unsigned long long>(seed), reps,
                hw_threads, hdc::simd::tier_name(initial_tier),
                tiers_checked.c_str(), base.metrics.accuracy,
                base.metrics.f1, reference.tp, reference.tn, reference.fp,
-               reference.fn, speedup_valid ? "true" : "false");
+               reference.fn, speedup_valid ? "true" : "false",
+               speedup_skipped_reason);
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const ThreadSample& s = samples[i];
     std::fprintf(out,

@@ -1,0 +1,266 @@
+// Validates a bench JSON artifact: the whole document must parse, and each
+// required-key spec must hold at the top level. Used by the `bench-smoke`
+// ctest label to prove every bench binary still emits a machine-readable
+// file with its gate fields populated.
+//
+//   bench_validate FILE SPEC...
+//
+// A SPEC is `key` or `key1|key2` — at least one listed key must exist at
+// the top level with a non-failing value. `false`, `null` and `""` fail;
+// any number, object, array or non-empty string passes. So
+// `speedup_valid|speedup_skipped_reason` encodes "either the speedup sweep
+// was valid, or the bench said why it was skipped".
+#include <cctype>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/str.hpp"
+
+namespace {
+
+// Minimal recursive-descent JSON reader. It validates syntax for the whole
+// document and records the top-level object's members as (key -> truthy).
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool parse() {
+    skip_ws();
+    if (!parse_top_object()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] bool has_key(const std::string& key) const {
+    return top_.count(key) != 0;
+  }
+  [[nodiscard]] bool truthy(const std::string& key) const {
+    const auto it = top_.find(key);
+    return it != top_.end() && it->second;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            pos_ += 4;
+            c = '?';
+            break;
+          default:
+            return fail("bad escape");
+        }
+      }
+      value.push_back(c);
+    }
+    if (!consume('"')) return false;
+    if (out != nullptr) *out = std::move(value);
+    return true;
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) digits = true;
+      ++pos_;
+    }
+    if (!digits) {
+      pos_ = start;
+      return fail("bad number");
+    }
+    return true;
+  }
+
+  bool parse_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  /// Parses any value; reports whether it is "truthy" for gate purposes.
+  bool parse_value(bool* truthy) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(truthy);
+    if (c == '[') return parse_array(truthy);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      if (truthy != nullptr) *truthy = !s.empty();
+      return true;
+    }
+    if (c == 't') {
+      if (truthy != nullptr) *truthy = true;
+      return parse_literal("true");
+    }
+    if (c == 'f') {
+      if (truthy != nullptr) *truthy = false;
+      return parse_literal("false");
+    }
+    if (c == 'n') {
+      if (truthy != nullptr) *truthy = false;
+      return parse_literal("null");
+    }
+    if (truthy != nullptr) *truthy = true;
+    return parse_number();
+  }
+
+  bool parse_members(bool top,
+                     const std::function<void(std::string, bool)>& on_member) {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      bool value_truthy = false;
+      if (!parse_value(&value_truthy)) return false;
+      if (top) on_member(std::move(key), value_truthy);
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_top_object() {
+    return parse_members(true, [this](std::string key, bool truthy) {
+      top_[std::move(key)] = truthy;
+    });
+  }
+
+  bool parse_object(bool* truthy) {
+    if (truthy != nullptr) *truthy = true;
+    return parse_members(false, [](std::string, bool) {});
+  }
+
+  bool parse_array(bool* truthy) {
+    if (truthy != nullptr) *truthy = true;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!parse_value(nullptr)) return false;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  std::unordered_map<std::string, bool> top_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_validate FILE SPEC...\n");
+    return 2;
+  }
+  const char* path = argv[1];
+  std::FILE* in = std::fopen(path, "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot open %s\n", path);
+    return 1;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(in);
+
+  JsonChecker checker(text);
+  if (!checker.parse()) {
+    std::fprintf(stderr, "FAIL: %s does not parse as JSON (%s)\n", path,
+                 checker.error().c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string spec = argv[i];
+    bool ok = false;
+    for (const std::string& key : hdc::util::split(spec, '|')) {
+      if (checker.truthy(key)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "FAIL: %s: no passing key in spec \"%s\"\n", path,
+                   spec.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("OK: %s (%d spec%s)\n", path, argc - 2, argc - 2 == 1 ? "" : "s");
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -7,6 +7,8 @@
 #include "core/hamming_classifier.hpp"
 #include "data/split.hpp"
 #include "eval/metrics.hpp"
+#include "hv/bit_matrix.hpp"
+#include "ml/packed.hpp"
 #include "ml/zoo.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -22,16 +24,20 @@ namespace {
 
 /// Materialise (X, y) for a row subset, in raw or hypervector space. In
 /// hypervector mode the extractor is fit on `fit_rows` (training rows only).
+/// When the packed route is on, hypervector folds carry bit-packed matrices
+/// instead of dense doubles (train_X/test_X stay empty).
 struct FoldData {
   ml::Matrix train_X;
   ml::Labels train_y;
   ml::Matrix test_X;
   ml::Labels test_y;
+  std::optional<hv::BitMatrix> train_bits;
+  std::optional<hv::BitMatrix> test_bits;
 };
 
 FoldData materialize(const data::Dataset& ds, std::span<const std::size_t> train,
                      std::span<const std::size_t> test, InputMode mode,
-                     const ExperimentConfig& config) {
+                     const ExperimentConfig& config, bool allow_packed) {
   FoldData fold;
   const std::vector<std::size_t> train_vec(train.begin(), train.end());
   const std::vector<std::size_t> test_vec(test.begin(), test.end());
@@ -45,12 +51,25 @@ FoldData materialize(const data::Dataset& ds, std::span<const std::size_t> train
     obs::Span span("experiment.encode");
     HdcFeatureExtractor extractor(config.extractor);
     extractor.fit(train_ds);
-    fold.train_X = extractor.transform_to_matrix(train_ds);
-    fold.test_X = extractor.transform_to_matrix(test_ds);
+    if (allow_packed && config.packed_ml && ml::packed_enabled()) {
+      fold.train_bits = extractor.transform_bits(train_ds);
+      fold.test_bits = extractor.transform_bits(test_ds);
+    } else {
+      fold.train_X = extractor.transform_to_matrix(train_ds);
+      fold.test_X = extractor.transform_to_matrix(test_ds);
+    }
   }
   fold.train_y = train_ds.labels();
   fold.test_y = test_ds.labels();
   return fold;
+}
+
+void fit_fold(ml::Classifier& model, const FoldData& fold) {
+  if (fold.train_bits) {
+    model.fit_bits(*fold.train_bits, fold.train_y);
+  } else {
+    model.fit(fold.train_X, fold.train_y);
+  }
 }
 
 }  // namespace
@@ -63,14 +82,16 @@ eval::CvResult kfold_cv_accuracy(const data::Dataset& ds,
       [&](std::span<const std::size_t> train, std::span<const std::size_t> test) {
         obs::Span fold_span("experiment.fold");
         obs::counter("experiment.folds").increment();
-        const FoldData fold = materialize(ds, train, test, mode, config);
+        const FoldData fold = materialize(ds, train, test, mode, config,
+                                          /*allow_packed=*/true);
         const auto model = ml::make_model(model_name, config.model_budget);
         {
           obs::Span fit_span("experiment.fit");
-          model->fit(fold.train_X, fold.train_y);
+          fit_fold(*model, fold);
         }
         obs::Span eval_span("experiment.eval");
-        return model->accuracy(fold.test_X, fold.test_y);
+        return fold.test_bits ? model->accuracy_bits(*fold.test_bits, fold.test_y)
+                              : model->accuracy(fold.test_X, fold.test_y);
       });
 }
 
@@ -80,14 +101,18 @@ eval::BinaryMetrics holdout_metrics(const data::Dataset& ds,
                                     const ExperimentConfig& config) {
   const data::TrainTestIndices split =
       data::stratified_split(ds.labels(), test_fraction, config.seed);
-  const FoldData fold = materialize(ds, split.train, split.test, mode, config);
+  const FoldData fold = materialize(ds, split.train, split.test, mode, config,
+                                    /*allow_packed=*/true);
   const auto model = ml::make_model(model_name, config.model_budget);
   {
     obs::Span fit_span("experiment.fit");
-    model->fit(fold.train_X, fold.train_y);
+    fit_fold(*model, fold);
   }
   obs::Span eval_span("experiment.eval");
-  return eval::compute_metrics(fold.test_y, model->predict_all(fold.test_X));
+  return eval::compute_metrics(fold.test_y,
+                               fold.test_bits
+                                   ? model->predict_all_bits(*fold.test_bits)
+                                   : model->predict_all(fold.test_X));
 }
 
 eval::BinaryMetrics hamming_loo(const data::Dataset& ds,
@@ -133,7 +158,9 @@ NnProtocolResult nn_protocol(const data::Dataset& ds, InputMode mode,
     // Encode (or pass through) with extractor fitted on the training rows.
     ExperimentConfig rep_config = config;
     rep_config.extractor.seed = util::mix_seed(config.extractor.seed, rep);
-    FoldData tt = materialize(ds, split.train, split.test, mode, rep_config);
+    // The Sequential NN consumes dense matrices; keep this protocol unpacked.
+    FoldData tt = materialize(ds, split.train, split.test, mode, rep_config,
+                              /*allow_packed=*/false);
     const data::Dataset val_ds = ds.subset(split.val);
     ml::Matrix val_X;
     if (mode == InputMode::kRawFeatures) {

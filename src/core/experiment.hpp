@@ -28,6 +28,11 @@ struct ExperimentConfig {
   /// process-wide pool. Results are bit-identical for every setting (the
   /// golden determinism test pins 1 vs hardware_threads()).
   std::size_t threads = 0;
+  /// Feed hypervector folds to the downstream models as bit-packed columnar
+  /// matrices (popcount kernels) instead of dense doubles. Splits and
+  /// predictions are bit-identical either way; only speed and memory change.
+  /// The HDC_ML_PACKED environment switch can still veto the packed path.
+  bool packed_ml = true;
 };
 
 /// Paper Table III protocol: stratified 10-fold CV accuracy of a zoo model.

@@ -127,6 +127,13 @@ hv::PackedHVs HdcFeatureExtractor::transform_packed(const data::Dataset& ds,
   return batch.encode_packed(ds.n_rows(), make_row_fn(ds, config_, column_min_));
 }
 
+hv::BitMatrix HdcFeatureExtractor::transform_bits(const data::Dataset& ds,
+                                                  parallel::ThreadPool* pool) const {
+  if (!fitted()) throw std::logic_error("HdcFeatureExtractor: not fitted");
+  const hv::BatchEncoder batch(*encoder_, {pool});
+  return batch.encode_bits(ds.n_rows(), make_row_fn(ds, config_, column_min_));
+}
+
 ml::Matrix HdcFeatureExtractor::transform_to_matrix(const data::Dataset& ds) const {
   const std::vector<hv::BitVector> vectors = transform(ds);
   ml::Matrix out;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "hv/bit_matrix.hpp"
 #include "hv/encoders.hpp"
 #include "hv/search.hpp"
 #include "ml/classifier.hpp"
@@ -70,6 +71,11 @@ class HdcFeatureExtractor {
 
   /// As transform(), but packed for the hv/search kernels.
   [[nodiscard]] hv::PackedHVs transform_packed(
+      const data::Dataset& ds, parallel::ThreadPool* pool = nullptr) const;
+
+  /// As transform(), but delivered as a columnar BitMatrix for the packed
+  /// ML fast path — no double design matrix is ever materialised.
+  [[nodiscard]] hv::BitMatrix transform_bits(
       const data::Dataset& ds, parallel::ThreadPool* pool = nullptr) const;
 
   /// Encode to a 0/1 double matrix for the ML / NN substrates.

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "hv/bit_matrix.hpp"
+#include "ml/packed.hpp"
+
 namespace hdc::core {
 
 HybridModel::HybridModel(ExtractorConfig extractor_config,
@@ -14,8 +17,17 @@ HybridModel::HybridModel(ExtractorConfig extractor_config,
 
 void HybridModel::fit(const data::Dataset& train) {
   extractor_.fit(train);
-  const ml::Matrix X = extractor_.transform_to_matrix(train);
-  downstream_->fit(X, train.labels());
+  // Hypervector features are 0/1, so hand the downstream model the
+  // bit-packed design matrix directly; it never sees a dense double copy.
+  // Predictions are bit-identical to the dense route (the packed kernels
+  // mirror the dense arithmetic exactly); HDC_ML_PACKED=0 restores it.
+  if (ml::packed_enabled()) {
+    const hv::BitMatrix X = extractor_.transform_bits(train);
+    downstream_->fit_bits(X, train.labels());
+  } else {
+    const ml::Matrix X = extractor_.transform_to_matrix(train);
+    downstream_->fit(X, train.labels());
+  }
   fitted_ = true;
 }
 
@@ -30,6 +42,9 @@ double HybridModel::predict_proba(std::span<const double> row) const {
 
 std::vector<int> HybridModel::predict_all(const data::Dataset& ds) const {
   if (!fitted_) throw std::logic_error("HybridModel: not fitted");
+  if (ml::packed_enabled()) {
+    return downstream_->predict_all_bits(extractor_.transform_bits(ds));
+  }
   const ml::Matrix X = extractor_.transform_to_matrix(ds);
   return downstream_->predict_all(X);
 }

@@ -98,4 +98,8 @@ PackedHVs BatchEncoder::encode_packed(std::size_t n_rows, const RowFn& row_of) c
   return out;
 }
 
+BitMatrix BatchEncoder::encode_bits(std::size_t n_rows, const RowFn& row_of) const {
+  return BitMatrix::from_rows(encode_packed(n_rows, row_of));
+}
+
 }  // namespace hdc::hv

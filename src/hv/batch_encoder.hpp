@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "hv/bit_matrix.hpp"
 #include "hv/encoders.hpp"
 #include "hv/search.hpp"
 
@@ -52,6 +53,11 @@ class BatchEncoder {
   /// As encode_rows, but packs straight into a PackedHVs for the search
   /// kernels (one contiguous buffer, no intermediate vector array).
   [[nodiscard]] PackedHVs encode_packed(std::size_t n_rows, const RowFn& row_of) const;
+
+  /// Encode straight into a columnar BitMatrix for the packed ML path: the
+  /// packed rows from encode_packed are transposed into bitplanes without
+  /// ever materialising a double design matrix.
+  [[nodiscard]] BitMatrix encode_bits(std::size_t n_rows, const RowFn& row_of) const;
 
  private:
   const RecordEncoder* encoder_;

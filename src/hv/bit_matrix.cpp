@@ -1,0 +1,90 @@
+#include "hv/bit_matrix.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "simd/dispatch.hpp"
+
+namespace hdc::hv {
+
+RowMask RowMask::all(std::size_t rows) {
+  RowMask mask = none(rows);
+  const std::size_t full = rows / 64;
+  for (std::size_t w = 0; w < full; ++w) mask.words_[w] = ~0ULL;
+  if (rows % 64 != 0) mask.words_[full] = (1ULL << (rows % 64)) - 1ULL;
+  return mask;
+}
+
+RowMask RowMask::none(std::size_t rows) {
+  RowMask mask;
+  mask.rows_ = rows;
+  mask.words_.assign((rows + 63) / 64, 0ULL);
+  return mask;
+}
+
+std::size_t RowMask::count() const noexcept {
+  return simd::active().popcount(words_.data(), words_.size());
+}
+
+BitMatrix BitMatrix::from_rows(PackedHVs rows) {
+  BitMatrix m;
+  m.rows_ = rows.rows();
+  m.cols_ = rows.bits();
+  m.wpc_ = (m.rows_ + 63) / 64;
+  m.planes_.assign(m.cols_ * m.wpc_, 0ULL);
+  const std::size_t wpr = rows.words_per_row();
+  for (std::size_t i = 0; i < m.rows_; ++i) {
+    const std::uint64_t* row = rows.row(i);
+    const std::uint64_t row_bit = 1ULL << (i & 63);
+    const std::size_t row_word = i >> 6;
+    for (std::size_t w = 0; w < wpr; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits != 0) {
+        const std::size_t j = w * 64 +
+                              static_cast<std::size_t>(std::countr_zero(bits));
+        m.planes_[j * m.wpc_ + row_word] |= row_bit;
+        bits &= bits - 1;
+      }
+    }
+  }
+  m.row_major_ = std::move(rows);
+  m.valid_ = RowMask::all(m.rows_);
+  return m;
+}
+
+std::size_t BitMatrix::column_popcount(std::size_t j) const noexcept {
+  return simd::active().popcount(column(j), wpc_);
+}
+
+void BitMatrix::unpack_row(std::size_t i, std::span<double> out) const {
+  if (out.size() != cols_) {
+    throw std::invalid_argument("BitMatrix::unpack_row: output size mismatch");
+  }
+  const std::uint64_t* row = row_major_.row(i);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    out[j] = static_cast<double>((row[j >> 6] >> (j & 63)) & 1ULL);
+  }
+}
+
+std::vector<double> BitMatrix::row_doubles(std::size_t i) const {
+  std::vector<double> out(cols_);
+  unpack_row(i, out);
+  return out;
+}
+
+BitMatrix BitMatrix::subset(std::span<const std::size_t> indices) const {
+  PackedHVs sub(cols_, indices.size());
+  const std::size_t wpr = row_major_.words_per_row();
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (indices[k] >= rows_) {
+      throw std::out_of_range("BitMatrix::subset: row index out of range");
+    }
+    std::memcpy(sub.row(k), row_major_.row(indices[k]),
+                wpr * sizeof(std::uint64_t));
+  }
+  return from_rows(std::move(sub));
+}
+
+}  // namespace hdc::hv

@@ -2,7 +2,47 @@
 
 #include <stdexcept>
 
+#include "hv/bit_matrix.hpp"
+
 namespace hdc::ml {
+
+void Classifier::fit_bits(const hv::BitMatrix& X, const Labels& y) {
+  Matrix dense;
+  dense.reserve(X.rows());
+  for (std::size_t i = 0; i < X.rows(); ++i) dense.push_back(X.row_doubles(i));
+  fit(dense, y);
+}
+
+std::vector<int> Classifier::predict_all_bits(const hv::BitMatrix& X) const {
+  std::vector<int> out;
+  out.reserve(X.rows());
+  std::vector<double> row(X.cols());
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    X.unpack_row(i, row);
+    out.push_back(predict(row));
+  }
+  return out;
+}
+
+double Classifier::accuracy_bits(const hv::BitMatrix& X, const Labels& y) const {
+  if (X.rows() == 0) return 0.0;
+  const std::vector<int> predictions = predict_all_bits(X);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == y[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predictions.size());
+}
+
+void validate_training_bits(const hv::BitMatrix& X, const Labels& y) {
+  if (X.rows() == 0 || X.cols() == 0) {
+    throw std::invalid_argument("fit: empty training set");
+  }
+  if (X.rows() != y.size()) throw std::invalid_argument("fit: X/y size mismatch");
+  for (const int label : y) {
+    if (label != 0 && label != 1) throw std::invalid_argument("fit: labels must be 0/1");
+  }
+}
 
 void validate_training_data(const Matrix& X, const Labels& y) {
   if (X.empty()) throw std::invalid_argument("fit: empty training set");

@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+namespace hdc::hv {
+class BitMatrix;
+}
+
 namespace hdc::ml {
 
 /// Row-major feature matrix.
@@ -50,6 +54,18 @@ class Classifier {
     }
     return static_cast<double>(hits) / static_cast<double>(X.size());
   }
+
+  /// Train on a bit-packed 0/1 design matrix. Models with a packed fast
+  /// path override this; the default expands rows to doubles and defers to
+  /// fit(), so every model accepts packed input. Results are bit-identical
+  /// to the dense path either way.
+  virtual void fit_bits(const hv::BitMatrix& X, const Labels& y);
+
+  /// Hard predictions over every row of a packed matrix. Packed-aware
+  /// models answer from the bits directly; others expand row by row.
+  [[nodiscard]] virtual std::vector<int> predict_all_bits(const hv::BitMatrix& X) const;
+
+  [[nodiscard]] double accuracy_bits(const hv::BitMatrix& X, const Labels& y) const;
 };
 
 /// Validated view of training inputs plus a column-major copy used by the
@@ -86,5 +102,9 @@ class ColumnTable {
 /// Throws std::invalid_argument on ragged X, empty X, arity mismatch with a
 /// fitted dimension, or labels outside {0,1}.
 void validate_training_data(const Matrix& X, const Labels& y);
+
+/// Packed-path analogue: throws on empty X, row/label count mismatch, or
+/// labels outside {0,1}.
+void validate_training_bits(const hv::BitMatrix& X, const Labels& y);
 
 }  // namespace hdc::ml

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "hv/bit_matrix.hpp"
+#include "ml/packed.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
@@ -14,6 +16,13 @@ RandomForest::RandomForest(ForestConfig config) : config_(config) {
 }
 
 void RandomForest::fit(const Matrix& X, const Labels& y) {
+  validate_training_data(X, y);
+  if (packed_enabled()) {
+    if (const std::optional<hv::BitMatrix> bits = try_pack(X)) {
+      fit_packed(*bits, y);
+      return;
+    }
+  }
   const ColumnTable table(X, y);
   const std::size_t n = table.n_rows();
 
@@ -39,6 +48,43 @@ void RandomForest::fit(const Matrix& X, const Labels& y) {
   });
 }
 
+void RandomForest::fit_bits(const hv::BitMatrix& X, const Labels& y) {
+  if (!packed_enabled()) {
+    Classifier::fit_bits(X, y);  // kill switch covers fit_bits callers too
+    return;
+  }
+  validate_training_bits(X, y);
+  fit_packed(X, y);
+}
+
+void RandomForest::fit_packed(const hv::BitMatrix& X, const Labels& y) {
+  const std::size_t n = X.rows();
+
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(X.cols()))));
+  }
+
+  trees_.assign(config_.n_trees, DecisionTree(tree_config));
+  parallel::parallel_for(0, config_.n_trees, [&](std::size_t t) {
+    const std::uint64_t tree_seed = util::mix_seed(config_.seed, t);
+    util::Rng rng(tree_seed);
+    // Same draw sequence as the dense bootstrap; the multiset of rows is
+    // carried as per-row multiplicities instead of an index list (draw
+    // order only ever feeds exact integer counts, so it cannot matter).
+    std::vector<std::uint32_t> multiplicity(n, 0);
+    if (config_.bootstrap) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ++multiplicity[rng.below(n)];
+      }
+    } else {
+      multiplicity.assign(n, 1);
+    }
+    trees_[t].fit_from_bits(X, y, multiplicity, util::mix_seed(tree_seed, 0xf0));
+  });
+}
+
 std::vector<double> RandomForest::feature_importances() const {
   if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
   std::vector<double> total(trees_.front().feature_importances().size(), 0.0);
@@ -59,6 +105,23 @@ double RandomForest::predict_proba(std::span<const double> x) const {
   double sum = 0.0;
   for (const DecisionTree& tree : trees_) sum += tree.predict_proba(x);
   return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<int> RandomForest::predict_all_bits(const hv::BitMatrix& X) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  if (X.cols() != trees_.front().feature_importances().size()) {
+    throw std::invalid_argument("RandomForest: query arity mismatch");
+  }
+  std::vector<int> out;
+  out.reserve(X.rows());
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    const std::uint64_t* row = X.row_bits(i);
+    // Same tree order and summation as predict_proba, answered from bits.
+    double sum = 0.0;
+    for (const DecisionTree& tree : trees_) sum += tree.predict_proba_bits(row);
+    out.push_back(sum / static_cast<double>(trees_.size()) >= 0.5 ? 1 : 0);
+  }
+  return out;
 }
 
 }  // namespace hdc::ml

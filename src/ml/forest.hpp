@@ -21,7 +21,9 @@ class RandomForest final : public Classifier {
   explicit RandomForest(ForestConfig config = {});
 
   void fit(const Matrix& X, const Labels& y) override;
+  void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::vector<int> predict_all_bits(const hv::BitMatrix& X) const override;
   [[nodiscard]] std::string name() const override { return "Random Forest"; }
 
   [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
@@ -30,6 +32,8 @@ class RandomForest final : public Classifier {
   [[nodiscard]] std::vector<double> feature_importances() const;
 
  private:
+  void fit_packed(const hv::BitMatrix& X, const Labels& y);
+
   ForestConfig config_;
   std::vector<DecisionTree> trees_;
 };

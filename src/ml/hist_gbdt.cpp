@@ -6,8 +6,12 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "hv/bit_matrix.hpp"
+#include "ml/packed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simd/dispatch.hpp"
 
 namespace hdc::ml {
 
@@ -31,8 +35,14 @@ std::uint8_t HistGbdtClassifier::bin_of(std::size_t feature, double value) const
 }
 
 void HistGbdtClassifier::fit(const Matrix& X, const Labels& y) {
-  obs::Span span("ml.hist_gbdt.fit");
   validate_training_data(X, y);
+  if (packed_enabled()) {
+    if (const std::optional<hv::BitMatrix> bits = try_pack(X)) {
+      fit_packed(*bits, y);
+      return;
+    }
+  }
+  obs::Span span("ml.hist_gbdt.fit");
   const std::size_t n = X.size();
   const std::size_t d = X.front().size();
   n_features_ = d;
@@ -218,6 +228,224 @@ void HistGbdtClassifier::fit(const Matrix& X, const Labels& y) {
   obs::counter("ml.fit.boost_rounds").add(trees_.size());
 }
 
+void HistGbdtClassifier::fit_bits(const hv::BitMatrix& X, const Labels& y) {
+  if (!packed_enabled()) {
+    Classifier::fit_bits(X, y);  // kill switch covers fit_bits callers too
+    return;
+  }
+  validate_training_bits(X, y);
+  fit_packed(X, y);
+}
+
+namespace {
+
+/// Registry handles resolved once; every add() gates on obs::enabled().
+struct PackedFitMetrics {
+  obs::Counter& fits = obs::counter("ml.packed.fits");
+  obs::Counter& node_popcounts = obs::counter("ml.hist.node_popcounts");
+  obs::Counter& word_ops = obs::counter("ml.packed.word_ops");
+
+  static PackedFitMetrics& get() {
+    static PackedFitMetrics metrics;
+    return metrics;
+  }
+};
+
+/// Route a 0/1 row of packed bits through a fitted tree, applying the exact
+/// dense rule "value <= threshold" to the expanded bit (thresholds are 0.0
+/// for binary-trained trees, but a dense-trained tree may carry others).
+template <typename Tree>
+double tree_output_bits(const Tree& tree, const std::uint64_t* row_bits) {
+  std::int32_t node = 0;
+  while (tree[static_cast<std::size_t>(node)].feature >= 0) {
+    const auto& nd = tree[static_cast<std::size_t>(node)];
+    const std::size_t j = static_cast<std::size_t>(nd.feature);
+    const double value = ((row_bits[j >> 6] >> (j & 63)) & 1ULL) != 0 ? 1.0 : 0.0;
+    node = value <= nd.threshold ? nd.left : nd.right;
+  }
+  return tree[static_cast<std::size_t>(node)].value;
+}
+
+}  // namespace
+
+void HistGbdtClassifier::fit_packed(const hv::BitMatrix& X, const Labels& y) {
+  obs::Span span("ml.hist_gbdt.fit_packed");
+  PackedFitMetrics& metrics = PackedFitMetrics::get();
+  metrics.fits.increment();
+  const std::size_t n = X.rows();
+  const std::size_t d = X.cols();
+  const std::size_t words = X.words_per_column();
+  n_features_ = d;
+  base_margin_ = 0.0;
+
+  // Bin structure on 0/1 data: a mixed column gets edges {0.0} (two bins),
+  // a constant column gets no edges (one bin — skipped by split search).
+  // Matches the dense quantile binning applied to a binary column exactly.
+  bin_edges_.assign(d, {});
+  for (std::size_t j = 0; j < d; ++j) {
+    const std::size_t ones = X.column_popcount(j);
+    if (ones > 0 && ones < n) bin_edges_[j] = {0.0};
+  }
+
+  std::vector<double> margin(n, base_margin_);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  trees_.clear();
+  trees_.reserve(config_.n_rounds);
+
+  struct LeafCandidate {
+    std::int32_t node_id = -1;
+    std::vector<std::uint64_t> mask;  // rows in this leaf, packed
+    std::uint32_t count = 0;
+    double g_sum = 0.0;
+    double h_sum = 0.0;
+    double gain = -1.0;
+    std::int32_t feature = -1;
+    std::int32_t bin = -1;
+  };
+
+  // Per-column gains land in a flat array from parallel workers; the winner
+  // is then chosen in one sequential ascending-j scan that replicates the
+  // dense loop's running-best epsilon tie-break exactly (a column's gain
+  // never depends on the running best, so the two-phase split is lossless).
+  constexpr double kSkip = -std::numeric_limits<double>::infinity();
+  std::vector<double> gains(d);
+
+  const auto find_best_split = [&](LeafCandidate& leaf) {
+    leaf.gain = 0.0;
+    leaf.feature = -1;
+    const double parent_score =
+        leaf.g_sum * leaf.g_sum / (leaf.h_sum + config_.lambda);
+    const std::uint64_t* mask = leaf.mask.data();
+    parallel::parallel_for_chunks(0, d, [&](std::size_t lo, std::size_t hi) {
+      const simd::Kernels& kernels = simd::active();
+      for (std::size_t j = lo; j < hi; ++j) {
+        if (bin_edges_[j].empty()) {
+          gains[j] = kSkip;
+          continue;
+        }
+        const std::uint64_t* col = X.column(j);
+        // Left = rows with bit 0: count first (cheap popcount), gradient
+        // sums only when the count gate passes.
+        const std::uint32_t cl =
+            static_cast<std::uint32_t>(kernels.andnot_popcount(col, mask, words));
+        const std::uint32_t cr = leaf.count - cl;
+        if (cl < config_.min_data_in_leaf || cr < config_.min_data_in_leaf) {
+          gains[j] = kSkip;
+          continue;
+        }
+        double gl = 0.0;
+        double hl = 0.0;
+        masked_pair_sum_not(col, mask, words, grad.data(), hess.data(), gl, hl);
+        const double hr = leaf.h_sum - hl;
+        if (hl < config_.min_child_weight || hr < config_.min_child_weight) {
+          gains[j] = kSkip;
+          continue;
+        }
+        const double gr = leaf.g_sum - gl;
+        gains[j] = 0.5 * (gl * gl / (hl + config_.lambda) +
+                          gr * gr / (hr + config_.lambda) - parent_score);
+      }
+    });
+    metrics.node_popcounts.add(d);
+    metrics.word_ops.add(2 * d * words);
+    for (std::size_t j = 0; j < d; ++j) {
+      if (gains[j] > leaf.gain + 1e-12) {
+        leaf.gain = gains[j];
+        leaf.feature = static_cast<std::int32_t>(j);
+        leaf.bin = 0;
+      }
+    }
+  };
+
+  for (std::size_t round = 0; round < config_.n_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = sigmoid(margin[i]);
+      grad[i] = p - static_cast<double>(y[i]);
+      hess[i] = std::max(1e-16, p * (1.0 - p));
+    }
+
+    Tree tree;
+    std::vector<LeafCandidate> leaves;
+
+    LeafCandidate root;
+    root.node_id = 0;
+    root.mask.assign(X.valid().words(), X.valid().words() + words);
+    root.count = static_cast<std::uint32_t>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      root.g_sum += grad[i];
+      root.h_sum += hess[i];
+    }
+    tree.emplace_back();
+    tree[0].value = -root.g_sum / (root.h_sum + config_.lambda);
+    find_best_split(root);
+    leaves.push_back(std::move(root));
+
+    while (leaves.size() < config_.num_leaves) {
+      std::size_t best = leaves.size();
+      double best_gain = 1e-12;
+      for (std::size_t l = 0; l < leaves.size(); ++l) {
+        if (leaves[l].feature >= 0 && leaves[l].gain > best_gain) {
+          best_gain = leaves[l].gain;
+          best = l;
+        }
+      }
+      if (best == leaves.size()) break;  // nothing splittable
+
+      LeafCandidate leaf = std::move(leaves[best]);
+      leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(best));
+
+      const std::size_t j = static_cast<std::size_t>(leaf.feature);
+      const std::uint64_t* col = X.column(j);
+      LeafCandidate left;
+      LeafCandidate right;
+      left.mask.resize(words);
+      right.mask.resize(words);
+      for (std::size_t w = 0; w < words; ++w) {
+        left.mask[w] = leaf.mask[w] & ~col[w];
+        right.mask[w] = leaf.mask[w] & col[w];
+      }
+      const simd::Kernels& kernels = simd::active();
+      left.count = static_cast<std::uint32_t>(
+          kernels.popcount(left.mask.data(), words));
+      right.count = leaf.count - left.count;
+      // Child gradient sums in ascending-row order, exactly as the dense
+      // split partition accumulates them.
+      masked_pair_sum_not(col, leaf.mask.data(), words, grad.data(),
+                          hess.data(), left.g_sum, left.h_sum);
+      masked_pair_sum(col, leaf.mask.data(), words, grad.data(), hess.data(),
+                      right.g_sum, right.h_sum);
+
+      const std::int32_t left_id = static_cast<std::int32_t>(tree.size());
+      tree.emplace_back();
+      tree.back().value = -left.g_sum / (left.h_sum + config_.lambda);
+      const std::int32_t right_id = static_cast<std::int32_t>(tree.size());
+      tree.emplace_back();
+      tree.back().value = -right.g_sum / (right.h_sum + config_.lambda);
+
+      Node& parent = tree[static_cast<std::size_t>(leaf.node_id)];
+      parent.feature = leaf.feature;
+      parent.bin = leaf.bin;
+      parent.threshold = bin_edges_[j][static_cast<std::size_t>(leaf.bin)];
+      parent.left = left_id;
+      parent.right = right_id;
+      left.node_id = left_id;
+      right.node_id = right_id;
+
+      find_best_split(left);
+      find_best_split(right);
+      leaves.push_back(std::move(left));
+      leaves.push_back(std::move(right));
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      margin[i] += config_.learning_rate * tree_output_bits(tree, X.row_bits(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  obs::counter("ml.fit.boost_rounds").add(trees_.size());
+}
+
 double HistGbdtClassifier::tree_output(const Tree& tree, std::span<const double> x) {
   std::int32_t node = 0;
   while (tree[static_cast<std::size_t>(node)].feature >= 0) {
@@ -237,6 +465,26 @@ double HistGbdtClassifier::predict_proba(std::span<const double> x) const {
     margin += config_.learning_rate * tree_output(tree, x);
   }
   return sigmoid(margin);
+}
+
+std::vector<int> HistGbdtClassifier::predict_all_bits(const hv::BitMatrix& X) const {
+  if (trees_.empty()) throw std::logic_error("HistGBDT: not fitted");
+  if (X.cols() != n_features_) {
+    throw std::invalid_argument("HistGBDT: query arity mismatch");
+  }
+  std::vector<int> out;
+  out.reserve(X.rows());
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    const std::uint64_t* row = X.row_bits(i);
+    // Same tree order and margin accumulation as predict_proba; the bit
+    // routing is the "value <= 0.0 threshold" rule answered from the bit.
+    double margin = base_margin_;
+    for (const Tree& tree : trees_) {
+      margin += config_.learning_rate * tree_output_bits(tree, row);
+    }
+    out.push_back(sigmoid(margin) >= 0.5 ? 1 : 0);
+  }
+  return out;
 }
 
 }  // namespace hdc::ml

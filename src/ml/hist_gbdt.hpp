@@ -26,7 +26,9 @@ class HistGbdtClassifier final : public Classifier {
   explicit HistGbdtClassifier(HistGbdtConfig config = {});
 
   void fit(const Matrix& X, const Labels& y) override;
+  void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::vector<int> predict_all_bits(const hv::BitMatrix& X) const override;
   [[nodiscard]] std::string name() const override { return "LGBM"; }
 
   [[nodiscard]] std::size_t round_count() const noexcept { return trees_.size(); }
@@ -44,6 +46,11 @@ class HistGbdtClassifier final : public Classifier {
 
   [[nodiscard]] std::uint8_t bin_of(std::size_t feature, double value) const;
   [[nodiscard]] static double tree_output(const Tree& tree, std::span<const double> x);
+
+  /// Packed fit: split gains from per-node mask × column-bitplane popcount
+  /// reductions instead of per-row binning. Bit-identical to the dense fit
+  /// on any all-0/1 matrix (same accumulation order, same tie-breaks).
+  void fit_packed(const hv::BitMatrix& X, const Labels& y);
 
   HistGbdtConfig config_;
   std::vector<std::vector<double>> bin_edges_;  // per feature, ascending

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/packed.hpp"
+#include "simd/dispatch.hpp"
+
 namespace hdc::ml {
 
 KnnClassifier::KnnClassifier(KnnConfig config) : config_(config) {
@@ -12,32 +15,34 @@ KnnClassifier::KnnClassifier(KnnConfig config) : config_(config) {
 
 void KnnClassifier::fit(const Matrix& X, const Labels& y) {
   validate_training_data(X, y);
+  if (packed_enabled()) {
+    if (std::optional<hv::BitMatrix> bits = try_pack(X)) {
+      train_bits_ = std::move(*bits);
+      train_X_.clear();
+      train_y_ = y;
+      return;
+    }
+  }
   train_X_ = X;
+  train_bits_ = hv::BitMatrix();
   train_y_ = y;
 }
 
-double KnnClassifier::predict_proba(std::span<const double> x) const {
-  if (train_X_.empty()) throw std::logic_error("KNN: not fitted");
-  if (x.size() != train_X_.front().size()) {
-    throw std::invalid_argument("KNN: query arity mismatch");
+void KnnClassifier::fit_bits(const hv::BitMatrix& X, const Labels& y) {
+  if (!packed_enabled()) {
+    Classifier::fit_bits(X, y);  // kill switch covers fit_bits callers too
+    return;
   }
-  const std::size_t k = std::min(config_.k, train_X_.size());
+  validate_training_bits(X, y);
+  train_bits_ = X;
+  train_X_.clear();
+  train_y_ = y;
+}
 
-  // Partial selection of the k smallest squared distances.
-  std::vector<std::pair<double, int>> dist;
-  dist.reserve(train_X_.size());
-  for (std::size_t i = 0; i < train_X_.size(); ++i) {
-    const auto& row = train_X_[i];
-    double d2 = 0.0;
-    for (std::size_t j = 0; j < x.size(); ++j) {
-      const double diff = row[j] - x[j];
-      d2 += diff * diff;
-    }
-    dist.emplace_back(d2, train_y_[i]);
-  }
+double KnnClassifier::vote(std::vector<std::pair<double, int>>& dist) const {
+  const std::size_t k = std::min(config_.k, dist.size());
   std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    dist.end());
-
   double votes_pos = 0.0;
   double votes_total = 0.0;
   for (std::size_t i = 0; i < k; ++i) {
@@ -48,6 +53,95 @@ double KnnClassifier::predict_proba(std::span<const double> x) const {
     if (dist[i].second == 1) votes_pos += w;
   }
   return votes_total > 0.0 ? votes_pos / votes_total : 0.0;
+}
+
+double KnnClassifier::predict_proba(std::span<const double> x) const {
+  const bool packed = !train_bits_.empty();
+  if (!packed && train_X_.empty()) throw std::logic_error("KNN: not fitted");
+  const std::size_t d = packed ? train_bits_.cols() : train_X_.front().size();
+  if (x.size() != d) {
+    throw std::invalid_argument("KNN: query arity mismatch");
+  }
+
+  const std::size_t n = packed ? train_bits_.rows() : train_X_.size();
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(n);
+  if (packed) {
+    bool binary_query = true;
+    for (const double v : x) {
+      if (v != 0.0 && v != 1.0) {
+        binary_query = false;
+        break;
+      }
+    }
+    if (binary_query) {
+      // Binary query vs binary rows: squared Euclidean distance counts
+      // mismatching coordinates by exact +1.0 steps, i.e. it IS the Hamming
+      // distance (both sides integer-exact), so the (d2, label) pairs match
+      // the dense loop bit for bit.
+      const std::size_t words = train_bits_.words_per_row();
+      std::vector<std::uint64_t> q(words, 0);
+      for (std::size_t j = 0; j < d; ++j) {
+        if (x[j] == 1.0) q[j / 64] |= 1ULL << (j % 64);
+      }
+      const simd::Kernels& kernels = simd::active();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t h = kernels.hamming(train_bits_.row_bits(i), q.data(), words);
+        dist.emplace_back(static_cast<double>(h), train_y_[i]);
+      }
+    } else {
+      // Arbitrary query: expand row bits to exact 0.0/1.0 on the fly and run
+      // the dense accumulation in the same coordinate order.
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t* row = train_bits_.row_bits(i);
+        double d2 = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double value = (row[j / 64] >> (j % 64)) & 1u ? 1.0 : 0.0;
+          const double diff = value - x[j];
+          d2 += diff * diff;
+        }
+        dist.emplace_back(d2, train_y_[i]);
+      }
+    }
+  } else {
+    // Partial selection of the k smallest squared distances.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& row = train_X_[i];
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < x.size(); ++j) {
+        const double diff = row[j] - x[j];
+        d2 += diff * diff;
+      }
+      dist.emplace_back(d2, train_y_[i]);
+    }
+  }
+  return vote(dist);
+}
+
+std::vector<int> KnnClassifier::predict_all_bits(const hv::BitMatrix& X) const {
+  if (train_bits_.empty()) {
+    return Classifier::predict_all_bits(X);  // dense-fitted model: expand rows
+  }
+  if (X.cols() != train_bits_.cols()) {
+    throw std::invalid_argument("KNN: query arity mismatch");
+  }
+  const std::size_t n = train_bits_.rows();
+  const std::size_t words = train_bits_.words_per_row();
+  const simd::Kernels& kernels = simd::active();
+  std::vector<int> out;
+  out.reserve(X.rows());
+  std::vector<std::pair<double, int>> dist;
+  for (std::size_t q = 0; q < X.rows(); ++q) {
+    dist.clear();
+    dist.reserve(n);
+    const std::uint64_t* qbits = X.row_bits(q);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t h = kernels.hamming(train_bits_.row_bits(i), qbits, words);
+      dist.emplace_back(static_cast<double>(h), train_y_[i]);
+    }
+    out.push_back(vote(dist) >= 0.5 ? 1 : 0);
+  }
+  return out;
 }
 
 }  // namespace hdc::ml

@@ -1,6 +1,13 @@
 // K-nearest-neighbours classifier (Euclidean distance, majority vote).
+//
+// When the training matrix is binary (hypervector features) the rows are
+// retained bit-packed and squared Euclidean distance is answered as a
+// Hamming distance through the simd dispatch table — for 0/1 data the two
+// are the same exact integer, so neighbour sets and votes are bit-identical
+// to the dense path.
 #pragma once
 
+#include "hv/bit_matrix.hpp"
 #include "ml/classifier.hpp"
 
 namespace hdc::ml {
@@ -16,12 +23,17 @@ class KnnClassifier final : public Classifier {
   explicit KnnClassifier(KnnConfig config = {});
 
   void fit(const Matrix& X, const Labels& y) override;
+  void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::vector<int> predict_all_bits(const hv::BitMatrix& X) const override;
   [[nodiscard]] std::string name() const override { return "KNN"; }
 
  private:
+  [[nodiscard]] double vote(std::vector<std::pair<double, int>>& dist) const;
+
   KnnConfig config_;
-  Matrix train_X_;
+  Matrix train_X_;             // dense store (non-binary training data)
+  hv::BitMatrix train_bits_;   // packed store (binary training data)
   Labels train_y_;
 };
 

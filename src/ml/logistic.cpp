@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "hv/bit_matrix.hpp"
+#include "ml/packed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -19,6 +21,12 @@ LogisticRegression::LogisticRegression(LogisticConfig config) : config_(config) 
 void LogisticRegression::fit(const Matrix& X, const Labels& y) {
   obs::Span span("ml.logistic.fit");
   validate_training_data(X, y);
+  if (packed_enabled()) {
+    if (const std::optional<hv::BitMatrix> bits = try_pack(X)) {
+      fit_packed(*bits, y);
+      return;
+    }
+  }
   const std::size_t n = X.size();
   const std::size_t d = X.front().size();
 
@@ -48,7 +56,61 @@ void LogisticRegression::fit(const Matrix& X, const Labels& y) {
       Z[i * d + j] = (X[i][j] - mean_[j]) * inv_std_[j];
     }
   }
+  run_gradient_descent(Z, y, n, d);
+}
 
+void LogisticRegression::fit_bits(const hv::BitMatrix& X, const Labels& y) {
+  if (!packed_enabled()) {
+    Classifier::fit_bits(X, y);  // kill switch covers fit_bits callers too
+    return;
+  }
+  validate_training_bits(X, y);
+  fit_packed(X, y);
+}
+
+void LogisticRegression::fit_packed(const hv::BitMatrix& X, const Labels& y) {
+  obs::Span span("ml.logistic.fit_packed");
+  const std::size_t n = X.rows();
+  const std::size_t d = X.cols();
+
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  if (config_.standardize) {
+    // For 0/1 columns sum == sum_sq == popcount, and the dense row-order
+    // accumulation of +1.0 terms is integer-exact, so these moments are
+    // bit-identical to the dense pass.
+    for (std::size_t j = 0; j < d; ++j) {
+      const double sum = static_cast<double>(X.column_popcount(j));
+      mean_[j] = sum / static_cast<double>(n);
+      const double var = sum / static_cast<double>(n) - mean_[j] * mean_[j];
+      inv_std_[j] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+    }
+  }
+
+  // A 0/1 feature standardises to one of two constants per column; expand
+  // the packed rows through that 2-entry table. Each Z value matches the
+  // dense (x - mean) * inv_std result exactly, so the shared optimisation
+  // loop below sees bit-identical inputs.
+  std::vector<double> z0(d);
+  std::vector<double> z1(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    z0[j] = (0.0 - mean_[j]) * inv_std_[j];
+    z1[j] = (1.0 - mean_[j]) * inv_std_[j];
+  }
+  std::vector<double> Z(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* row = X.row_bits(i);
+    double* zi = Z.data() + i * d;
+    for (std::size_t j = 0; j < d; ++j) {
+      zi[j] = (row[j / 64] >> (j % 64)) & 1u ? z1[j] : z0[j];
+    }
+  }
+  run_gradient_descent(Z, y, n, d);
+}
+
+void LogisticRegression::run_gradient_descent(const std::vector<double>& Z,
+                                              const Labels& y, std::size_t n,
+                                              std::size_t d) {
   w_.assign(d, 0.0);
   b_ = 0.0;
   std::vector<double> vel_w(d, 0.0);

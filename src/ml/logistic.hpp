@@ -21,6 +21,7 @@ class LogisticRegression final : public Classifier {
   explicit LogisticRegression(LogisticConfig config = {});
 
   void fit(const Matrix& X, const Labels& y) override;
+  void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::string name() const override { return "Logistic Regression"; }
 
@@ -29,6 +30,10 @@ class LogisticRegression final : public Classifier {
   [[nodiscard]] double bias() const noexcept { return b_; }
 
  private:
+  void fit_packed(const hv::BitMatrix& X, const Labels& y);
+  void run_gradient_descent(const std::vector<double>& Z, const Labels& y,
+                            std::size_t n, std::size_t d);
+
   LogisticConfig config_;
   std::vector<double> w_;
   double b_ = 0.0;

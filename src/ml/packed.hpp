@@ -1,0 +1,59 @@
+// Bit-packed fast-path plumbing shared by the ML models.
+//
+// When the design matrix is entirely 0/1 (hypervector features), every model
+// in the zoo can answer its training-time statistics from column bitplanes:
+// split-search class counts become AND/ANDNOT + popcount over node masks,
+// and gradient/dot-product accumulations walk only the set bits of a masked
+// plane. The packed paths are built to be *bit-identical* to the dense ones
+// — same floating-point accumulation order, same tie-breaks, same RNG draw
+// sequence — so switching the path can never change a result, only its cost.
+//
+// Selection mirrors the HDC_SIMD convention:
+//   1. `HDC_ML_PACKED=0|1` (also off/on/false/true) environment override,
+//      read once at first use; unknown values warn and fall back;
+//   2. `set_packed_enabled()` — programmatic override for tests/benches;
+//   3. default: enabled.
+// The switch gates only the automatic Matrix -> BitMatrix promotion inside
+// fit(); callers invoking fit_bits() with the switch off fall back to the
+// dense code via row expansion, so the kill switch covers the whole path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "hv/bit_matrix.hpp"
+#include "ml/classifier.hpp"
+
+namespace hdc::ml {
+
+/// Current state of the packed-path switch.
+[[nodiscard]] bool packed_enabled() noexcept;
+
+/// Force the switch for this process (tests, benches).
+void set_packed_enabled(bool enabled) noexcept;
+
+/// Drop any programmatic override and return to HDC_ML_PACKED / default.
+void reset_packed_enabled() noexcept;
+
+/// Pack a dense matrix into column bitplanes when every value is exactly
+/// 0.0 or 1.0; nullopt (cheaply, first offending value) otherwise.
+[[nodiscard]] std::optional<hv::BitMatrix> try_pack(const Matrix& X);
+
+/// Rows with label 1 as a packed mask (padding bits zero).
+[[nodiscard]] hv::RowMask label_mask(const Labels& y);
+
+/// Ascending-row partial sums of a[r] (and b[r]) over the set bits of
+/// (col AND mask) — float accumulation order identical to a dense
+/// ascending-row loop that adds where column bit r is 1.
+void masked_pair_sum(const std::uint64_t* col, const std::uint64_t* mask,
+                     std::size_t words, const double* a, const double* b,
+                     double& sum_a, double& sum_b);
+
+/// Same over the set bits of (NOT col AND mask) — the bit==0 side of a
+/// binary split, served from the same plane without a negated copy.
+void masked_pair_sum_not(const std::uint64_t* col, const std::uint64_t* mask,
+                         std::size_t words, const double* a, const double* b,
+                         double& sum_a, double& sum_b);
+
+}  // namespace hdc::ml

@@ -30,6 +30,7 @@ class SgdClassifier final : public Classifier {
   explicit SgdClassifier(SgdConfig config = {});
 
   void fit(const Matrix& X, const Labels& y) override;
+  void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::string name() const override { return "SGD"; }
 
@@ -37,6 +38,7 @@ class SgdClassifier final : public Classifier {
   [[nodiscard]] double bias() const noexcept { return b_; }
 
  private:
+  void fit_packed(const hv::BitMatrix& X, const Labels& y);
   [[nodiscard]] double decision(std::span<const double> x) const;
 
   SgdConfig config_;

@@ -1,9 +1,13 @@
 #include "ml/svm.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
+#include "hv/bit_matrix.hpp"
+#include "ml/packed.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace hdc::ml {
@@ -36,6 +40,12 @@ std::vector<double> SvcClassifier::standardized(std::span<const double> x) const
 
 void SvcClassifier::fit(const Matrix& X, const Labels& y) {
   validate_training_data(X, y);
+  if (packed_enabled()) {
+    if (const std::optional<hv::BitMatrix> bits = try_pack(X)) {
+      fit_packed(*bits, y);
+      return;
+    }
+  }
   const std::size_t n = X.size();
   const std::size_t d = X.front().size();
 
@@ -61,6 +71,59 @@ void SvcClassifier::fit(const Matrix& X, const Labels& y) {
   for (const auto& row : X) train_X_.push_back(standardized(row));
   targets_.resize(n);
   for (std::size_t i = 0; i < n; ++i) targets_[i] = y[i] == 1 ? 1.0 : -1.0;
+  solve_smo(nullptr);
+}
+
+void SvcClassifier::fit_bits(const hv::BitMatrix& X, const Labels& y) {
+  if (!packed_enabled()) {
+    Classifier::fit_bits(X, y);  // kill switch covers fit_bits callers too
+    return;
+  }
+  validate_training_bits(X, y);
+  fit_packed(X, y);
+}
+
+void SvcClassifier::fit_packed(const hv::BitMatrix& X, const Labels& y) {
+  obs::Span span("ml.svc.fit_packed");
+  const std::size_t n = X.rows();
+  const std::size_t d = X.cols();
+
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  if (config_.standardize) {
+    // 0/1 columns: sum == sum_sq == popcount, and the dense accumulation of
+    // +1.0 terms is integer-exact, so the moments match the dense pass.
+    for (std::size_t j = 0; j < d; ++j) {
+      const double sum = static_cast<double>(X.column_popcount(j));
+      mean_[j] = sum / static_cast<double>(n);
+      const double var = sum / static_cast<double>(n) - mean_[j] * mean_[j];
+      inv_std_[j] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+    }
+  }
+  // Each 0/1 feature standardises to one of two constants; expanding through
+  // the 2-entry table reproduces the dense standardized() rows exactly.
+  std::vector<double> z0(d);
+  std::vector<double> z1(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    z0[j] = (0.0 - mean_[j]) * inv_std_[j];
+    z1[j] = (1.0 - mean_[j]) * inv_std_[j];
+  }
+  train_X_.assign(n, std::vector<double>(d));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* row = X.row_bits(i);
+    std::vector<double>& out = train_X_[i];
+    for (std::size_t j = 0; j < d; ++j) {
+      out[j] = (row[j / 64] >> (j % 64)) & 1u ? z1[j] : z0[j];
+    }
+  }
+  targets_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) targets_[i] = y[i] == 1 ? 1.0 : -1.0;
+  solve_smo(&X);
+}
+
+void SvcClassifier::solve_smo(const hv::BitMatrix* bits) {
+  const std::size_t n = train_X_.size();
+  const std::size_t d = train_X_.front().size();
 
   // gamma = "scale": 1 / (d * var) over all entries of the (standardised)
   // training matrix, like scikit-learn's heuristic.
@@ -83,11 +146,41 @@ void SvcClassifier::fit(const Matrix& X, const Labels& y) {
 
   // Precompute the kernel matrix (n is a few hundred in all experiments).
   std::vector<double> K(n * n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double k = kernel(train_X_[i], train_X_[j]);
-      K[i * n + j] = k;
-      K[j * n + i] = k;
+  if (bits != nullptr && config_.kernel == SvmKernel::kRbf) {
+    // Squared distance between two standardised 0/1 rows: equal coordinates
+    // contribute an exact +0.0 to the dense sum, so accumulating the
+    // per-column (z1-z0)^2 table over the XOR of the packed rows in
+    // ascending column order is bit-identical ((a-b)^2 == (b-a)^2 in IEEE).
+    std::vector<double> dz2(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dz = (1.0 - mean_[j]) * inv_std_[j] - (0.0 - mean_[j]) * inv_std_[j];
+      dz2[j] = dz * dz;
+    }
+    const std::size_t words = bits->words_per_row();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t* ri = bits->row_bits(i);
+      for (std::size_t j = i; j < n; ++j) {
+        const std::uint64_t* rj = bits->row_bits(j);
+        double d2 = 0.0;
+        for (std::size_t w = 0; w < words; ++w) {
+          std::uint64_t diff = ri[w] ^ rj[w];
+          while (diff != 0) {
+            d2 += dz2[w * 64 + static_cast<std::size_t>(std::countr_zero(diff))];
+            diff &= diff - 1;
+          }
+        }
+        const double k = std::exp(-gamma_ * d2);
+        K[i * n + j] = k;
+        K[j * n + i] = k;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const double k = kernel(train_X_[i], train_X_[j]);
+        K[i * n + j] = k;
+        K[j * n + i] = k;
+      }
     }
   }
 

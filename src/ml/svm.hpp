@@ -31,6 +31,7 @@ class SvcClassifier final : public Classifier {
   explicit SvcClassifier(SvcConfig config = {});
 
   void fit(const Matrix& X, const Labels& y) override;
+  void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::string name() const override { return "SVC"; }
 
@@ -39,6 +40,11 @@ class SvcClassifier final : public Classifier {
   [[nodiscard]] std::size_t support_vector_count() const noexcept;
 
  private:
+  void fit_packed(const hv::BitMatrix& X, const Labels& y);
+  /// gamma heuristic + kernel matrix + SMO over the already-populated
+  /// train_X_/targets_ members. `bits` (may be null) lets the RBF kernel
+  /// matrix come from XOR bit-planes instead of dense row pairs.
+  void solve_smo(const hv::BitMatrix* bits);
   [[nodiscard]] double kernel(std::span<const double> a,
                               std::span<const double> b) const;
   [[nodiscard]] std::vector<double> standardized(std::span<const double> x) const;

@@ -1,9 +1,14 @@
 #include "ml/tree.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+
+#include "hv/bit_matrix.hpp"
+#include "ml/packed.hpp"
+#include "simd/dispatch.hpp"
 
 namespace hdc::ml {
 
@@ -32,10 +37,26 @@ DecisionTree::DecisionTree(TreeConfig config) : config_(config) {
 }
 
 void DecisionTree::fit(const Matrix& X, const Labels& y) {
+  validate_training_data(X, y);
+  if (packed_enabled()) {
+    if (const std::optional<hv::BitMatrix> bits = try_pack(X)) {
+      fit_from_bits(*bits, y, {}, config_.seed);
+      return;
+    }
+  }
   const ColumnTable table(X, y);
   std::vector<std::uint32_t> rows(table.n_rows());
   std::iota(rows.begin(), rows.end(), 0u);
   fit_from_table(table, std::move(rows), config_.seed);
+}
+
+void DecisionTree::fit_bits(const hv::BitMatrix& X, const Labels& y) {
+  if (!packed_enabled()) {
+    Classifier::fit_bits(X, y);  // kill switch covers fit_bits callers too
+    return;
+  }
+  validate_training_bits(X, y);
+  fit_from_bits(X, y, {}, config_.seed);
 }
 
 void DecisionTree::fit_from_table(const ColumnTable& table,
@@ -161,6 +182,200 @@ std::int32_t DecisionTree::build(const ColumnTable& table,
   const std::int32_t right = build(table, right_rows, depth + 1, rng);
   nodes_[node_id].right = right;
   return node_id;
+}
+
+/// Fit context for the bitplane path: the design matrix, the per-row
+/// bootstrap multiplicity as bit-planes, and the positive-label mask.
+struct DecisionTree::PackedTable {
+  const hv::BitMatrix* X = nullptr;
+  std::size_t words = 0;
+  std::vector<std::vector<std::uint64_t>> planes;  // multiplicity bit k
+  std::vector<std::uint64_t> labels;               // rows with label 1
+};
+
+void DecisionTree::fit_from_bits(const hv::BitMatrix& X, const Labels& y,
+                                 std::span<const std::uint32_t> multiplicity,
+                                 std::uint64_t seed) {
+  if (X.rows() == 0 || X.cols() == 0) {
+    throw std::invalid_argument("DecisionTree: empty row set");
+  }
+  if (y.size() != X.rows()) {
+    throw std::invalid_argument("DecisionTree: X/y size mismatch");
+  }
+  const std::size_t words = X.words_per_column();
+  PackedTable table;
+  table.X = &X;
+  table.words = words;
+  if (multiplicity.empty()) {
+    table.planes.emplace_back(X.valid().words(), X.valid().words() + words);
+  } else {
+    if (multiplicity.size() != X.rows()) {
+      throw std::invalid_argument("DecisionTree: multiplicity size mismatch");
+    }
+    std::uint32_t max_mult = 0;
+    for (const std::uint32_t m : multiplicity) max_mult = std::max(max_mult, m);
+    const int k_planes = std::bit_width(max_mult);
+    if (k_planes == 0) throw std::invalid_argument("DecisionTree: empty row set");
+    table.planes.assign(static_cast<std::size_t>(k_planes),
+                        std::vector<std::uint64_t>(words, 0));
+    for (std::size_t r = 0; r < multiplicity.size(); ++r) {
+      for (int k = 0; k < k_planes; ++k) {
+        if ((multiplicity[r] >> k) & 1u) {
+          table.planes[static_cast<std::size_t>(k)][r >> 6] |= 1ULL << (r & 63);
+        }
+      }
+    }
+  }
+  const hv::RowMask positives = label_mask(y);
+  table.labels.assign(positives.words(), positives.words() + words);
+
+  // Root mask: every row drawn at least once (OR of the multiplicity bits).
+  std::vector<std::uint64_t> root(words, 0);
+  for (const auto& plane : table.planes) {
+    for (std::size_t w = 0; w < words; ++w) root[w] |= plane[w];
+  }
+
+  nodes_.clear();
+  depth_ = 0;
+  n_features_ = X.cols();
+  importances_.assign(n_features_, 0.0);
+  util::Rng rng(seed);
+  build_packed(table, root, 0, rng);
+  double total = 0.0;
+  for (const double v : importances_) total += v;
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+}
+
+std::int32_t DecisionTree::build_packed(const PackedTable& table,
+                                        std::vector<std::uint64_t>& mask,
+                                        std::size_t depth, util::Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t words = table.words;
+  const std::size_t k_planes = table.planes.size();
+  const simd::Kernels& kernels = simd::active();
+
+  // Node-local multiplicity planes (and their label-1 intersections):
+  // weighted counts then read off as 2^k-scaled popcounts.
+  std::vector<std::uint64_t> node_planes(k_planes * words);
+  std::size_t n = 0;
+  std::size_t positives = 0;
+  for (std::size_t k = 0; k < k_planes; ++k) {
+    std::uint64_t* plane = node_planes.data() + k * words;
+    for (std::size_t w = 0; w < words; ++w) {
+      plane[w] = table.planes[k][w] & mask[w];
+    }
+    n += (std::size_t{1} << k) * kernels.popcount(plane, words);
+    positives += (std::size_t{1} << k) *
+                 kernels.and_popcount(plane, table.labels.data(), words);
+  }
+
+  const std::int32_t node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].prob = static_cast<double>(positives) / static_cast<double>(n);
+
+  const std::size_t max_depth = config_.max_depth == 0 ? kDepthCap : config_.max_depth;
+  const bool pure = positives == 0 || positives == n;
+  if (pure || depth >= max_depth || n < config_.min_samples_split) {
+    return node_id;
+  }
+
+  // Same candidate draw (and rng stream position) as the dense build.
+  std::vector<std::size_t> candidates;
+  if (config_.max_features == 0 || config_.max_features >= table.X->cols()) {
+    candidates.resize(table.X->cols());
+    std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  } else {
+    candidates = rng.sample_without_replacement(table.X->cols(), config_.max_features);
+  }
+
+  const double parent_impurity =
+      gini_weighted(static_cast<double>(n), static_cast<double>(positives));
+  BestSplit best;
+  best.impurity_after = parent_impurity;
+  const double min_leaf = static_cast<double>(config_.min_samples_leaf);
+
+  for (const std::size_t j : candidates) {
+    const std::uint64_t* col = table.X->column(j);
+    // Left bucket = bit 0 rows: weighted count and weighted positives via
+    // ANDNOT popcounts against each multiplicity plane.
+    std::size_t weighted_left = 0;
+    std::size_t weighted_pos = 0;
+    for (std::size_t k = 0; k < k_planes; ++k) {
+      const std::uint64_t* plane = node_planes.data() + k * words;
+      weighted_left +=
+          (std::size_t{1} << k) * kernels.andnot_popcount(col, plane, words);
+    }
+    const double n_left = static_cast<double>(weighted_left);
+    const double n_right = static_cast<double>(n) - n_left;
+    if (n_left < min_leaf || n_right < min_leaf) continue;
+    for (std::size_t k = 0; k < k_planes; ++k) {
+      const std::uint64_t* plane = node_planes.data() + k * words;
+      std::size_t count = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        count += static_cast<std::size_t>(
+            std::popcount(~col[w] & plane[w] & table.labels[w]));
+      }
+      weighted_pos += (std::size_t{1} << k) * count;
+    }
+    const double pos_left = static_cast<double>(weighted_pos);
+    const double pos_right = static_cast<double>(positives) - pos_left;
+    const double after =
+        gini_weighted(n_left, pos_left) + gini_weighted(n_right, pos_right);
+    if (after + 1e-12 < best.impurity_after) {
+      best = {static_cast<std::int32_t>(j), 0.5, after};
+    }
+  }
+
+  if (best.feature < 0) return node_id;  // no useful split found
+  importances_[static_cast<std::size_t>(best.feature)] +=
+      parent_impurity - best.impurity_after;
+
+  const std::uint64_t* col = table.X->column(static_cast<std::size_t>(best.feature));
+  std::vector<std::uint64_t> left_mask(words);
+  std::vector<std::uint64_t> right_mask(words);
+  for (std::size_t w = 0; w < words; ++w) {
+    left_mask[w] = mask[w] & ~col[w];
+    right_mask[w] = mask[w] & col[w];
+  }
+  mask.clear();
+  mask.shrink_to_fit();
+  node_planes.clear();
+  node_planes.shrink_to_fit();
+
+  nodes_[node_id].feature = best.feature;
+  nodes_[node_id].threshold = best.threshold;
+  const std::int32_t left = build_packed(table, left_mask, depth + 1, rng);
+  nodes_[node_id].left = left;
+  const std::int32_t right = build_packed(table, right_mask, depth + 1, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict_proba_bits(const std::uint64_t* row_bits) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    const std::size_t j = static_cast<std::size_t>(nd.feature);
+    const double value = static_cast<double>((row_bits[j >> 6] >> (j & 63)) & 1ULL);
+    node = value <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].prob;
+}
+
+std::vector<int> DecisionTree::predict_all_bits(const hv::BitMatrix& X) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  if (X.cols() != n_features_) {
+    throw std::invalid_argument("DecisionTree: query arity mismatch");
+  }
+  std::vector<int> out;
+  out.reserve(X.rows());
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    out.push_back(predict_proba_bits(X.row_bits(i)) >= 0.5 ? 1 : 0);
+  }
+  return out;
 }
 
 double DecisionTree::predict_proba(std::span<const double> x) const {

@@ -29,12 +29,25 @@ class DecisionTree final : public Classifier {
   explicit DecisionTree(TreeConfig config = {});
 
   void fit(const Matrix& X, const Labels& y) override;
+  void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
 
   /// Fit on a subset of a prepared table (rows may repeat = bootstrap).
   void fit_from_table(const ColumnTable& table, std::vector<std::uint32_t> rows,
                       std::uint64_t seed);
 
+  /// Packed analogue of fit_from_table: `multiplicity[r]` is row r's
+  /// bootstrap count (empty = every row once). Weighted node counts come
+  /// from multiplicity bit-planes — count = sum_k 2^k * popcount(plane_k &
+  /// mask) — so the fit is bit-identical to the dense fit on the
+  /// equivalent row multiset.
+  void fit_from_bits(const hv::BitMatrix& X, const Labels& y,
+                     std::span<const std::uint32_t> multiplicity,
+                     std::uint64_t seed);
+
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
+  [[nodiscard]] std::vector<int> predict_all_bits(const hv::BitMatrix& X) const override;
+  /// predict_proba for one packed 0/1 row (words of a BitMatrix row).
+  [[nodiscard]] double predict_proba_bits(const std::uint64_t* row_bits) const;
   [[nodiscard]] std::string name() const override { return "Decision Tree"; }
 
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
@@ -59,6 +72,11 @@ class DecisionTree final : public Classifier {
 
   std::int32_t build(const ColumnTable& table, std::vector<std::uint32_t>& rows,
                      std::size_t depth, util::Rng& rng);
+
+  struct PackedTable;  // bitplane fit context, defined in tree.cpp
+  std::int32_t build_packed(const PackedTable& table,
+                            std::vector<std::uint64_t>& mask, std::size_t depth,
+                            util::Rng& rng);
 
   TreeConfig config_;
   std::vector<Node> nodes_;

@@ -48,6 +48,17 @@ struct Kernels {
   /// Bulk popcount over `words` 64-bit words.
   std::size_t (*popcount)(const std::uint64_t* words, std::size_t n) noexcept;
 
+  /// Intersection popcount: popcount(a AND b) over `words` 64-bit words.
+  /// The node-mask × column-bitplane reduction behind the packed ML path.
+  std::size_t (*and_popcount)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t words) noexcept;
+
+  /// Masked-complement popcount: popcount(NOT a AND b) over `words` words —
+  /// counts rows of `b` whose column bit in `a` is clear, so one column
+  /// plane serves both sides of a binary split without a negated copy.
+  std::size_t (*andnot_popcount)(const std::uint64_t* a, const std::uint64_t* b,
+                                 std::size_t words) noexcept;
+
   /// Word-parallel majority vote across `n` rows of `words` words each:
   /// out bit = 1 where the column's ones-count is > n/2, plus (when `n` is
   /// even and `tie_to_one`) where it equals exactly n/2. Rows may alias out

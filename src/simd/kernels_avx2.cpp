@@ -54,11 +54,11 @@ inline std::uint64_t horizontal_sum(__m256i v) noexcept {
 }
 
 /// Harley–Seal popcount of `n_vecs` vectors produced by `load(i)`, plus a
-/// scalar tail over `tail` words at `tail_words`.
-template <typename LoadFn>
+/// scalar tail over `tail` words produced by `tail_word(w)` — each caller
+/// supplies its own combine (xor / and / andnot / identity) for both.
+template <typename LoadFn, typename TailFn>
 std::size_t popcount_harley_seal(const LoadFn& load, std::size_t n_vecs,
-                                 const std::uint64_t* tail_a,
-                                 const std::uint64_t* tail_b,
+                                 const TailFn& tail_word,
                                  std::size_t tail) noexcept {
   __m256i total = _mm256_setzero_si256();
   __m256i ones = _mm256_setzero_si256();
@@ -97,9 +97,7 @@ std::size_t popcount_harley_seal(const LoadFn& load, std::size_t n_vecs,
   }
   std::size_t sum = static_cast<std::size_t>(horizontal_sum(total));
   for (std::size_t w = 0; w < tail; ++w) {
-    const std::uint64_t word =
-        tail_b == nullptr ? tail_a[w] : (tail_a[w] ^ tail_b[w]);
-    sum += static_cast<std::size_t>(std::popcount(word));
+    sum += static_cast<std::size_t>(std::popcount(tail_word(w)));
   }
   return sum;
 }
@@ -114,8 +112,10 @@ std::size_t hamming_avx2(const std::uint64_t* a, const std::uint64_t* b,
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4 * i));
     return _mm256_xor_si256(va, vb);
   };
-  return popcount_harley_seal(load, n_vecs, a + 4 * n_vecs, b + 4 * n_vecs,
-                              words % 4);
+  const std::uint64_t* ta = a + 4 * n_vecs;
+  const std::uint64_t* tb = b + 4 * n_vecs;
+  const auto tail = [ta, tb](std::size_t w) noexcept { return ta[w] ^ tb[w]; };
+  return popcount_harley_seal(load, n_vecs, tail, words % 4);
 }
 
 std::size_t popcount_avx2(const std::uint64_t* words, std::size_t n) noexcept {
@@ -123,7 +123,42 @@ std::size_t popcount_avx2(const std::uint64_t* words, std::size_t n) noexcept {
   const auto load = [words](std::size_t i) noexcept {
     return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + 4 * i));
   };
-  return popcount_harley_seal(load, n_vecs, words + 4 * n_vecs, nullptr, n % 4);
+  const std::uint64_t* tw = words + 4 * n_vecs;
+  const auto tail = [tw](std::size_t w) noexcept { return tw[w]; };
+  return popcount_harley_seal(load, n_vecs, tail, n % 4);
+}
+
+std::size_t and_popcount_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t words) noexcept {
+  const std::size_t n_vecs = words / 4;
+  const auto load = [a, b](std::size_t i) noexcept {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4 * i));
+    return _mm256_and_si256(va, vb);
+  };
+  const std::uint64_t* ta = a + 4 * n_vecs;
+  const std::uint64_t* tb = b + 4 * n_vecs;
+  const auto tail = [ta, tb](std::size_t w) noexcept { return ta[w] & tb[w]; };
+  return popcount_harley_seal(load, n_vecs, tail, words % 4);
+}
+
+std::size_t andnot_popcount_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                                 std::size_t words) noexcept {
+  const std::size_t n_vecs = words / 4;
+  // VPANDN computes ~first & second, matching popcount(~a & b) directly.
+  const auto load = [a, b](std::size_t i) noexcept {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4 * i));
+    return _mm256_andnot_si256(va, vb);
+  };
+  const std::uint64_t* ta = a + 4 * n_vecs;
+  const std::uint64_t* tb = b + 4 * n_vecs;
+  const auto tail = [ta, tb](std::size_t w) noexcept { return ~ta[w] & tb[w]; };
+  return popcount_harley_seal(load, n_vecs, tail, words % 4);
 }
 
 void majority_avx2(const std::uint64_t* const* rows, std::size_t n,
@@ -197,7 +232,8 @@ void majority_avx2(const std::uint64_t* const* rows, std::size_t n,
 }  // namespace
 
 const Kernels& avx2_kernels() noexcept {
-  static const Kernels table{hamming_avx2, popcount_avx2, majority_avx2};
+  static const Kernels table{hamming_avx2, popcount_avx2, and_popcount_avx2,
+                             andnot_popcount_avx2, majority_avx2};
   return table;
 }
 

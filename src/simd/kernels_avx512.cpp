@@ -56,6 +56,51 @@ std::size_t popcount_avx512(const std::uint64_t* words, std::size_t n) noexcept 
   return static_cast<std::size_t>(_mm512_reduce_add_epi64(total));
 }
 
+std::size_t and_popcount_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) noexcept {
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    total = _mm512_add_epi64(total,
+                             _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  const std::size_t tail = words - i;
+  if (tail != 0) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << tail) - 1u);
+    const __m512i va = _mm512_maskz_loadu_epi64(mask, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi64(mask, b + i);
+    total = _mm512_add_epi64(total,
+                             _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(total));
+}
+
+std::size_t andnot_popcount_avx512(const std::uint64_t* a,
+                                   const std::uint64_t* b,
+                                   std::size_t words) noexcept {
+  // VPANDN is ~first & second; masked-out tail lanes of b are zero, so the
+  // ~a side never leaks set bits past the ragged end.
+  __m512i total = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    total = _mm512_add_epi64(total,
+                             _mm512_popcnt_epi64(_mm512_andnot_si512(va, vb)));
+  }
+  const std::size_t tail = words - i;
+  if (tail != 0) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << tail) - 1u);
+    const __m512i va = _mm512_maskz_loadu_epi64(mask, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi64(mask, b + i);
+    total = _mm512_add_epi64(total,
+                             _mm512_popcnt_epi64(_mm512_andnot_si512(va, vb)));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(total));
+}
+
 void majority_avx512(const std::uint64_t* const* rows, std::size_t n,
                      std::size_t words, std::uint64_t* out,
                      bool tie_to_one) noexcept {
@@ -102,7 +147,9 @@ void majority_avx512(const std::uint64_t* const* rows, std::size_t n,
 }  // namespace
 
 const Kernels& avx512_kernels() noexcept {
-  static const Kernels table{hamming_avx512, popcount_avx512, majority_avx512};
+  static const Kernels table{hamming_avx512, popcount_avx512,
+                             and_popcount_avx512, andnot_popcount_avx512,
+                             majority_avx512};
   return table;
 }
 

@@ -27,6 +27,25 @@ std::size_t popcount_scalar(const std::uint64_t* words, std::size_t n) noexcept 
   return total;
 }
 
+std::size_t and_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+std::size_t andnot_popcount_scalar(const std::uint64_t* a,
+                                   const std::uint64_t* b,
+                                   std::size_t words) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    total += static_cast<std::size_t>(std::popcount(~a[i] & b[i]));
+  }
+  return total;
+}
+
 /// Bit-sliced majority: each column's ones-count is held as a little-endian
 /// binary number spread across `planes` words, so adding one row is a
 /// ripple-carry add of 64 columns at once. The threshold test "count >= t"
@@ -67,7 +86,9 @@ void majority_scalar(const std::uint64_t* const* rows, std::size_t n,
 }  // namespace
 
 const Kernels& scalar_kernels() noexcept {
-  static const Kernels table{hamming_scalar, popcount_scalar, majority_scalar};
+  static const Kernels table{hamming_scalar, popcount_scalar,
+                             and_popcount_scalar, andnot_popcount_scalar,
+                             majority_scalar};
   return table;
 }
 

@@ -126,6 +126,58 @@ TEST(SimdKernels, HammingExtremes) {
   }
 }
 
+TEST(SimdKernels, AndPopcountMatchesNaiveAcrossTiers) {
+  hdc::util::Rng rng(31);
+  for (const std::size_t words : kWordCounts) {
+    const std::vector<std::uint64_t> a = random_words(words, rng);
+    const std::vector<std::uint64_t> b = random_words(words, rng);
+    std::size_t expected_and = 0;
+    std::size_t expected_andnot = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+      expected_and += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+      expected_andnot += static_cast<std::size_t>(std::popcount(~a[i] & b[i]));
+    }
+    for (const Tier t : hdc::simd::supported_tiers()) {
+      const auto& k = hdc::simd::kernels(t);
+      EXPECT_EQ(k.and_popcount(a.data(), b.data(), words), expected_and)
+          << "tier=" << hdc::simd::tier_name(t) << " words=" << words;
+      EXPECT_EQ(k.andnot_popcount(a.data(), b.data(), words), expected_andnot)
+          << "tier=" << hdc::simd::tier_name(t) << " words=" << words;
+    }
+  }
+}
+
+TEST(SimdKernels, AndPopcountExtremes) {
+  const std::vector<std::uint64_t> zeros(157, 0ULL);
+  const std::vector<std::uint64_t> ones(157, ~0ULL);
+  for (const Tier t : hdc::simd::supported_tiers()) {
+    const auto& k = hdc::simd::kernels(t);
+    EXPECT_EQ(k.and_popcount(ones.data(), ones.data(), 157), 157u * 64u);
+    EXPECT_EQ(k.and_popcount(zeros.data(), ones.data(), 157), 0u);
+    // andnot is popcount(~a & b): complement of all-zero selects everything.
+    EXPECT_EQ(k.andnot_popcount(zeros.data(), ones.data(), 157), 157u * 64u);
+    EXPECT_EQ(k.andnot_popcount(ones.data(), ones.data(), 157), 0u);
+    EXPECT_EQ(k.andnot_popcount(ones.data(), zeros.data(), 157), 0u);
+  }
+}
+
+// The split-search identity the tree kernels rely on: AND + ANDNOT against
+// the same mask partition the mask's population exactly.
+TEST(SimdKernels, AndPlusAndnotPartitionsMask) {
+  hdc::util::Rng rng(63);
+  for (const std::size_t words : kWordCounts) {
+    const std::vector<std::uint64_t> col = random_words(words, rng);
+    const std::vector<std::uint64_t> mask = random_words(words, rng);
+    for (const Tier t : hdc::simd::supported_tiers()) {
+      const auto& k = hdc::simd::kernels(t);
+      EXPECT_EQ(k.and_popcount(col.data(), mask.data(), words) +
+                    k.andnot_popcount(col.data(), mask.data(), words),
+                k.popcount(mask.data(), words))
+          << "tier=" << hdc::simd::tier_name(t) << " words=" << words;
+    }
+  }
+}
+
 TEST(SimdKernels, PopcountMatchesNaiveAcrossTiers) {
   hdc::util::Rng rng(7);
   for (const std::size_t words : kWordCounts) {
