@@ -1,0 +1,210 @@
+// Experiment-grid scheduler bench: the paper's 2-dataset x 9-model x k-fold
+// sweep run serially (the PR 1-4 driver: re-encode per model, one core) and
+// through the work-stealing TaskGraph + fold-encoding cache at 1 / 2 / N
+// threads. Emits BENCH_grid.json so future PRs have a scheduling-perf
+// trajectory to compare against.
+//
+// Two gates run inside the bench:
+//   - determinism: every scheduled run's metrics must be bit-identical to
+//     the serial reference, or the bench exits non-zero;
+//   - speedup: serial / best-scheduled wall must reach 4x on hardware that
+//     can show it (>= 4 cores, full fidelity). Machines that cannot measure
+//     that say so in speedup_skipped_reason instead of failing.
+//
+// Flags (bench_common): --dim N, --seed S, --budget B, --kfold K, --fast;
+// plus --threads T (default 8) and --reps R (default 1, best-of) and
+// --out PATH (default BENCH_grid.json).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/grid.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using hdc::core::GridResult;
+using hdc::util::Timer;
+
+struct ThreadSample {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  GridResult result;
+};
+
+/// Exact (bitwise) equality of every metric the grid reports.
+bool identical(const GridResult& a, const GridResult& b) {
+  if (a.datasets.size() != b.datasets.size()) return false;
+  for (std::size_t d = 0; d < a.datasets.size(); ++d) {
+    const auto& da = a.datasets[d];
+    const auto& db = b.datasets[d];
+    if (da.models.size() != db.models.size()) return false;
+    for (std::size_t m = 0; m < da.models.size(); ++m) {
+      if (da.models[m].cv.fold_accuracy != db.models[m].cv.fold_accuracy ||
+          da.models[m].cv.mean_accuracy != db.models[m].cv.mean_accuracy ||
+          da.models[m].cv.stddev_accuracy != db.models[m].cv.stddev_accuracy) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hdc::bench::BenchSetup setup = hdc::bench::make_setup(argc, argv);
+  const hdc::util::Cli cli(argc, argv);
+  const bool fast = cli.has_flag("--fast");
+  const std::size_t max_threads =
+      static_cast<std::size_t>(cli.get_int("--threads", 8));
+  const std::size_t reps = static_cast<std::size_t>(cli.get_int("--reps", 1));
+  const std::string out_path = cli.get_string("--out", "BENCH_grid.json");
+
+  // The grid proper: Pima M + Sylhet over the full zoo. The Sequential NN
+  // rows are excluded so the bench times exactly the DAG the cache dedups.
+  const std::vector<hdc::core::GridDatasetSpec> datasets = {
+      {"pima_m", &setup.pima_m}, {"sylhet", &setup.sylhet}};
+  hdc::core::GridConfig config;
+  config.kfold = setup.kfold;
+  config.experiment = setup.experiment;
+
+  const std::size_t hw_threads = hdc::parallel::hardware_threads();
+  std::vector<std::size_t> thread_counts;
+  for (const std::size_t t :
+       {std::size_t{1}, std::size_t{2}, max_threads, hw_threads}) {
+    if (t >= 1 && t <= hw_threads) thread_counts.push_back(t);
+  }
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  std::printf("# bench_grid: datasets=2 models=9 kfold=%zu hw_threads=%zu\n",
+              config.kfold, hw_threads);
+
+  // Serial reference: the pre-grid driver (kfold_cv_accuracy per cell,
+  // re-encoding every fold once per model).
+  config.scheduled = false;
+  GridResult serial;
+  double serial_seconds = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    Timer timer;
+    serial = hdc::core::run_grid(datasets, config);
+    const double s = timer.seconds();
+    serial_seconds = r == 0 ? s : std::min(serial_seconds, s);
+  }
+  std::printf("# serial: %.3fs (%zu model fits, re-encode per model)\n",
+              serial_seconds, serial.stats.model_tasks);
+
+  config.scheduled = true;
+  std::vector<ThreadSample> samples;
+  bool determinism_ok = true;
+  for (const std::size_t t : thread_counts) {
+    ThreadSample sample;
+    sample.threads = t;
+    config.threads = t;
+    for (std::size_t r = 0; r < reps; ++r) {
+      Timer timer;
+      sample.result = hdc::core::run_grid(datasets, config);
+      const double s = timer.seconds();
+      sample.seconds = r == 0 ? s : std::min(sample.seconds, s);
+    }
+    if (!identical(serial, sample.result)) {
+      determinism_ok = false;
+      std::fprintf(stderr,
+                   "FATAL: scheduled grid at %zu threads differs from the "
+                   "serial reference — the scheduler lost determinism\n",
+                   t);
+    }
+    const auto& st = sample.result.stats;
+    std::printf(
+        "# threads=%zu wall=%.3fs speedup=%.2fx dedup=%.1f steals=%llu "
+        "(encode=%zu fit=%zu reduce=%zu)\n",
+        t, sample.seconds, serial_seconds / sample.seconds, st.dedup_ratio,
+        static_cast<unsigned long long>(st.steals), st.encode_tasks,
+        st.model_tasks, st.reduce_tasks);
+    samples.push_back(std::move(sample));
+  }
+  if (!determinism_ok) return 1;
+
+  double best_seconds = samples.front().seconds;
+  for (const ThreadSample& s : samples) {
+    best_seconds = std::min(best_seconds, s.seconds);
+  }
+  const double grid_speedup = serial_seconds / best_seconds;
+  const bool speedup_ok = grid_speedup >= 4.0;
+  // A smoke run or a small machine cannot demonstrate the 4x target; record
+  // why instead of failing the gate (bench_runtime precedent).
+  std::string skip_reason;
+  if (!speedup_ok) {
+    if (fast) {
+      skip_reason = "fast-mode smoke run";
+    } else if (hw_threads == 1) {
+      skip_reason = "hardware_threads==1";
+    } else if (hw_threads < 4) {
+      skip_reason = "hardware_threads<4";
+    } else {
+      std::fprintf(stderr,
+                   "FATAL: grid speedup %.2fx below the 4x gate on %zu "
+                   "hardware threads\n",
+                   grid_speedup, hw_threads);
+      return 1;
+    }
+  }
+
+  const auto& last = samples.back().result.stats;
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"bench_grid\",\n"
+               "  \"datasets\": [\"pima_m_synthetic\", \"sylhet_synthetic\"],\n"
+               "  \"models\": %zu,\n"
+               "  \"kfold\": %zu,\n"
+               "  \"dimensions\": %zu,\n"
+               "  \"seed\": %llu,\n"
+               "  \"model_budget\": %.3f,\n"
+               "  \"reps\": %zu,\n"
+               "  \"hardware_threads\": %zu,\n"
+               "  \"serial_seconds\": %.6f,\n"
+               "  \"determinism_ok\": true,\n"
+               "  \"dedup_ratio\": %.3f,\n"
+               "  \"grid_speedup\": %.3f,\n"
+               "  \"speedup_ok\": %s,\n"
+               "  \"speedup_skipped_reason\": \"%s\",\n"
+               "  \"threads\": [\n",
+               serial.datasets.front().models.size(), config.kfold,
+               setup.experiment.extractor.dimensions,
+               static_cast<unsigned long long>(setup.experiment.seed),
+               setup.experiment.model_budget, reps, hw_threads, serial_seconds,
+               last.dedup_ratio, grid_speedup, speedup_ok ? "true" : "false",
+               skip_reason.c_str());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const ThreadSample& s = samples[i];
+    const auto& st = s.result.stats;
+    std::fprintf(
+        out,
+        "    {\"threads\": %zu, \"seconds\": %.6f, \"speedup_vs_serial\": "
+        "%.3f, \"tasks_executed\": %llu, \"steals\": %llu, \"cache_hits\": "
+        "%llu, \"cache_misses\": %llu, \"cache_evictions\": %llu, "
+        "\"cache_peak_entries\": %zu}%s\n",
+        s.threads, s.seconds, serial_seconds / s.seconds,
+        static_cast<unsigned long long>(st.tasks_executed),
+        static_cast<unsigned long long>(st.steals),
+        static_cast<unsigned long long>(st.cache_hits),
+        static_cast<unsigned long long>(st.cache_misses),
+        static_cast<unsigned long long>(st.cache_evictions),
+        st.cache_peak_entries, i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

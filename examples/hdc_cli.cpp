@@ -5,10 +5,19 @@
 //   hdc_cli evaluate data.csv model.hdc            # accuracy report on a CSV
 //   hdc_cli predict data.csv model.hdc             # per-row predictions
 //   hdc_cli experiment data.csv                    # Hamming LOOCV + model fit
+//   hdc_cli grid a.csv [b.csv ...]                 # scheduled model-zoo CV grid
 //
 // The model file holds the serialized extractor followed by the serialized
 // Hamming classifier; --label <column> selects the label column (default:
 // last), --dim / --seed control the encoding.
+//
+// `grid` runs the paper's evaluation sweep (every zoo model under stratified
+// k-fold CV, per dataset) through the work-stealing task-graph scheduler and
+// shared fold-encoding cache: --threads N sets the worker count (default:
+// all cores), --serial runs the reference serial walk instead, --kfold K,
+// --models a,b,c restricts the zoo, --budget B scales boosted models. With
+// --trace-out the Chrome trace shows the grid.encode / grid.fit /
+// grid.reduce scheduler spans.
 //
 // Observability (any command): --metrics-out=FILE writes the obs metrics
 // registry as JSON; --trace-out=FILE writes a Chrome trace-event JSON
@@ -20,6 +29,7 @@
 
 #include "core/experiment.hpp"
 #include "core/extractor.hpp"
+#include "core/grid.hpp"
 #include "core/hamming_classifier.hpp"
 #include "core/serialize.hpp"
 #include "data/csv.hpp"
@@ -30,6 +40,8 @@
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -123,6 +135,66 @@ int cmd_experiment(const hdc::data::Dataset& ds, const hdc::util::Cli& cli) {
   return 0;
 }
 
+int cmd_grid(const std::vector<std::string>& csv_paths,
+             const hdc::util::Cli& cli) {
+  // Load every dataset up front; the file path doubles as the fold-cache
+  // dataset id, so duplicate paths share encodings safely.
+  std::vector<hdc::data::Dataset> loaded;
+  loaded.reserve(csv_paths.size());
+  for (const std::string& path : csv_paths) loaded.push_back(load(path, cli));
+  std::vector<hdc::core::GridDatasetSpec> specs;
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    specs.push_back({csv_paths[i], &loaded[i]});
+  }
+
+  hdc::core::GridConfig config;
+  config.kfold = static_cast<std::size_t>(cli.get_int("--kfold", 10));
+  config.threads = static_cast<std::size_t>(cli.get_int("--threads", 0));
+  config.scheduled = !cli.has_flag("--serial");
+  config.experiment.extractor.dimensions =
+      static_cast<std::size_t>(cli.get_int("--dim", 10000));
+  config.experiment.extractor.seed = cli.get_uint("--seed", 2023);
+  config.experiment.model_budget = cli.get_double("--budget", 1.0);
+  const std::string models = cli.get_string("--models", "");
+  if (!models.empty()) {
+    for (const std::string& name : hdc::util::split(models, ',')) {
+      const auto trimmed = hdc::util::trim(name);
+      if (!trimmed.empty()) config.models.emplace_back(trimmed);
+    }
+  }
+
+  const hdc::core::GridResult result = hdc::core::run_grid(specs, config);
+
+  hdc::util::Table table({"Dataset", "Model", "Mean acc", "Stddev"});
+  for (const auto& ds : result.datasets) {
+    for (const auto& cell : ds.models) {
+      table.add_row({ds.dataset, cell.model,
+                     hdc::util::format_percent(cell.cv.mean_accuracy, 2),
+                     hdc::util::format_double(cell.cv.stddev_accuracy, 4)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const hdc::core::GridStats& st = result.stats;
+  if (config.scheduled) {
+    std::printf(
+        "# scheduler: workers=%zu tasks=%llu (encode=%zu fit=%zu reduce=%zu) "
+        "steals=%llu\n"
+        "# fold cache: hits=%llu misses=%llu evictions=%llu peak=%zu "
+        "dedup=%.1fx\n",
+        st.workers, static_cast<unsigned long long>(st.tasks_executed),
+        st.encode_tasks, st.model_tasks, st.reduce_tasks,
+        static_cast<unsigned long long>(st.steals),
+        static_cast<unsigned long long>(st.cache_hits),
+        static_cast<unsigned long long>(st.cache_misses),
+        static_cast<unsigned long long>(st.cache_evictions),
+        st.cache_peak_entries, st.dedup_ratio);
+  } else {
+    std::printf("# serial reference walk: %zu model fits\n", st.model_tasks);
+  }
+  return 0;
+}
+
 int cmd_predict(const hdc::data::Dataset& ds, const std::string& model_path) {
   const LoadedModel m = load_model(model_path);
   std::printf("row,prediction,score\n");
@@ -139,6 +211,10 @@ int cmd_predict(const hdc::data::Dataset& ds, const std::string& model_path) {
 int run_command(const hdc::util::Cli& cli) {
   const auto& args = cli.positional();
   const std::string& command = args[0];
+  if (command == "grid") {
+    // grid takes one-or-more CSVs, not the single-dataset + model shape.
+    return cmd_grid({args.begin() + 1, args.end()}, cli);
+  }
   const hdc::data::Dataset ds = load(args[1], cli);
   if (command == "describe") return cmd_describe(ds);
   if (command == "experiment") return cmd_experiment(ds, cli);
@@ -180,7 +256,11 @@ int main(int argc, char** argv) {
                  "usage: hdc_cli <describe|train|evaluate|predict|experiment> "
                  "<data.csv> [model.hdc] [--label COL] [--dim N] [--seed S] "
                  "[--k K] [--model NAME] [--threads T] [--metrics-out FILE] "
-                 "[--trace-out FILE]\n");
+                 "[--trace-out FILE]\n"
+                 "       hdc_cli grid <data.csv> [more.csv ...] [--kfold K] "
+                 "[--models a,b,c] [--threads N] [--serial] [--budget B] "
+                 "[--dim N] [--seed S] [--metrics-out FILE] [--trace-out "
+                 "FILE]\n");
     return 2;
   }
   const std::string metrics_out = cli.get_string("--metrics-out", "");

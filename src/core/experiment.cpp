@@ -20,24 +20,10 @@ std::string to_string(InputMode mode) {
   return mode == InputMode::kRawFeatures ? "Features" : "Hypervectors";
 }
 
-namespace {
-
-/// Materialise (X, y) for a row subset, in raw or hypervector space. In
-/// hypervector mode the extractor is fit on `fit_rows` (training rows only).
-/// When the packed route is on, hypervector folds carry bit-packed matrices
-/// instead of dense doubles (train_X/test_X stay empty).
-struct FoldData {
-  ml::Matrix train_X;
-  ml::Labels train_y;
-  ml::Matrix test_X;
-  ml::Labels test_y;
-  std::optional<hv::BitMatrix> train_bits;
-  std::optional<hv::BitMatrix> test_bits;
-};
-
-FoldData materialize(const data::Dataset& ds, std::span<const std::size_t> train,
-                     std::span<const std::size_t> test, InputMode mode,
-                     const ExperimentConfig& config, bool allow_packed) {
+FoldData materialize_fold(const data::Dataset& ds,
+                          std::span<const std::size_t> train,
+                          std::span<const std::size_t> test, InputMode mode,
+                          const ExperimentConfig& config, bool allow_packed) {
   FoldData fold;
   const std::vector<std::size_t> train_vec(train.begin(), train.end());
   const std::vector<std::size_t> test_vec(test.begin(), test.end());
@@ -64,7 +50,7 @@ FoldData materialize(const data::Dataset& ds, std::span<const std::size_t> train
   return fold;
 }
 
-void fit_fold(ml::Classifier& model, const FoldData& fold) {
+void fit_fold_model(ml::Classifier& model, const FoldData& fold) {
   if (fold.train_bits) {
     model.fit_bits(*fold.train_bits, fold.train_y);
   } else {
@@ -72,7 +58,10 @@ void fit_fold(ml::Classifier& model, const FoldData& fold) {
   }
 }
 
-}  // namespace
+double fold_accuracy(const ml::Classifier& model, const FoldData& fold) {
+  return fold.test_bits ? model.accuracy_bits(*fold.test_bits, fold.test_y)
+                        : model.accuracy(fold.test_X, fold.test_y);
+}
 
 eval::CvResult kfold_cv_accuracy(const data::Dataset& ds,
                                  const std::string& model_name, InputMode mode,
@@ -82,16 +71,15 @@ eval::CvResult kfold_cv_accuracy(const data::Dataset& ds,
       [&](std::span<const std::size_t> train, std::span<const std::size_t> test) {
         obs::Span fold_span("experiment.fold");
         obs::counter("experiment.folds").increment();
-        const FoldData fold = materialize(ds, train, test, mode, config,
-                                          /*allow_packed=*/true);
+        const FoldData fold = materialize_fold(ds, train, test, mode, config,
+                                               /*allow_packed=*/true);
         const auto model = ml::make_model(model_name, config.model_budget);
         {
           obs::Span fit_span("experiment.fit");
-          fit_fold(*model, fold);
+          fit_fold_model(*model, fold);
         }
         obs::Span eval_span("experiment.eval");
-        return fold.test_bits ? model->accuracy_bits(*fold.test_bits, fold.test_y)
-                              : model->accuracy(fold.test_X, fold.test_y);
+        return fold_accuracy(*model, fold);
       });
 }
 
@@ -101,12 +89,12 @@ eval::BinaryMetrics holdout_metrics(const data::Dataset& ds,
                                     const ExperimentConfig& config) {
   const data::TrainTestIndices split =
       data::stratified_split(ds.labels(), test_fraction, config.seed);
-  const FoldData fold = materialize(ds, split.train, split.test, mode, config,
-                                    /*allow_packed=*/true);
+  const FoldData fold = materialize_fold(ds, split.train, split.test, mode,
+                                         config, /*allow_packed=*/true);
   const auto model = ml::make_model(model_name, config.model_budget);
   {
     obs::Span fit_span("experiment.fit");
-    fit_fold(*model, fold);
+    fit_fold_model(*model, fold);
   }
   obs::Span eval_span("experiment.eval");
   return eval::compute_metrics(fold.test_y,
@@ -159,8 +147,8 @@ NnProtocolResult nn_protocol(const data::Dataset& ds, InputMode mode,
     ExperimentConfig rep_config = config;
     rep_config.extractor.seed = util::mix_seed(config.extractor.seed, rep);
     // The Sequential NN consumes dense matrices; keep this protocol unpacked.
-    FoldData tt = materialize(ds, split.train, split.test, mode, rep_config,
-                              /*allow_packed=*/false);
+    FoldData tt = materialize_fold(ds, split.train, split.test, mode, rep_config,
+                                   /*allow_packed=*/false);
     const data::Dataset val_ds = ds.subset(split.val);
     ml::Matrix val_X;
     if (mode == InputMode::kRawFeatures) {

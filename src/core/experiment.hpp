@@ -4,12 +4,15 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 
 #include "core/extractor.hpp"
 #include "data/dataset.hpp"
 #include "eval/cross_validation.hpp"
 #include "eval/metrics.hpp"
+#include "hv/bit_matrix.hpp"
 #include "nn/sequential.hpp"
 #include "obs/metrics.hpp"
 
@@ -34,6 +37,40 @@ struct ExperimentConfig {
   /// The HDC_ML_PACKED environment switch can still veto the packed path.
   bool packed_ml = true;
 };
+
+/// Materialised (X, y) for one fold's train/test rows, in raw or
+/// hypervector space. On the packed route hypervector folds carry
+/// bit-packed matrices instead of dense doubles (train_X/test_X stay
+/// empty). Shared between the per-model CV drivers below and the grid
+/// runner's fold-encoding cache (core/grid), which must produce
+/// bit-identical folds.
+struct FoldData {
+  ml::Matrix train_X;
+  ml::Labels train_y;
+  ml::Matrix test_X;
+  ml::Labels test_y;
+  std::optional<hv::BitMatrix> train_bits;
+  std::optional<hv::BitMatrix> test_bits;
+};
+
+/// Build a FoldData for the given row subsets. In hypervector mode the
+/// extractor is fit on `train` only (no encoding leakage); `allow_packed`
+/// gates the BitMatrix fast path (the NN protocol needs dense matrices).
+/// Pure function of (ds, indices, config): every call with the same inputs
+/// yields the same fold, regardless of the calling thread.
+[[nodiscard]] FoldData materialize_fold(const data::Dataset& ds,
+                                        std::span<const std::size_t> train,
+                                        std::span<const std::size_t> test,
+                                        InputMode mode,
+                                        const ExperimentConfig& config,
+                                        bool allow_packed);
+
+/// fit() / fit_bits() dispatch for whichever representation `fold` carries.
+void fit_fold_model(ml::Classifier& model, const FoldData& fold);
+
+/// Test-set accuracy of a fitted model on `fold`'s representation.
+[[nodiscard]] double fold_accuracy(const ml::Classifier& model,
+                                   const FoldData& fold);
 
 /// Paper Table III protocol: stratified 10-fold CV accuracy of a zoo model.
 /// In hypervector mode the extractor is re-fit on each fold's training rows.

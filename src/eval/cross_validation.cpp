@@ -8,28 +8,35 @@
 
 namespace hdc::eval {
 
-CvResult kfold_run(
-    const std::vector<int>& labels, std::size_t k, std::uint64_t seed,
-    const std::function<double(std::span<const std::size_t>,
-                               std::span<const std::size_t>)>& run_fold) {
-  const data::StratifiedKFold folds(labels, k, seed);
+CvResult summarize_folds(std::vector<double> fold_accuracy) {
   CvResult result;
-  result.fold_accuracy.reserve(k);
-  for (std::size_t f = 0; f < k; ++f) {
-    const std::vector<std::size_t> train = folds.fold_train(f);
-    const std::vector<std::size_t>& test = folds.fold_test(f);
-    result.fold_accuracy.push_back(run_fold(train, test));
-  }
+  result.fold_accuracy = std::move(fold_accuracy);
+  const double k = static_cast<double>(result.fold_accuracy.size());
   double sum = 0.0;
   for (const double a : result.fold_accuracy) sum += a;
-  result.mean_accuracy = sum / static_cast<double>(k);
+  result.mean_accuracy = sum / k;
   double var = 0.0;
   for (const double a : result.fold_accuracy) {
     const double diff = a - result.mean_accuracy;
     var += diff * diff;
   }
-  result.stddev_accuracy = std::sqrt(var / static_cast<double>(k));
+  result.stddev_accuracy = std::sqrt(var / k);
   return result;
+}
+
+CvResult kfold_run(
+    const std::vector<int>& labels, std::size_t k, std::uint64_t seed,
+    const std::function<double(std::span<const std::size_t>,
+                               std::span<const std::size_t>)>& run_fold) {
+  const data::StratifiedKFold folds(labels, k, seed);
+  std::vector<double> fold_accuracy;
+  fold_accuracy.reserve(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    const std::vector<std::size_t> train = folds.fold_train(f);
+    const std::vector<std::size_t>& test = folds.fold_test(f);
+    fold_accuracy.push_back(run_fold(train, test));
+  }
+  return summarize_folds(std::move(fold_accuracy));
 }
 
 CvResult kfold_accuracy(const ModelFactory& factory, const ml::Matrix& X,

@@ -29,6 +29,12 @@ struct CvResult {
   double stddev_accuracy = 0.0;
 };
 
+/// Aggregate per-fold scores into a CvResult (population stddev), summing in
+/// the order given. kfold_run() and the grid runner's reduce tasks
+/// (core/grid) both go through this, so their statistics are bit-identical
+/// for the same fold scores.
+[[nodiscard]] CvResult summarize_folds(std::vector<double> fold_accuracy);
+
 /// Stratified k-fold; `run_fold(train_indices, test_indices)` returns the
 /// fold's accuracy (or any score to aggregate).
 [[nodiscard]] CvResult kfold_run(

@@ -1,0 +1,340 @@
+#include "parallel/task_graph.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace hdc::parallel {
+
+namespace {
+
+struct GraphMetrics {
+  obs::Counter& executed = obs::counter("graph.tasks_executed");
+  obs::Counter& steals = obs::counter("graph.steals");
+  obs::Gauge& ready_depth = obs::gauge("graph.ready_depth");
+  obs::Histogram& task_seconds = obs::histogram("graph.task_seconds");
+
+  static GraphMetrics& get() {
+    static GraphMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+struct TaskGraph::Task {
+  const char* name = nullptr;
+  std::function<void()> fn;
+  std::size_t pending = 0;  // dependencies not yet completed
+  bool queued = false;      // currently sitting in some worker deque
+  bool done = false;
+  std::vector<TaskId> children;
+};
+
+struct TaskGraph::RunState {
+  // One deque per worker, each behind its own mutex so task hand-off never
+  // touches the graph-wide lock: owners push/pop the back (LIFO keeps a
+  // finished task's children hot), thieves pop the front (FIFO steals the
+  // oldest — usually largest-subtree — entry).
+  struct WorkerDeque {
+    std::mutex m;
+    std::deque<TaskId> q;
+  };
+
+  explicit RunState(std::size_t workers) : deques(workers) {}
+
+  std::vector<WorkerDeque> deques;
+  // Queued-but-unclaimed tasks, guarded by the graph mutex (it is the
+  // sleep/wake predicate). Transiently negative when a thief pops a task
+  // before its push is counted, hence signed.
+  std::ptrdiff_t ready = 0;
+  std::size_t drivers_active = 0;
+};
+
+namespace {
+
+/// Innermost graph worker context for the calling thread; `prev` chains
+/// outer contexts so nested graphs (a task running a private sub-graph)
+/// resolve wait() against the right one.
+struct WorkerCtx {
+  const TaskGraph* graph = nullptr;
+  TaskGraph::RunState* state = nullptr;
+  std::size_t worker = 0;
+  WorkerCtx* prev = nullptr;
+};
+
+thread_local WorkerCtx* t_worker_ctx = nullptr;
+
+class CtxGuard {
+ public:
+  CtxGuard(const TaskGraph* graph, TaskGraph::RunState* state, std::size_t worker)
+      : ctx_{graph, state, worker, t_worker_ctx} {
+    t_worker_ctx = &ctx_;
+  }
+  ~CtxGuard() { t_worker_ctx = ctx_.prev; }
+
+  CtxGuard(const CtxGuard&) = delete;
+  CtxGuard& operator=(const CtxGuard&) = delete;
+
+ private:
+  WorkerCtx ctx_;
+};
+
+/// The calling thread's context for `graph`, or nullptr if this thread is
+/// not currently one of its workers.
+WorkerCtx* find_ctx(const TaskGraph* graph) {
+  for (WorkerCtx* c = t_worker_ctx; c != nullptr; c = c->prev) {
+    if (c->graph == graph) return c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TaskGraph::TaskGraph() = default;
+TaskGraph::~TaskGraph() = default;
+
+TaskGraph::TaskId TaskGraph::add(const char* name, std::function<void()> fn,
+                                 std::span<const TaskId> deps) {
+  RunState* state = nullptr;
+  std::size_t push_worker = 0;
+  TaskId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = tasks_.size();
+    for (const TaskId dep : deps) {
+      if (dep >= id) throw std::invalid_argument("TaskGraph::add: unknown dep");
+    }
+    tasks_.emplace_back();
+    Task& task = tasks_.back();
+    task.name = name;
+    task.fn = std::move(fn);
+    for (const TaskId dep : deps) {
+      if (!tasks_[dep].done) {
+        tasks_[dep].children.push_back(id);
+        ++task.pending;
+      }
+    }
+    ++remaining_;
+    if (state_ != nullptr && task.pending == 0) {
+      // Added mid-run with all dependencies met: queue it right away, on the
+      // submitting worker's own deque when we are one.
+      task.queued = true;
+      state = state_.get();
+      const WorkerCtx* ctx = find_ctx(this);
+      if (ctx != nullptr) push_worker = ctx->worker;
+    }
+  }
+  if (state != nullptr) {
+    {
+      std::lock_guard<std::mutex> qlock(state->deques[push_worker].m);
+      state->deques[push_worker].q.push_back(id);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++state->ready;
+    if (obs::enabled()) GraphMetrics::get().ready_depth.add(1);
+    cv_.notify_one();
+  }
+  return id;
+}
+
+TaskGraph::TaskId TaskGraph::add(const char* name, std::function<void()> fn,
+                                 std::initializer_list<TaskId> deps) {
+  return add(name, std::move(fn), std::span<const TaskId>(deps.begin(), deps.size()));
+}
+
+void TaskGraph::execute(RunState* state, std::size_t worker, TaskId id) {
+  Task* task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task = &tasks_[id];  // deque addresses are stable across add()
+  }
+  if (obs::enabled()) {
+    GraphMetrics& metrics = GraphMetrics::get();
+    util::Timer timer;
+    {
+      obs::Span span(task->name);
+      task->fn();
+    }
+    metrics.task_seconds.record(timer.seconds());
+    metrics.executed.increment();
+  } else {
+    task->fn();
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+
+  // Completion: unblock children, queue the newly ready ones on this
+  // worker's deque, and wake sleepers (both idle workers and wait() callers).
+  std::vector<TaskId> ready_children;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task->done = true;
+    task->fn = nullptr;  // release captures eagerly (cache refs, datasets)
+    for (const TaskId child : task->children) {
+      if (--tasks_[child].pending == 0) {
+        tasks_[child].queued = true;
+        ready_children.push_back(child);
+      }
+    }
+    --remaining_;
+  }
+  if (!ready_children.empty()) {
+    {
+      std::lock_guard<std::mutex> qlock(state->deques[worker].m);
+      for (const TaskId child : ready_children) {
+        state->deques[worker].q.push_back(child);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    state->ready += static_cast<std::ptrdiff_t>(ready_children.size());
+    if (obs::enabled()) {
+      GraphMetrics::get().ready_depth.add(
+          static_cast<std::int64_t>(ready_children.size()));
+    }
+  }
+  cv_.notify_all();
+}
+
+bool TaskGraph::try_run_one(RunState* state, std::size_t worker) {
+  const std::size_t n = state->deques.size();
+  TaskId id = 0;
+  bool got = false;
+  bool stolen = false;
+  {
+    // Own deque first, newest entry (LIFO).
+    RunState::WorkerDeque& own = state->deques[worker];
+    std::lock_guard<std::mutex> qlock(own.m);
+    if (!own.q.empty()) {
+      id = own.q.back();
+      own.q.pop_back();
+      got = true;
+    }
+  }
+  if (!got) {
+    // Steal the oldest entry (FIFO) from the next non-empty victim.
+    for (std::size_t i = 1; i < n && !got; ++i) {
+      RunState::WorkerDeque& victim = state->deques[(worker + i) % n];
+      std::lock_guard<std::mutex> qlock(victim.m);
+      if (!victim.q.empty()) {
+        id = victim.q.front();
+        victim.q.pop_front();
+        got = true;
+        stolen = true;
+      }
+    }
+  }
+  if (!got) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --state->ready;
+  }
+  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    GraphMetrics& metrics = GraphMetrics::get();
+    metrics.ready_depth.add(-1);
+    if (stolen) metrics.steals.increment();
+  }
+  execute(state, worker, id);
+  return true;
+}
+
+void TaskGraph::worker_drain(RunState* state, std::size_t worker) {
+  CtxGuard guard(this, state, worker);
+  for (;;) {
+    if (try_run_one(state, worker)) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (remaining_ == 0) return;
+    cv_.wait(lock, [&] { return state->ready > 0 || remaining_ == 0; });
+    if (remaining_ == 0) return;
+  }
+}
+
+void TaskGraph::run(ThreadPool* pool) {
+  if (pool == nullptr) pool = &ThreadPool::global();
+  std::shared_ptr<RunState> state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ != nullptr) {
+      throw std::logic_error("TaskGraph::run: already running");
+    }
+    state = std::make_shared<RunState>(pool->size());
+    state_ = state;
+    // Seed every runnable task round-robin across the worker deques.
+    std::size_t w = 0;
+    std::ptrdiff_t seeded = 0;
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+      Task& task = tasks_[id];
+      if (task.done || task.queued || task.pending != 0) continue;
+      task.queued = true;
+      state->deques[w].q.push_back(id);  // no contention before drivers start
+      w = (w + 1) % state->deques.size();
+      ++seeded;
+    }
+    state->ready = seeded;
+    if (obs::enabled() && seeded > 0) {
+      GraphMetrics::get().ready_depth.add(static_cast<std::int64_t>(seeded));
+    }
+    state->drivers_active = state->deques.size() - 1;
+  }
+
+  // One driver per remaining pool worker; the caller is worker 0. Drivers
+  // keep the state alive on their own, so a driver that the pool only gets
+  // to after the graph finished still exits cleanly.
+  for (std::size_t w = 1; w < state->deques.size(); ++w) {
+    pool->submit([this, state, w] {
+      worker_drain(state.get(), w);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--state->drivers_active == 0) cv_.notify_all();
+    });
+  }
+  worker_drain(state.get(), 0);
+
+  // The graph is done; wait for every driver to leave our member functions
+  // before releasing the run state (they may still be waking up).
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return state->drivers_active == 0; });
+  state_ = nullptr;
+}
+
+void TaskGraph::wait(TaskId id) {
+  WorkerCtx* ctx = find_ctx(this);
+  if (ctx == nullptr) {
+    // Plain external wait (e.g. another thread watching progress).
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return id < tasks_.size() && tasks_[id].done; });
+    return;
+  }
+  // Cooperative wait: execute pending tasks until the target completes. If
+  // nothing is runnable (the target is mid-flight on another worker), sleep
+  // until any task completes and re-check.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (tasks_[id].done) return;
+    }
+    if (try_run_one(ctx->state, ctx->worker)) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+      return tasks_[id].done || ctx->state->ready > 0 || remaining_ == 0;
+    });
+    if (tasks_[id].done) return;
+    if (remaining_ == 0) {
+      throw std::logic_error("TaskGraph::wait: task can no longer run");
+    }
+  }
+}
+
+bool TaskGraph::done(TaskId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return id < tasks_.size() && tasks_[id].done;
+}
+
+std::size_t TaskGraph::task_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+}  // namespace hdc::parallel

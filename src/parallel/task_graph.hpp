@@ -1,0 +1,114 @@
+// Dependency-aware task scheduler with per-worker work-stealing deques.
+//
+// A TaskGraph holds a DAG of tasks (add() with explicit dependency lists)
+// and executes it on a ThreadPool: run() seeds every dependency-free task
+// into per-worker deques, then the calling thread plus one driver task per
+// remaining pool worker drain them. Each worker pops its own deque LIFO
+// (completion of a task pushes its newly-ready children onto the finishing
+// worker's deque, so chains stay cache-hot) and steals FIFO from the other
+// deques when its own runs dry.
+//
+// Blocking is always cooperative: wait(id) called from inside a running
+// task executes other pending tasks until the awaited one completes, so a
+// task may submit follow-up work and wait on it without stalling the pool —
+// the hazard ThreadPool::wait_idle() now refuses outright. add() is legal
+// from inside a running task (the new task is scheduled as soon as its
+// dependencies allow).
+//
+// Determinism contract: the scheduler chooses *when and where* tasks run,
+// never *what they compute*. Tasks communicate only through their explicit
+// dependency edges, and any randomness inside a task must come from seeds
+// fixed at add() time, so results are identical for every worker count —
+// the grid runner (core/grid) relies on this to stay bit-identical to its
+// serial reference.
+//
+// Observability: graph.tasks_executed / graph.steals counters and the
+// graph.ready_depth gauge feed the process-wide obs registry; each task body
+// runs under an obs::Span named by the task's `name` argument (which must be
+// a string literal, same contract as Span itself).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace hdc::parallel {
+
+class ThreadPool;
+
+class TaskGraph {
+ public:
+  using TaskId = std::size_t;
+
+  /// Opaque per-run scheduling state (worker deques, sleep bookkeeping).
+  /// Public only so the implementation's thread-local worker context can
+  /// name it; defined in task_graph.cpp.
+  struct RunState;
+
+  TaskGraph();
+  ~TaskGraph();
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Register a task. `name` labels the task's trace span and must be a
+  /// string literal (or otherwise outlive the process trace). `deps` lists
+  /// tasks that must complete before this one may start; every id must come
+  /// from an earlier add() on this graph. Tasks must not throw. Thread-safe;
+  /// callable from inside a running task.
+  TaskId add(const char* name, std::function<void()> fn,
+             std::span<const TaskId> deps = {});
+  TaskId add(const char* name, std::function<void()> fn,
+             std::initializer_list<TaskId> deps);
+
+  /// Execute the whole graph and block until every task (including any added
+  /// mid-run) has completed. The calling thread participates as a worker;
+  /// pool->size() - 1 driver tasks are submitted so the total worker count
+  /// equals the pool size (nullptr = process-wide pool). A pool of size 1
+  /// runs the graph entirely on the calling thread. Must not be called
+  /// concurrently with itself or from inside one of this graph's tasks.
+  void run(ThreadPool* pool = nullptr);
+
+  /// Block until task `id` completes. From inside one of this graph's
+  /// workers this cooperatively executes other pending tasks instead of
+  /// sleeping, so waiting on a dependency can never deadlock the pool.
+  void wait(TaskId id);
+
+  /// True once task `id` has finished executing.
+  [[nodiscard]] bool done(TaskId id) const;
+
+  [[nodiscard]] std::size_t task_count() const;
+
+  /// Tasks executed / deque steals during run() calls so far.
+  [[nodiscard]] std::uint64_t executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Task;
+
+  void execute(RunState* state, std::size_t worker, TaskId id);
+  bool try_run_one(RunState* state, std::size_t worker);
+  void worker_drain(RunState* state, std::size_t worker);
+
+  mutable std::mutex mutex_;           // guards tasks_ and scheduling state
+  std::condition_variable cv_;         // "ready work or graph finished"
+  std::deque<Task> tasks_;             // stable addresses; grows only
+  std::size_t remaining_ = 0;          // added but not yet completed
+  std::shared_ptr<RunState> state_;    // non-null while run() is active
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace hdc::parallel

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "util/timer.hpp"
@@ -8,6 +9,10 @@
 namespace hdc::parallel {
 
 namespace {
+
+/// Set for the lifetime of each worker loop; lets wait_idle() detect the
+/// self-deadlock case and parallel_for() fall back to inline execution.
+thread_local ThreadPool* t_current_pool = nullptr;
 
 /// Registry handles resolved once; all pool instances share these.
 struct PoolMetrics {
@@ -59,9 +64,17 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
+  if (t_current_pool == this) {
+    throw std::logic_error(
+        "ThreadPool::wait_idle() called from inside a worker of the same "
+        "pool: this deadlocks once every worker waits. Use "
+        "parallel::TaskGraph for blocking dependencies inside tasks.");
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
+
+ThreadPool* ThreadPool::current() noexcept { return t_current_pool; }
 
 std::size_t ThreadPool::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -78,6 +91,7 @@ std::size_t hardware_threads() noexcept {
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -116,7 +130,10 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
   if (pool == nullptr) pool = &ThreadPool::global();
   const std::size_t n = end - begin;
   const std::size_t workers = pool->size();
-  if (n < kInlineGrain || workers <= 1) {
+  // Inline when the range is small, the pool is serial, or we are already on
+  // a worker of this pool (a nested wait_idle() would deadlock; the chunk
+  // results are identical either way).
+  if (n < kInlineGrain || workers <= 1 || ThreadPool::current() == pool) {
     fn(begin, end);
     return;
   }

@@ -34,10 +34,23 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueue a task. Tasks must not throw; exceptions terminate.
+  /// Submitting from inside a worker of this pool is allowed (the task is
+  /// queued normally) — but see wait_idle() for the blocking hazard.
   void submit(std::function<void()> task);
 
   /// Block until all submitted tasks have finished.
+  ///
+  /// Calling this from inside a worker of the *same* pool throws
+  /// std::logic_error instead of deadlocking: the waiting worker would
+  /// occupy the very slot the queued tasks need (with every worker waiting,
+  /// the pool stalls forever). Code that must block on other tasks from
+  /// inside a task should use parallel::TaskGraph, whose wait() cooperatively
+  /// executes pending work instead of sleeping.
   void wait_idle();
+
+  /// The pool whose worker loop is running on the calling thread, or
+  /// nullptr when called from any non-worker thread.
+  [[nodiscard]] static ThreadPool* current() noexcept;
 
   /// Lifetime totals for this pool instance. After wait_idle() returns,
   /// tasks_submitted() == tasks_completed() and queue_depth() == 0.
@@ -70,6 +83,8 @@ class ThreadPool {
 /// Invoke fn(i) for i in [begin, end). Splits the range into contiguous
 /// chunks, one per worker. Blocks until complete. `fn` must be thread-safe
 /// for distinct indices. Grain below which the loop runs inline: 256.
+/// Called from inside a worker of `pool` itself, the loop runs inline on the
+/// calling thread (same results, no nested wait_idle()).
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   ThreadPool* pool = nullptr);

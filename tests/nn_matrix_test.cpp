@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 namespace hdc::nn {
 namespace {
 
@@ -12,6 +14,28 @@ Matrix from_values(std::size_t rows, std::size_t cols,
   for (const double v : values) m.data()[i++] = v;
   return m;
 }
+
+/// Deterministic pseudo-random fill with a sprinkling of exact zeros, so the
+/// blocked kernels' zero-skip paths are exercised on every shape.
+Matrix patterned(std::size_t rows, std::size_t cols, std::uint64_t salt) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::uint64_t h = (r * 1315423911u) ^ (c * 2654435761u) ^ (salt * 97u);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      m.at(r, c) =
+          (h % 5 == 0) ? 0.0 : (static_cast<double>(h % 2001) - 1000.0) / 256.0;
+    }
+  }
+  return m;
+}
+
+/// Restores the HDC_NN_BLOCKED-derived default on scope exit.
+struct BlockedGuard {
+  ~BlockedGuard() { reset_blocked_matmul(); }
+};
 
 TEST(Matrix, ConstructionAndAccess) {
   Matrix m(2, 3, 1.5);
@@ -101,6 +125,63 @@ TEST(Matrix, MatmulTransposedShapeMismatchThrows) {
   const Matrix a(2, 3);
   const Matrix b(2, 4);
   EXPECT_THROW((void)a.matmul_transposed(b), std::invalid_argument);
+}
+
+TEST(MatrixBlocked, SwitchTogglesAndResets) {
+  BlockedGuard guard;
+  set_blocked_matmul(false);
+  EXPECT_FALSE(blocked_matmul_enabled());
+  set_blocked_matmul(true);
+  EXPECT_TRUE(blocked_matmul_enabled());
+  reset_blocked_matmul();
+  EXPECT_TRUE(blocked_matmul_enabled());  // default-on (HDC_NN_BLOCKED unset)
+}
+
+TEST(MatrixBlocked, AllKernelsMatchReferenceExactly) {
+  // The blocked kernels keep the naive loops' per-output-element accumulation
+  // order, so parity here is exact equality, not a tolerance. Shapes cover
+  // the degenerate 1x1, ragged sub-block sizes, a row-block crossing (768 >
+  // kRowBlock), a depth-block crossing (300 > kDepthBlock), and non-multiple
+  // quad tails.
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  const Shape shapes[] = {{1, 1, 1},    {17, 3, 4},   {33, 65, 7},
+                          {768, 32, 33}, {130, 300, 5}, {64, 256, 32}};
+  BlockedGuard guard;
+  for (const Shape& s : shapes) {
+    SCOPED_TRACE(::testing::Message()
+                 << "m=" << s.m << " k=" << s.k << " n=" << s.n);
+    const Matrix a = patterned(s.m, s.k, 1);
+    const Matrix b = patterned(s.k, s.n, 2);
+    const Matrix c = patterned(s.m, s.n, 3);
+    const Matrix bt = patterned(s.n, s.k, 4);
+
+    set_blocked_matmul(false);
+    const Matrix ref_mm = a.matmul(b);             // (m x n)
+    const Matrix ref_tm = a.transposed_matmul(c);  // (k x n)
+    const Matrix ref_mt = a.matmul_transposed(bt); // (m x n)
+
+    set_blocked_matmul(true);
+    const Matrix blk_mm = a.matmul(b);
+    const Matrix blk_tm = a.transposed_matmul(c);
+    const Matrix blk_mt = a.matmul_transposed(bt);
+
+    ASSERT_EQ(blk_mm.size(), ref_mm.size());
+    ASSERT_EQ(blk_tm.size(), ref_tm.size());
+    ASSERT_EQ(blk_mt.size(), ref_mt.size());
+    for (std::size_t i = 0; i < ref_mm.size(); ++i) {
+      ASSERT_EQ(blk_mm.data()[i], ref_mm.data()[i]) << "matmul flat=" << i;
+    }
+    for (std::size_t i = 0; i < ref_tm.size(); ++i) {
+      ASSERT_EQ(blk_tm.data()[i], ref_tm.data()[i])
+          << "transposed_matmul flat=" << i;
+    }
+    for (std::size_t i = 0; i < ref_mt.size(); ++i) {
+      ASSERT_EQ(blk_mt.data()[i], ref_mt.data()[i])
+          << "matmul_transposed flat=" << i;
+    }
+  }
 }
 
 TEST(Matrix, IdentityComposition) {
