@@ -1,0 +1,198 @@
+// Serve-path bench: single-record latency and coalesced throughput over a
+// round-tripped model bundle, with a determinism gate. Emits BENCH_serve.json.
+//
+// Protocol:
+//   1. Fit extractor + Hamming + two zoo models on synthetic Pima M, save
+//      the bundle to a string and load it back (every serve measurement runs
+//      on the persisted artifact, not the in-memory originals).
+//   2. Determinism gate: for every bundled predictor, the serve fast path
+//      (classify) and the coalescing queue (submit) must answer exactly the
+//      batch-path predictions for every row, or the bench exits non-zero.
+//   3. Latency: per-request wall times of classify() over --reps sweeps of
+//      the dataset -> p50/p99 microseconds + QPS.
+//   4. Throughput: all rows pushed through the coalescing queue at once.
+//
+// Flags (bench_common): --dim N, --seed S, --fast; plus --reps R (default 3)
+// and --out PATH (default BENCH_serve.json).
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bundle.hpp"
+#include "core/serve.hpp"
+#include "hv/bit_matrix.hpp"
+#include "ml/zoo.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using hdc::util::Timer;
+
+double percentile(std::vector<double> sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted_us.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted_us.size())));
+  return sorted_us[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hdc::bench::BenchSetup setup = hdc::bench::make_setup(argc, argv);
+  const hdc::util::Cli cli(argc, argv);
+  const std::size_t reps = static_cast<std::size_t>(cli.get_int("--reps", 3));
+  const std::string out_path = cli.get_string("--out", "BENCH_serve.json");
+
+  const hdc::data::Dataset& ds = setup.pima_m;
+  const std::size_t n = ds.n_rows();
+
+  // 1. Fit and round-trip the bundle.
+  hdc::core::HdcFeatureExtractor extractor(setup.experiment.extractor);
+  extractor.fit(ds);
+  const hdc::hv::BitMatrix bits = extractor.transform_bits(ds);
+  const std::vector<hdc::hv::BitVector> vectors = extractor.transform(ds);
+
+  hdc::core::ModelBundle fitted;
+  {
+    hdc::core::HammingClassifier hamming;
+    hamming.fit(vectors, ds.labels());
+    fitted.hamming = std::move(hamming);
+  }
+  for (const char* name : {"Logistic Regression", "Random Forest"}) {
+    auto model = hdc::ml::make_model(name, setup.experiment.model_budget);
+    model->fit_bits(bits, ds.labels());
+    fitted.models.push_back(std::move(model));
+  }
+  fitted.extractor = std::move(extractor);
+
+  std::ostringstream saved;
+  hdc::core::save_bundle(saved, fitted);
+  std::istringstream stored(saved.str());
+  hdc::core::ModelBundle bundle = hdc::core::load_bundle(stored);
+  std::printf("# bundle: %zu bytes, sections=%zu models\n", saved.str().size(),
+              bundle.models.size());
+
+  // 2. Determinism gate: serve == batch path for every predictor.
+  bool determinism_ok = true;
+  std::vector<std::string> predictors = {"hamming"};
+  for (const std::string& name : bundle.model_names()) predictors.push_back(name);
+  for (const std::string& predictor : predictors) {
+    // Batch-path reference from the *loaded* bundle.
+    std::vector<int> reference;
+    reference.reserve(n);
+    if (predictor == "hamming") {
+      for (const hdc::hv::BitVector& v : vectors) {
+        reference.push_back(bundle.hamming->predict(v));
+      }
+    } else {
+      reference = bundle.find_model(predictor)->predict_all_bits(bits);
+    }
+
+    for (const bool coalesce : {false, true}) {
+      std::istringstream reload(saved.str());
+      hdc::core::ServeConfig config;
+      config.model = predictor;
+      hdc::core::ServeEngine engine(hdc::core::load_bundle(reload), config);
+      std::vector<int> served;
+      served.reserve(n);
+      if (coalesce) {
+        std::vector<std::future<int>> futures;
+        futures.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::span<const double> row = ds.row(i);
+          futures.push_back(engine.submit({row.begin(), row.end()}));
+        }
+        for (auto& f : futures) served.push_back(f.get());
+      } else {
+        for (std::size_t i = 0; i < n; ++i) served.push_back(engine.classify(ds.row(i)));
+      }
+      if (served != reference) {
+        determinism_ok = false;
+        std::fprintf(stderr,
+                     "FATAL: %s serve path for '%s' differs from the batch "
+                     "path — the serve layer lost determinism\n",
+                     coalesce ? "coalesced" : "sync", predictor.c_str());
+      }
+    }
+  }
+
+  // 3. Single-request latency through the Hamming predictor (the paper's
+  // deployed model): per-request timing over `reps` dataset sweeps.
+  std::istringstream reload(saved.str());
+  hdc::core::ServeEngine engine(hdc::core::load_bundle(reload), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)engine.classify(ds.row(i));  // warm the scratch pool + caches
+  }
+  std::vector<double> latencies_us;
+  latencies_us.reserve(n * reps);
+  Timer sweep;
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Timer request;
+      (void)engine.classify(ds.row(i));
+      latencies_us.push_back(request.seconds() * 1e6);
+    }
+  }
+  const double sync_seconds = sweep.seconds();
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double p50_us = percentile(latencies_us, 0.50);
+  const double p99_us = percentile(latencies_us, 0.99);
+  const double qps =
+      static_cast<double>(latencies_us.size()) / std::max(sync_seconds, 1e-12);
+
+  // 4. Coalesced throughput: every row in flight at once.
+  Timer coalesced;
+  {
+    std::vector<std::future<int>> futures;
+    futures.reserve(n * reps);
+    for (std::size_t r = 0; r < reps; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::span<const double> row = ds.row(i);
+        futures.push_back(engine.submit({row.begin(), row.end()}));
+      }
+    }
+    for (auto& f : futures) (void)f.get();
+  }
+  const double coalesced_seconds = coalesced.seconds();
+  const double coalesced_qps = static_cast<double>(n * reps) /
+                               std::max(coalesced_seconds, 1e-12);
+
+  std::printf("# sync: p50=%.1fus p99=%.1fus qps=%.0f\n", p50_us, p99_us, qps);
+  std::printf("# coalesced: qps=%.0f (%zu requests in %.3fs)\n", coalesced_qps,
+              n * reps, coalesced_seconds);
+  std::printf("# determinism: %s\n", determinism_ok ? "ok" : "FAILED");
+  if (!determinism_ok) return 1;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"bench_serve\",\n"
+               "  \"dataset\": \"pima_m_synthetic\",\n"
+               "  \"rows\": %zu,\n"
+               "  \"dimensions\": %zu,\n"
+               "  \"reps\": %zu,\n"
+               "  \"predictors\": %zu,\n"
+               "  \"bundle_bytes\": %zu,\n"
+               "  \"p50_us\": %.3f,\n"
+               "  \"p99_us\": %.3f,\n"
+               "  \"qps\": %.1f,\n"
+               "  \"coalesced_qps\": %.1f,\n"
+               "  \"determinism_ok\": true\n"
+               "}\n",
+               n, setup.experiment.extractor.dimensions, reps,
+               predictors.size(), saved.str().size(), p50_us, p99_us, qps,
+               coalesced_qps);
+  std::fclose(out);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

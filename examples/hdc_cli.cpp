@@ -6,6 +6,8 @@
 //   hdc_cli predict data.csv model.hdc             # per-row predictions
 //   hdc_cli experiment data.csv                    # Hamming LOOCV + model fit
 //   hdc_cli grid a.csv [b.csv ...]                 # scheduled model-zoo CV grid
+//   hdc_cli bundle data.csv model.bundle           # fit + save a model bundle
+//   hdc_cli serve data.csv model.bundle            # serve rows from a bundle
 //
 // The model file holds the serialized extractor followed by the serialized
 // Hamming classifier; --label <column> selects the label column (default:
@@ -19,19 +21,34 @@
 // --trace-out the Chrome trace shows the grid.encode / grid.fit /
 // grid.reduce scheduler spans.
 //
+// `bundle` fits the extractor + Hamming classifier and, with --models
+// a,b,c / --with-nn, zoo models and the Sequential NN on the encoded
+// hypervectors, then writes one checksummed bundle file (core/bundle).
+// `serve` loads a bundle and classifies every row of the CSV ("-" = stdin)
+// through core/serve — --model picks the predictor ("hamming", "nn", or a
+// zoo name), --coalesce routes rows through the request-coalescing queue
+// (identical predictions by contract), --max-batch caps a drain sweep; a
+// final "# serve:" line reports the request/batch counters.
+//
 // Observability (any command): --metrics-out=FILE writes the obs metrics
 // registry as JSON; --trace-out=FILE writes a Chrome trace-event JSON
 // (chrome://tracing / Perfetto) of the run's spans. Both enable the
 // corresponding recording; results are identical either way.
 #include <cstdio>
 #include <fstream>
+#include <future>
+#include <iostream>
 #include <string>
 
+#include "core/bundle.hpp"
 #include "core/experiment.hpp"
 #include "core/extractor.hpp"
 #include "core/grid.hpp"
 #include "core/hamming_classifier.hpp"
 #include "core/serialize.hpp"
+#include "core/serve.hpp"
+#include "ml/zoo.hpp"
+#include "nn/sequential.hpp"
 #include "data/csv.hpp"
 #include "data/describe.hpp"
 #include "eval/metrics.hpp"
@@ -48,6 +65,7 @@ namespace {
 hdc::data::Dataset load(const std::string& path, const hdc::util::Cli& cli) {
   hdc::data::CsvOptions options;
   options.label_column = cli.get_string("--label", "");
+  if (path == "-") return hdc::data::read_csv(std::cin, options);
   return hdc::data::read_csv_file(path, options);
 }
 
@@ -206,6 +224,84 @@ int cmd_predict(const hdc::data::Dataset& ds, const std::string& model_path) {
   return 0;
 }
 
+int cmd_bundle(const hdc::data::Dataset& ds, const std::string& out_path,
+               const hdc::util::Cli& cli) {
+  hdc::core::ExtractorConfig config;
+  config.dimensions = static_cast<std::size_t>(cli.get_int("--dim", 10000));
+  config.seed = cli.get_uint("--seed", 2023);
+  hdc::core::HdcFeatureExtractor extractor(config);
+  extractor.fit(ds);
+
+  hdc::core::ModelBundle bundle;
+  hdc::core::HammingClassifier hamming(
+      hdc::core::HammingMode::kNearestNeighbor,
+      static_cast<std::size_t>(cli.get_int("--k", 1)));
+  hamming.fit(extractor.transform(ds), ds.labels());
+  bundle.hamming = std::move(hamming);
+
+  const std::string models = cli.get_string("--models", "");
+  if (!models.empty()) {
+    const hdc::hv::BitMatrix bits = extractor.transform_bits(ds);
+    for (const std::string& name : hdc::util::split(models, ',')) {
+      const auto trimmed = hdc::util::trim(name);
+      if (trimmed.empty()) continue;
+      auto model = hdc::ml::make_model(std::string(trimmed));
+      model->fit_bits(bits, ds.labels());
+      bundle.models.push_back(std::move(model));
+    }
+  }
+  if (cli.has_flag("--with-nn")) {
+    auto nn = std::make_unique<hdc::nn::Sequential>();
+    nn->fit(extractor.transform_to_matrix(ds), ds.labels());
+    bundle.nn = std::move(nn);
+  }
+  bundle.extractor = std::move(extractor);
+
+  hdc::core::save_bundle_file(out_path, bundle);
+  std::printf("bundled %zu patients (%zu features) -> %s\n", ds.n_rows(),
+              ds.n_cols(), out_path.c_str());
+  return 0;
+}
+
+int cmd_serve(const hdc::data::Dataset& ds, const std::string& bundle_path,
+              const hdc::util::Cli& cli) {
+  // Serve counters feed the trailing summary line; recording never changes
+  // predictions (obs determinism contract).
+  hdc::obs::set_enabled(true);
+  hdc::core::ServeConfig config;
+  config.model = cli.get_string("--model", "");
+  config.max_batch = static_cast<std::size_t>(cli.get_int("--max-batch", 64));
+  hdc::core::ServeEngine engine(hdc::core::load_bundle_file(bundle_path),
+                                config);
+
+  std::printf("row,prediction\n");
+  if (cli.has_flag("--coalesce")) {
+    std::vector<std::future<int>> results;
+    results.reserve(ds.n_rows());
+    for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+      const std::span<const double> row = ds.row(i);
+      results.push_back(engine.submit({row.begin(), row.end()}));
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::printf("%zu,%d\n", i, results[i].get());
+    }
+  } else {
+    for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+      std::printf("%zu,%d\n", i, engine.classify(ds.row(i)));
+    }
+  }
+  engine.shutdown();
+
+  const hdc::obs::MetricsSnapshot snapshot = hdc::obs::snapshot();
+  std::printf("# serve: model=%s requests=%llu batches=%llu max_queue=%lld\n",
+              engine.model_name().c_str(),
+              static_cast<unsigned long long>(engine.requests_served()),
+              static_cast<unsigned long long>(
+                  snapshot.counter_value("serve.batches")),
+              static_cast<long long>(snapshot.gauge_max("serve.queue_depth")));
+  return 0;
+}
+
 }  // namespace
 
 int run_command(const hdc::util::Cli& cli) {
@@ -225,6 +321,8 @@ int run_command(const hdc::util::Cli& cli) {
   if (command == "train") return cmd_train(ds, args[2], cli);
   if (command == "evaluate") return cmd_evaluate(ds, args[2]);
   if (command == "predict") return cmd_predict(ds, args[2]);
+  if (command == "bundle") return cmd_bundle(ds, args[2], cli);
+  if (command == "serve") return cmd_serve(ds, args[2], cli);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }
@@ -257,6 +355,10 @@ int main(int argc, char** argv) {
                  "<data.csv> [model.hdc] [--label COL] [--dim N] [--seed S] "
                  "[--k K] [--model NAME] [--threads T] [--metrics-out FILE] "
                  "[--trace-out FILE]\n"
+                 "       hdc_cli bundle <data.csv> <out.bundle> [--models "
+                 "a,b,c] [--with-nn] [--dim N] [--seed S] [--k K]\n"
+                 "       hdc_cli serve <data.csv|-> <model.bundle> [--model "
+                 "NAME] [--coalesce] [--max-batch N]\n"
                  "       hdc_cli grid <data.csv> [more.csv ...] [--kfold K] "
                  "[--models a,b,c] [--threads N] [--serial] [--budget B] "
                  "[--dim N] [--seed S] [--metrics-out FILE] [--trace-out "

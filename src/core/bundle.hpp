@@ -1,0 +1,76 @@
+// Versioned single-file persistence for a fitted pipeline — the deployable
+// artifact the serve path loads. A bundle is a sequence of named sections:
+//
+//   hdc-bundle v1
+//   sections <n>
+//   section <~name> <byte-count> <fnv1a-hex16>
+//   <raw section body, exactly byte-count bytes>
+//   ...
+//   end
+//
+// Each section body is itself a self-describing serialized object (the
+// extractor / hamming text formats of core/serialize, or the util::serde
+// token streams of the ml / nn / scaler / online serializers). The section
+// header carries the body's byte count and FNV-1a 64 checksum; the loader
+// verifies the checksum *before* parsing the body, so any corruption —
+// truncation, bit flips, version skew — is reported as a diagnostic
+// std::runtime_error instead of reaching a parser as garbage.
+//
+// Section names:
+//   extractor        fitted HdcFeatureExtractor
+//   hamming          fitted HammingClassifier
+//   scaler.minmax    fitted data::MinMaxScaler
+//   scaler.standard  fitted data::StandardScaler
+//   online           fitted OnlineHdClassifier (integer prototypes)
+//   nn               fitted nn::Sequential
+//   model:<name>     fitted zoo model, <name> = ml::Classifier::name()
+//
+// Every section is optional; duplicates and unknown names are errors.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "core/hamming_classifier.hpp"
+#include "core/online.hpp"
+#include "data/preprocess.hpp"
+#include "ml/classifier.hpp"
+#include "nn/sequential.hpp"
+
+namespace hdc::core {
+
+/// Everything a deployment needs in one artifact. Any subset of the members
+/// may be present; save_bundle writes only the fitted/engaged ones.
+struct ModelBundle {
+  std::optional<HdcFeatureExtractor> extractor;
+  std::optional<HammingClassifier> hamming;
+  std::optional<data::MinMaxScaler> minmax_scaler;
+  std::optional<data::StandardScaler> standard_scaler;
+  std::optional<OnlineHdClassifier> online;
+  std::unique_ptr<nn::Sequential> nn;
+  /// Fitted zoo models, keyed by their Classifier::name().
+  std::vector<std::unique_ptr<ml::Classifier>> models;
+
+  /// Zoo model by exact name; nullptr when absent.
+  [[nodiscard]] const ml::Classifier* find_model(std::string_view name) const;
+
+  /// Names of all stored zoo models, in bundle order.
+  [[nodiscard]] std::vector<std::string> model_names() const;
+};
+
+/// Serialize the engaged members of `bundle`. Throws std::logic_error when
+/// nothing is engaged (an empty bundle is almost certainly a caller bug).
+void save_bundle(std::ostream& out, const ModelBundle& bundle);
+
+/// Parse + checksum-verify a bundle. Throws std::runtime_error with a
+/// section-qualified message on any malformed input.
+[[nodiscard]] ModelBundle load_bundle(std::istream& in);
+
+void save_bundle_file(const std::string& path, const ModelBundle& bundle);
+[[nodiscard]] ModelBundle load_bundle_file(const std::string& path);
+
+}  // namespace hdc::core

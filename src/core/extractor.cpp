@@ -85,6 +85,28 @@ hv::BitVector HdcFeatureExtractor::encode_row(std::span<const double> row) const
   return encoder_->encode(fixed);
 }
 
+hv::BitVector HdcFeatureExtractor::encode_row(
+    std::span<const double> row, hv::RecordEncoder::Scratch& scratch,
+    std::vector<double>& row_buffer) const {
+  if (!fitted()) throw std::logic_error("HdcFeatureExtractor: not fitted");
+  if (row.size() != column_min_.size()) {
+    throw std::invalid_argument("HdcFeatureExtractor: row arity mismatch");
+  }
+  bool any_missing = false;
+  for (const double v : row) {
+    if (data::Dataset::is_missing(v)) any_missing = true;
+  }
+  if (!any_missing) return encoder_->encode(row, scratch);
+  if (!config_.missing_as_min) {
+    throw std::invalid_argument("HdcFeatureExtractor: missing value in row");
+  }
+  row_buffer.assign(row.begin(), row.end());
+  for (std::size_t j = 0; j < row_buffer.size(); ++j) {
+    if (data::Dataset::is_missing(row_buffer[j])) row_buffer[j] = column_min_[j];
+  }
+  return encoder_->encode(row_buffer, scratch);
+}
+
 namespace {
 
 /// Row accessor for the batch encoder: substitutes missing values with the

@@ -64,6 +64,14 @@ class HdcFeatureExtractor {
   /// Encode one row (arity must match the fitted dataset).
   [[nodiscard]] hv::BitVector encode_row(std::span<const double> row) const;
 
+  /// Scratch-reusing single-row encode — the serve hot path. Identical
+  /// output to encode_row(row); the per-call allocations (feature
+  /// hypervectors, level-encoder memo, missing-value substitution buffer)
+  /// live in caller-owned buffers that amortise to zero across requests.
+  [[nodiscard]] hv::BitVector encode_row(std::span<const double> row,
+                                         hv::RecordEncoder::Scratch& scratch,
+                                         std::vector<double>& row_buffer) const;
+
   /// Encode every row of a dataset via the batch engine (parallelised over
   /// `pool`, nullptr = process-wide pool; results identical either way).
   [[nodiscard]] std::vector<hv::BitVector> transform(

@@ -1,5 +1,7 @@
 #include "core/online.hpp"
 
+#include "util/serde.hpp"
+
 #include <numeric>
 #include <stdexcept>
 
@@ -101,6 +103,39 @@ const hv::IntVector& OnlineHdClassifier::prototype(int label) const {
     throw std::invalid_argument("OnlineHdClassifier: label must be 0/1");
   }
   return prototypes_[static_cast<std::size_t>(label)];
+}
+
+void OnlineHdClassifier::save(std::ostream& out) const {
+  if (!fitted()) throw std::logic_error("OnlineHdClassifier: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("core.online").tag("v1").nl();
+  w.u64(config_.max_epochs).u64(config_.stop_when_converged ? 1 : 0);
+  w.u64(config_.seed).nl();
+  w.u64(dimensions_).nl();
+  for (const hv::IntVector& proto : prototypes_) {
+    for (std::size_t i = 0; i < proto.size(); ++i) w.i64(proto.get(i));
+    w.nl();
+  }
+}
+
+void OnlineHdClassifier::load(std::istream& in) {
+  util::serde::Reader r(in, "load core.online");
+  r.expect("core.online", "model tag");
+  r.expect("v1", "format version");
+  config_.max_epochs = r.u64("max_epochs");
+  config_.stop_when_converged = r.u64("stop_when_converged") != 0;
+  config_.seed = r.u64("seed");
+  dimensions_ = r.count("dimensions", 1ULL << 24);
+  if (dimensions_ == 0) throw r.error("zero dimensions");
+  for (hv::IntVector& proto : prototypes_) {
+    proto = hv::IntVector(dimensions_);
+    for (std::size_t i = 0; i < dimensions_; ++i) {
+      const std::int64_t v = r.i64("prototype component");
+      if (v < INT32_MIN || v > INT32_MAX) throw r.error("component out of range");
+      proto.set(i, static_cast<std::int32_t>(v));
+    }
+  }
+  updates_per_epoch_.clear();
 }
 
 }  // namespace hdc::core

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "eval/metrics.hpp"
@@ -50,6 +51,10 @@ class OnlineHdClassifier {
   }
 
   [[nodiscard]] const hv::IntVector& prototype(int label) const;
+
+  /// Persist / restore the integer prototypes and config (bundle section).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
 
  private:
   void ensure_dimensions(std::size_t dims);

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/serde.hpp"
 #include "util/str.hpp"
 
 namespace hdc::core {
@@ -11,7 +12,7 @@ namespace hdc::core {
 namespace {
 
 constexpr const char* kExtractorMagic = "hdc-extractor v1";
-constexpr const char* kHammingMagic = "hdc-hamming v1";
+constexpr const char* kHammingMagic = "hdc-hamming v2";
 
 std::string expect_line(std::istream& in, const char* what) {
   std::string line;
@@ -33,6 +34,31 @@ double expect_double(std::istream& in, const char* what) {
   return *value;
 }
 
+/// Hard cap on persisted hypervector width: well above any configuration we
+/// ship (paper uses 1k-10k dimensions) and small enough that a corrupted
+/// size field cannot trigger a giant allocation.
+constexpr std::size_t kMaxBitvectorBits = 1ULL << 26;
+
+/// Exactly 16 lowercase hex digits -> word; anything else (odd-length hex,
+/// uppercase, stray characters) throws.
+std::uint64_t parse_hex16_word(const std::string& tok) {
+  if (tok.size() != 16) {
+    throw std::runtime_error("load: bad bitvector word '" + tok +
+                             "': expected exactly 16 hex digits");
+  }
+  std::uint64_t word = 0;
+  for (const char c : tok) {
+    int digit = -1;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    if (digit < 0) {
+      throw std::runtime_error("load: bad bitvector word '" + tok + "'");
+    }
+    word = (word << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return word;
+}
+
 const char* kind_name(data::ColumnKind kind) {
   switch (kind) {
     case data::ColumnKind::kBinary: return "binary";
@@ -52,26 +78,43 @@ data::ColumnKind parse_kind(std::string_view name) {
 
 void write_bitvector(std::ostream& out, const hv::BitVector& vector) {
   out << vector.size();
-  out << std::hex;
-  for (const std::uint64_t word : vector.words()) out << ' ' << word;
-  out << std::dec << '\n';
+  // Fixed-width words: every token is exactly 16 lowercase hex digits, so
+  // the reader can reject odd-length / truncated hex instead of guessing.
+  for (const std::uint64_t word : vector.words()) {
+    out << ' ' << util::serde::hex16(word);
+  }
+  out << '\n';
 }
 
 hv::BitVector read_bitvector(std::istream& in) {
   const std::string line = expect_line(in, "bitvector");
   std::istringstream tokens(line);
-  std::size_t bits = 0;
-  if (!(tokens >> bits)) throw std::runtime_error("load: bad bitvector size");
+  std::string tok;
+  if (!(tokens >> tok)) throw std::runtime_error("load: bad bitvector size");
+  const auto parsed_bits = util::parse_int(tok);
+  if (!parsed_bits || *parsed_bits < 0) {
+    throw std::runtime_error("load: bad bitvector size '" + tok + "'");
+  }
+  const auto bits = static_cast<std::size_t>(*parsed_bits);
+  if (bits > kMaxBitvectorBits) {
+    throw std::runtime_error("load: bitvector size out of range");
+  }
   hv::BitVector out(bits);
-  tokens >> std::hex;
   const std::size_t n_words = (bits + 63) / 64;
   for (std::size_t w = 0; w < n_words; ++w) {
-    std::uint64_t word = 0;
-    if (!(tokens >> word)) throw std::runtime_error("load: truncated bitvector");
+    if (!(tokens >> tok)) throw std::runtime_error("load: truncated bitvector");
+    const std::uint64_t word = parse_hex16_word(tok);
+    if (w + 1 == n_words && bits % 64 != 0 &&
+        (word & (~0ULL << (bits % 64))) != 0) {
+      throw std::runtime_error("load: nonzero padding bits in bitvector");
+    }
     for (std::size_t b = 0; b < 64; ++b) {
       const std::size_t bit = w * 64 + b;
       if (bit < bits && ((word >> b) & 1ULL)) out.set(bit, true);
     }
+  }
+  if (tokens >> tok) {
+    throw std::runtime_error("load: trailing data after bitvector");
   }
   return out;
 }

@@ -1,5 +1,7 @@
 #include "data/preprocess.hpp"
 
+#include "util/serde.hpp"
+
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -127,6 +129,42 @@ Dataset StandardScaler::transform(const Dataset& ds) const {
     out.add_row(row, ds.label(i));
   }
   return out;
+}
+
+void MinMaxScaler::save(std::ostream& out) const {
+  if (!fitted()) throw std::logic_error("MinMaxScaler: save of unfitted scaler");
+  util::serde::Writer w(out);
+  w.tag("scaler.minmax").tag("v1").nl();
+  w.vec_f64(lo_).nl();
+  w.vec_f64(hi_).nl();
+}
+
+void MinMaxScaler::load(std::istream& in) {
+  util::serde::Reader r(in, "load scaler.minmax");
+  r.expect("scaler.minmax", "scaler tag");
+  r.expect("v1", "format version");
+  lo_ = r.vec_f64("lo", 1ULL << 24);
+  hi_ = r.vec_f64("hi", 1ULL << 24);
+  if (lo_.empty() || lo_.size() != hi_.size()) throw r.error("lo/hi arity mismatch");
+}
+
+void StandardScaler::save(std::ostream& out) const {
+  if (!fitted()) throw std::logic_error("StandardScaler: save of unfitted scaler");
+  util::serde::Writer w(out);
+  w.tag("scaler.standard").tag("v1").nl();
+  w.vec_f64(mean_).nl();
+  w.vec_f64(stddev_).nl();
+}
+
+void StandardScaler::load(std::istream& in) {
+  util::serde::Reader r(in, "load scaler.standard");
+  r.expect("scaler.standard", "scaler tag");
+  r.expect("v1", "format version");
+  mean_ = r.vec_f64("mean", 1ULL << 24);
+  stddev_ = r.vec_f64("stddev", 1ULL << 24);
+  if (mean_.empty() || mean_.size() != stddev_.size()) {
+    throw r.error("mean/stddev arity mismatch");
+  }
 }
 
 }  // namespace hdc::data

@@ -9,6 +9,8 @@
 //    this behaviour on purpose and documents it.
 #pragma once
 
+#include <iosfwd>
+
 #include "data/dataset.hpp"
 
 namespace hdc::data {
@@ -33,6 +35,12 @@ class MinMaxScaler {
   [[nodiscard]] Dataset transform(const Dataset& ds) const;
   [[nodiscard]] bool fitted() const noexcept { return !lo_.empty(); }
 
+  /// Persist / restore the fitted bounds (bundle sections). Load throws
+  /// std::runtime_error on malformed input; save throws std::logic_error
+  /// when unfitted.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
  private:
   std::vector<double> lo_;
   std::vector<double> hi_;
@@ -44,6 +52,9 @@ class StandardScaler {
   void fit(const Dataset& ds);
   [[nodiscard]] Dataset transform(const Dataset& ds) const;
   [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
 
  private:
   std::vector<double> mean_;

@@ -34,6 +34,78 @@ double Classifier::accuracy_bits(const hv::BitMatrix& X, const Labels& y) const 
   return static_cast<double>(hits) / static_cast<double>(predictions.size());
 }
 
+void Classifier::save_state(std::ostream& out) const {
+  (void)out;
+  throw std::runtime_error(name() + ": save_state not supported");
+}
+
+void Classifier::load_state(std::istream& in) {
+  (void)in;
+  throw std::runtime_error(name() + ": load_state not supported");
+}
+
+namespace {
+// Caps applied to counts read from untrusted streams. A corrupted length
+// field throws before any allocation is attempted. kMaxCells bounds both
+// matrix cells and packed words; kMaxDim bounds row/column arities.
+constexpr std::uint64_t kMaxDim = 1ULL << 24;
+constexpr std::uint64_t kMaxCells = 1ULL << 30;
+}  // namespace
+
+void write_matrix(util::serde::Writer& out, const Matrix& X) {
+  out.u64(X.size()).u64(X.empty() ? 0 : X.front().size()).nl();
+  for (const auto& row : X) out.vec_f64(row).nl();
+}
+
+Matrix read_matrix(util::serde::Reader& in, const char* what) {
+  const std::uint64_t rows = in.count(what, kMaxDim);
+  const std::uint64_t cols = in.count(what, kMaxDim);
+  if (rows * cols > kMaxCells) throw in.error(std::string(what) + ": matrix too large");
+  Matrix X;
+  X.reserve(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    X.push_back(in.vec_f64(what, cols));
+    if (X.back().size() != cols) {
+      throw in.error(std::string(what) + ": ragged matrix row");
+    }
+  }
+  return X;
+}
+
+void write_bit_matrix(util::serde::Writer& out, const hv::BitMatrix& X) {
+  const hv::PackedHVs& rows = X.row_major();
+  out.u64(X.rows()).u64(X.cols()).nl();
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    out.words({rows.row(i), rows.words_per_row()}).nl();
+  }
+}
+
+hv::BitMatrix read_bit_matrix(util::serde::Reader& in, const char* what) {
+  const std::uint64_t rows = in.count(what, kMaxDim);
+  const std::uint64_t cols = in.count(what, kMaxDim);
+  const std::uint64_t wpr = (cols + 63) / 64;
+  if (rows * wpr > kMaxCells) {
+    throw in.error(std::string(what) + ": bit matrix too large");
+  }
+  hv::PackedHVs packed(cols, rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    const std::vector<std::uint64_t> row_words = in.read_words(what, wpr);
+    if (row_words.size() != wpr) {
+      throw in.error(std::string(what) + ": bit matrix row word-count mismatch");
+    }
+    std::uint64_t* dst = packed.row(i);
+    for (std::uint64_t w = 0; w < wpr; ++w) dst[w] = row_words[w];
+    // Trailing padding bits must stay zero (BitMatrix invariant).
+    if (cols % 64 != 0 && wpr > 0) {
+      const std::uint64_t pad_mask = ~0ULL << (cols % 64);
+      if ((dst[wpr - 1] & pad_mask) != 0) {
+        throw in.error(std::string(what) + ": nonzero padding bits in bit matrix");
+      }
+    }
+  }
+  return hv::BitMatrix::from_rows(std::move(packed));
+}
+
 void validate_training_bits(const hv::BitMatrix& X, const Labels& y) {
   if (X.rows() == 0 || X.cols() == 0) {
     throw std::invalid_argument("fit: empty training set");

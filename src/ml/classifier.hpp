@@ -5,10 +5,13 @@
 // here therefore consumes a dense row-major double matrix and binary labels.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/serde.hpp"
 
 namespace hdc::hv {
 class BitMatrix;
@@ -66,7 +69,24 @@ class Classifier {
   [[nodiscard]] virtual std::vector<int> predict_all_bits(const hv::BitMatrix& X) const;
 
   [[nodiscard]] double accuracy_bits(const hv::BitMatrix& X, const Labels& y) const;
+
+  /// Serialize everything predict_proba() needs — hyper-parameters plus the
+  /// fitted state — as a util::serde token stream, restorable bit-identically
+  /// by load_state() on a model of the same concrete type (core/bundle
+  /// constructs it through ml::make_model). The default throws: every zoo
+  /// model overrides both, anything else is not bundle-persistable.
+  virtual void save_state(std::ostream& out) const;
+  /// Inverse of save_state(). Throws std::runtime_error (with a field-level
+  /// diagnostic) on malformed input; the model is left unusable, never in a
+  /// silently wrong state.
+  virtual void load_state(std::istream& in);
 };
+
+/// Shared helpers for the save_state/load_state implementations.
+void write_matrix(util::serde::Writer& out, const Matrix& X);
+[[nodiscard]] Matrix read_matrix(util::serde::Reader& in, const char* what);
+void write_bit_matrix(util::serde::Writer& out, const hv::BitMatrix& X);
+[[nodiscard]] hv::BitMatrix read_bit_matrix(util::serde::Reader& in, const char* what);
 
 /// Validated view of training inputs plus a column-major copy used by the
 /// tree-based models (cache-friendly split searches).

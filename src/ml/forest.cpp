@@ -124,4 +124,27 @@ std::vector<int> RandomForest::predict_all_bits(const hv::BitMatrix& X) const {
   return out;
 }
 
+
+void RandomForest::save_state(std::ostream& out) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("ml.forest").tag("v1").nl();
+  w.u64(config_.n_trees).u64(config_.bootstrap ? 1 : 0).u64(config_.seed).nl();
+  w.u64(trees_.size()).nl();
+  for (const DecisionTree& tree : trees_) tree.save_state(out);
+}
+
+void RandomForest::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load ml.forest");
+  r.expect("ml.forest", "model tag");
+  r.expect("v1", "format version");
+  config_.n_trees = r.u64("n_trees");
+  config_.bootstrap = r.u64("bootstrap") != 0;
+  config_.seed = r.u64("seed");
+  const std::size_t n = r.count("tree count", 1ULL << 20);
+  if (n == 0) throw r.error("empty forest");
+  trees_.assign(n, DecisionTree(config_.tree));
+  for (DecisionTree& tree : trees_) tree.load_state(in);
+}
+
 }  // namespace hdc::ml

@@ -26,6 +26,9 @@ class RandomForest final : public Classifier {
   [[nodiscard]] std::vector<int> predict_all_bits(const hv::BitMatrix& X) const override;
   [[nodiscard]] std::string name() const override { return "Random Forest"; }
 
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
 
   /// Mean of the per-tree gini importances (normalised to sum to 1).

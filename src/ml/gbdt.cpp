@@ -159,4 +159,63 @@ double GbdtClassifier::predict_proba(std::span<const double> x) const {
   return sigmoid(margin);
 }
 
+
+void GbdtClassifier::save_state(std::ostream& out) const {
+  if (trees_.empty()) throw std::logic_error("GBDT: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("ml.gbdt").tag("v1").nl();
+  w.u64(config_.n_rounds).f64(config_.learning_rate).u64(config_.max_depth);
+  w.f64(config_.lambda).f64(config_.gamma).f64(config_.min_child_weight);
+  w.f64(config_.base_score).nl();
+  w.u64(n_features_).f64(base_margin_).nl();
+  w.u64(trees_.size()).nl();
+  for (const Tree& tree : trees_) {
+    w.u64(tree.size()).nl();
+    for (const Node& nd : tree) {
+      w.i64(nd.feature).f64(nd.threshold).i64(nd.left).i64(nd.right).f64(nd.value).nl();
+    }
+  }
+}
+
+void GbdtClassifier::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load ml.gbdt");
+  r.expect("ml.gbdt", "model tag");
+  r.expect("v1", "format version");
+  config_.n_rounds = r.u64("n_rounds");
+  config_.learning_rate = r.f64("learning_rate");
+  config_.max_depth = r.u64("max_depth");
+  config_.lambda = r.f64("lambda");
+  config_.gamma = r.f64("gamma");
+  config_.min_child_weight = r.f64("min_child_weight");
+  config_.base_score = r.f64("base_score");
+  n_features_ = r.count("n_features", 1ULL << 24);
+  if (n_features_ == 0) throw r.error("zero features");
+  base_margin_ = r.f64("base_margin");
+  const std::size_t rounds = r.count("round count", 1ULL << 20);
+  if (rounds == 0) throw r.error("empty ensemble");
+  trees_.assign(rounds, Tree{});
+  for (Tree& tree : trees_) {
+    const std::size_t n = r.count("node count", 1ULL << 24);
+    if (n == 0) throw r.error("empty tree");
+    tree.assign(n, Node{});
+    for (Node& nd : tree) {
+      nd.feature = static_cast<std::int32_t>(r.i64("node feature"));
+      nd.threshold = r.f64("node threshold");
+      nd.left = static_cast<std::int32_t>(r.i64("node left"));
+      nd.right = static_cast<std::int32_t>(r.i64("node right"));
+      nd.value = r.f64("node value");
+      if (nd.feature >= 0) {
+        if (static_cast<std::size_t>(nd.feature) >= n_features_) {
+          throw r.error("node feature out of range");
+        }
+        if (nd.left < 0 || nd.right < 0 ||
+            static_cast<std::size_t>(nd.left) >= n ||
+            static_cast<std::size_t>(nd.right) >= n) {
+          throw r.error("node child index out of range");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace hdc::ml

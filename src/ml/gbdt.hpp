@@ -29,6 +29,9 @@ class GbdtClassifier final : public Classifier {
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::string name() const override { return "XGBoost"; }
 
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   [[nodiscard]] std::size_t round_count() const noexcept { return trees_.size(); }
 
  private:

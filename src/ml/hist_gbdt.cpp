@@ -487,4 +487,70 @@ std::vector<int> HistGbdtClassifier::predict_all_bits(const hv::BitMatrix& X) co
   return out;
 }
 
+
+void HistGbdtClassifier::save_state(std::ostream& out) const {
+  if (trees_.empty()) throw std::logic_error("HistGbdt: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("ml.hist_gbdt").tag("v1").nl();
+  w.u64(config_.n_rounds).f64(config_.learning_rate).u64(config_.num_leaves);
+  w.u64(config_.max_bins).f64(config_.lambda).f64(config_.min_child_weight);
+  w.u64(config_.min_data_in_leaf).nl();
+  w.u64(n_features_).f64(base_margin_).nl();
+  for (const std::vector<double>& edges : bin_edges_) w.vec_f64(edges).nl();
+  w.u64(trees_.size()).nl();
+  for (const Tree& tree : trees_) {
+    w.u64(tree.size()).nl();
+    for (const Node& nd : tree) {
+      w.i64(nd.feature).i64(nd.bin).f64(nd.threshold);
+      w.i64(nd.left).i64(nd.right).f64(nd.value).nl();
+    }
+  }
+}
+
+void HistGbdtClassifier::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load ml.hist_gbdt");
+  r.expect("ml.hist_gbdt", "model tag");
+  r.expect("v1", "format version");
+  config_.n_rounds = r.u64("n_rounds");
+  config_.learning_rate = r.f64("learning_rate");
+  config_.num_leaves = r.u64("num_leaves");
+  config_.max_bins = r.u64("max_bins");
+  config_.lambda = r.f64("lambda");
+  config_.min_child_weight = r.f64("min_child_weight");
+  config_.min_data_in_leaf = r.u64("min_data_in_leaf");
+  n_features_ = r.count("n_features", 1ULL << 24);
+  if (n_features_ == 0) throw r.error("zero features");
+  base_margin_ = r.f64("base_margin");
+  bin_edges_.assign(n_features_, {});
+  for (std::vector<double>& edges : bin_edges_) {
+    edges = r.vec_f64("bin edges", 1ULL << 20);
+  }
+  const std::size_t rounds = r.count("round count", 1ULL << 20);
+  if (rounds == 0) throw r.error("empty ensemble");
+  trees_.assign(rounds, Tree{});
+  for (Tree& tree : trees_) {
+    const std::size_t n = r.count("node count", 1ULL << 24);
+    if (n == 0) throw r.error("empty tree");
+    tree.assign(n, Node{});
+    for (Node& nd : tree) {
+      nd.feature = static_cast<std::int32_t>(r.i64("node feature"));
+      nd.bin = static_cast<std::int32_t>(r.i64("node bin"));
+      nd.threshold = r.f64("node threshold");
+      nd.left = static_cast<std::int32_t>(r.i64("node left"));
+      nd.right = static_cast<std::int32_t>(r.i64("node right"));
+      nd.value = r.f64("node value");
+      if (nd.feature >= 0) {
+        if (static_cast<std::size_t>(nd.feature) >= n_features_) {
+          throw r.error("node feature out of range");
+        }
+        if (nd.left < 0 || nd.right < 0 ||
+            static_cast<std::size_t>(nd.left) >= n ||
+            static_cast<std::size_t>(nd.right) >= n) {
+          throw r.error("node child index out of range");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace hdc::ml

@@ -31,6 +31,9 @@ class HistGbdtClassifier final : public Classifier {
   [[nodiscard]] std::vector<int> predict_all_bits(const hv::BitMatrix& X) const override;
   [[nodiscard]] std::string name() const override { return "LGBM"; }
 
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   [[nodiscard]] std::size_t round_count() const noexcept { return trees_.size(); }
 
  private:

@@ -144,4 +144,50 @@ std::vector<int> KnnClassifier::predict_all_bits(const hv::BitMatrix& X) const {
   return out;
 }
 
+
+void KnnClassifier::save_state(std::ostream& out) const {
+  const bool packed = !train_bits_.empty();
+  if (!packed && train_X_.empty()) {
+    throw std::logic_error("KNN: save of unfitted model");
+  }
+  util::serde::Writer w(out);
+  w.tag("ml.knn").tag("v1").nl();
+  w.u64(config_.k).u64(config_.distance_weighted ? 1 : 0).nl();
+  w.tag(packed ? "packed" : "dense").nl();
+  if (packed) {
+    write_bit_matrix(w, train_bits_);
+  } else {
+    write_matrix(w, train_X_);
+  }
+  w.vec_int(train_y_).nl();
+}
+
+void KnnClassifier::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load ml.knn");
+  r.expect("ml.knn", "model tag");
+  r.expect("v1", "format version");
+  config_.k = r.u64("k");
+  if (config_.k == 0) throw r.error("k must be positive");
+  config_.distance_weighted = r.u64("distance_weighted") != 0;
+  const std::string store = r.token("training store kind");
+  std::size_t n = 0;
+  if (store == "packed") {
+    train_bits_ = read_bit_matrix(r, "training bits");
+    train_X_.clear();
+    n = train_bits_.rows();
+  } else if (store == "dense") {
+    train_X_ = read_matrix(r, "training matrix");
+    train_bits_ = hv::BitMatrix();
+    n = train_X_.size();
+  } else {
+    throw r.error("unknown training store kind '" + store + "'");
+  }
+  train_y_ = r.vec_int("training labels", 1ULL << 24);
+  if (n == 0) throw r.error("empty training set");
+  if (train_y_.size() != n) throw r.error("label count mismatch");
+  for (const int y : train_y_) {
+    if (y != 0 && y != 1) throw r.error("labels must be 0/1");
+  }
+}
+
 }  // namespace hdc::ml

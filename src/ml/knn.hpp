@@ -28,6 +28,9 @@ class KnnClassifier final : public Classifier {
   [[nodiscard]] std::vector<int> predict_all_bits(const hv::BitMatrix& X) const override;
   [[nodiscard]] std::string name() const override { return "KNN"; }
 
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
  private:
   [[nodiscard]] double vote(std::vector<std::pair<double, int>>& dist) const;
 

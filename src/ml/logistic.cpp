@@ -162,4 +162,36 @@ double LogisticRegression::predict_proba(std::span<const double> x) const {
   return sigmoid(z);
 }
 
+void LogisticRegression::save_state(std::ostream& out) const {
+  if (w_.empty()) throw std::logic_error("LogisticRegression: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("ml.logistic").tag("v1").nl();
+  w.f64(config_.c).u64(config_.max_iter).f64(config_.learning_rate);
+  w.f64(config_.momentum).f64(config_.tol).u64(config_.standardize ? 1 : 0).nl();
+  w.vec_f64(w_).nl();
+  w.f64(b_).nl();
+  w.vec_f64(mean_).nl();
+  w.vec_f64(inv_std_).nl();
+}
+
+void LogisticRegression::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load ml.logistic");
+  r.expect("ml.logistic", "model tag");
+  r.expect("v1", "format version");
+  config_.c = r.f64("c");
+  config_.max_iter = r.u64("max_iter");
+  config_.learning_rate = r.f64("learning_rate");
+  config_.momentum = r.f64("momentum");
+  config_.tol = r.f64("tol");
+  config_.standardize = r.u64("standardize") != 0;
+  w_ = r.vec_f64("weights", 1ULL << 24);
+  b_ = r.f64("bias");
+  mean_ = r.vec_f64("mean", 1ULL << 24);
+  inv_std_ = r.vec_f64("inv_std", 1ULL << 24);
+  if (w_.empty()) throw r.error("empty weight vector");
+  if (mean_.size() != w_.size() || inv_std_.size() != w_.size()) {
+    throw r.error("mean/inv_std arity mismatch");
+  }
+}
+
 }  // namespace hdc::ml

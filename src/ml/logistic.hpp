@@ -25,6 +25,9 @@ class LogisticRegression final : public Classifier {
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::string name() const override { return "Logistic Regression"; }
 
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   /// Learned weights (in standardised space if standardize was on).
   [[nodiscard]] const std::vector<double>& weights() const noexcept { return w_; }
   [[nodiscard]] double bias() const noexcept { return b_; }

@@ -91,4 +91,45 @@ double NaiveBayesClassifier::predict_proba(std::span<const double> x) const {
   return e1 / (e0 + e1);
 }
 
+
+void NaiveBayesClassifier::save_state(std::ostream& out) const {
+  if (n_features_ == 0) throw std::logic_error("NaiveBayes: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("ml.naive_bayes").tag("v1").nl();
+  w.f64(config_.alpha).f64(config_.var_smoothing);
+  w.u64(config_.force_bernoulli ? 1 : 0).nl();
+  w.u64(n_features_).nl();
+  std::vector<int> bernoulli(bernoulli_.begin(), bernoulli_.end());
+  w.vec_int(bernoulli).nl();
+  w.f64(log_prior_[0]).f64(log_prior_[1]).nl();
+  for (int c = 0; c < 2; ++c) {
+    w.vec_f64(mean_[c]).nl();
+    w.vec_f64(var_[c]).nl();
+    w.vec_f64(log_p_one_[c]).nl();
+    w.vec_f64(log_p_zero_[c]).nl();
+  }
+}
+
+void NaiveBayesClassifier::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load ml.naive_bayes");
+  r.expect("ml.naive_bayes", "model tag");
+  r.expect("v1", "format version");
+  config_.alpha = r.f64("alpha");
+  config_.var_smoothing = r.f64("var_smoothing");
+  config_.force_bernoulli = r.u64("force_bernoulli") != 0;
+  n_features_ = r.count("n_features", 1ULL << 24);
+  if (n_features_ == 0) throw r.error("zero features");
+  const std::vector<int> bernoulli = r.vec_int("bernoulli flags", n_features_);
+  if (bernoulli.size() != n_features_) throw r.error("bernoulli flag count mismatch");
+  bernoulli_.assign(bernoulli.begin(), bernoulli.end());
+  log_prior_[0] = r.f64("log_prior");
+  log_prior_[1] = r.f64("log_prior");
+  for (int c = 0; c < 2; ++c) {
+    mean_[c] = r.vec_f64("mean", n_features_);
+    var_[c] = r.vec_f64("var", n_features_);
+    log_p_one_[c] = r.vec_f64("log_p_one", n_features_);
+    log_p_zero_[c] = r.vec_f64("log_p_zero", n_features_);
+  }
+}
+
 }  // namespace hdc::ml

@@ -25,6 +25,9 @@ class NaiveBayesClassifier final : public Classifier {
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::string name() const override { return "Naive Bayes"; }
 
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
  private:
   NaiveBayesConfig config_;
   std::vector<bool> bernoulli_;              // per-feature model choice

@@ -211,4 +211,60 @@ double OrderedGbdtClassifier::predict_proba(std::span<const double> x) const {
   return sigmoid(margin);
 }
 
+
+void OrderedGbdtClassifier::save_state(std::ostream& out) const {
+  if (trees_.empty()) throw std::logic_error("OrderedGbdt: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("ml.ordered_gbdt").tag("v1").nl();
+  w.u64(config_.n_rounds).f64(config_.learning_rate).u64(config_.depth);
+  w.f64(config_.lambda).u64(config_.max_bins).f64(config_.min_child_weight).nl();
+  w.u64(n_features_).nl();
+  for (const std::vector<double>& edges : bin_edges_) w.vec_f64(edges).nl();
+  w.u64(trees_.size()).nl();
+  for (const ObliviousTree& tree : trees_) {
+    w.u64(tree.features.size()).nl();
+    for (const std::int32_t f : tree.features) w.i64(f);
+    w.nl();
+    w.vec_f64(tree.thresholds).nl();
+    w.vec_f64(tree.leaf_values).nl();
+  }
+}
+
+void OrderedGbdtClassifier::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load ml.ordered_gbdt");
+  r.expect("ml.ordered_gbdt", "model tag");
+  r.expect("v1", "format version");
+  config_.n_rounds = r.u64("n_rounds");
+  config_.learning_rate = r.f64("learning_rate");
+  config_.depth = r.u64("depth");
+  config_.lambda = r.f64("lambda");
+  config_.max_bins = r.u64("max_bins");
+  config_.min_child_weight = r.f64("min_child_weight");
+  n_features_ = r.count("n_features", 1ULL << 24);
+  if (n_features_ == 0) throw r.error("zero features");
+  bin_edges_.assign(n_features_, {});
+  for (std::vector<double>& edges : bin_edges_) {
+    edges = r.vec_f64("bin edges", 1ULL << 20);
+  }
+  const std::size_t rounds = r.count("round count", 1ULL << 20);
+  if (rounds == 0) throw r.error("empty ensemble");
+  trees_.assign(rounds, ObliviousTree{});
+  for (ObliviousTree& tree : trees_) {
+    const std::size_t levels = r.count("level count", 64);
+    tree.features.assign(levels, 0);
+    for (std::int32_t& f : tree.features) {
+      f = static_cast<std::int32_t>(r.i64("level feature"));
+      if (f < 0 || static_cast<std::size_t>(f) >= n_features_) {
+        throw r.error("level feature out of range");
+      }
+    }
+    tree.thresholds = r.vec_f64("level thresholds", 64);
+    tree.leaf_values = r.vec_f64("leaf values", 1ULL << 20);
+    if (tree.thresholds.size() != levels) throw r.error("threshold count mismatch");
+    if (tree.leaf_values.size() != (1ULL << levels)) {
+      throw r.error("leaf table size mismatch");
+    }
+  }
+}
+
 }  // namespace hdc::ml

@@ -154,4 +154,31 @@ double SgdClassifier::predict_proba(std::span<const double> x) const {
   return 1.0 / (1.0 + std::exp(-decision(x)));
 }
 
+
+void SgdClassifier::save_state(std::ostream& out) const {
+  if (w_.empty()) throw std::logic_error("SGD: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("ml.sgd").tag("v1").nl();
+  w.u64(config_.loss == SgdLoss::kHinge ? 0 : 1).f64(config_.alpha);
+  w.u64(config_.epochs).f64(config_.eta0).u64(config_.seed).nl();
+  w.vec_f64(w_).nl();
+  w.f64(b_).nl();
+}
+
+void SgdClassifier::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load ml.sgd");
+  r.expect("ml.sgd", "model tag");
+  r.expect("v1", "format version");
+  const std::uint64_t loss = r.u64("loss");
+  if (loss > 1) throw r.error("unknown loss id " + std::to_string(loss));
+  config_.loss = loss == 0 ? SgdLoss::kHinge : SgdLoss::kLog;
+  config_.alpha = r.f64("alpha");
+  config_.epochs = r.u64("epochs");
+  config_.eta0 = r.f64("eta0");
+  config_.seed = r.u64("seed");
+  w_ = r.vec_f64("weights", 1ULL << 24);
+  b_ = r.f64("bias");
+  if (w_.empty()) throw r.error("empty weight vector");
+}
+
 }  // namespace hdc::ml

@@ -34,6 +34,9 @@ class SgdClassifier final : public Classifier {
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::string name() const override { return "SGD"; }
 
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   [[nodiscard]] const std::vector<double>& weights() const noexcept { return w_; }
   [[nodiscard]] double bias() const noexcept { return b_; }
 

@@ -280,4 +280,51 @@ double SvcClassifier::predict_proba(std::span<const double> x) const {
   return 1.0 / (1.0 + std::exp(-decision(x)));
 }
 
+
+void SvcClassifier::save_state(std::ostream& out) const {
+  if (train_X_.empty()) throw std::logic_error("SVC: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("ml.svc").tag("v1").nl();
+  w.u64(config_.kernel == SvmKernel::kLinear ? 0 : 1).f64(config_.c);
+  w.f64(config_.gamma).f64(config_.tol).u64(config_.max_passes);
+  w.u64(config_.max_iter).u64(config_.standardize ? 1 : 0).u64(config_.seed).nl();
+  w.f64(gamma_).f64(b_).nl();
+  write_matrix(w, train_X_);
+  w.vec_f64(targets_).nl();
+  w.vec_f64(alphas_).nl();
+  w.vec_f64(mean_).nl();
+  w.vec_f64(inv_std_).nl();
+}
+
+void SvcClassifier::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load ml.svc");
+  r.expect("ml.svc", "model tag");
+  r.expect("v1", "format version");
+  const std::uint64_t kernel = r.u64("kernel");
+  if (kernel > 1) throw r.error("unknown kernel id " + std::to_string(kernel));
+  config_.kernel = kernel == 0 ? SvmKernel::kLinear : SvmKernel::kRbf;
+  config_.c = r.f64("c");
+  config_.gamma = r.f64("gamma");
+  config_.tol = r.f64("tol");
+  config_.max_passes = r.u64("max_passes");
+  config_.max_iter = r.u64("max_iter");
+  config_.standardize = r.u64("standardize") != 0;
+  config_.seed = r.u64("seed");
+  gamma_ = r.f64("fitted gamma");
+  b_ = r.f64("bias");
+  train_X_ = read_matrix(r, "support matrix");
+  targets_ = r.vec_f64("targets", 1ULL << 24);
+  alphas_ = r.vec_f64("alphas", 1ULL << 24);
+  mean_ = r.vec_f64("mean", 1ULL << 24);
+  inv_std_ = r.vec_f64("inv_std", 1ULL << 24);
+  if (train_X_.empty()) throw r.error("empty support matrix");
+  if (targets_.size() != train_X_.size() || alphas_.size() != train_X_.size()) {
+    throw r.error("targets/alphas row-count mismatch");
+  }
+  const std::size_t d = train_X_.front().size();
+  if (mean_.size() != d || inv_std_.size() != d) {
+    throw r.error("mean/inv_std arity mismatch");
+  }
+}
+
 }  // namespace hdc::ml

@@ -35,6 +35,9 @@ class SvcClassifier final : public Classifier {
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::string name() const override { return "SVC"; }
 
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   /// Signed distance to the separating surface.
   [[nodiscard]] double decision(std::span<const double> x) const;
   [[nodiscard]] std::size_t support_vector_count() const noexcept;

@@ -391,4 +391,56 @@ double DecisionTree::predict_proba(std::span<const double> x) const {
   return nodes_[static_cast<std::size_t>(node)].prob;
 }
 
+
+void DecisionTree::save_state(std::ostream& out) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("ml.tree").tag("v1").nl();
+  w.u64(config_.max_depth).u64(config_.min_samples_split);
+  w.u64(config_.min_samples_leaf).u64(config_.max_features).u64(config_.seed).nl();
+  w.u64(n_features_).u64(depth_).nl();
+  w.u64(nodes_.size()).nl();
+  for (const Node& nd : nodes_) {
+    w.i64(nd.feature).f64(nd.threshold).i64(nd.left).i64(nd.right).f64(nd.prob).nl();
+  }
+  w.vec_f64(importances_).nl();
+}
+
+void DecisionTree::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load ml.tree");
+  r.expect("ml.tree", "model tag");
+  r.expect("v1", "format version");
+  config_.max_depth = r.u64("max_depth");
+  config_.min_samples_split = r.u64("min_samples_split");
+  config_.min_samples_leaf = r.u64("min_samples_leaf");
+  config_.max_features = r.u64("max_features");
+  config_.seed = r.u64("seed");
+  n_features_ = r.count("n_features", 1ULL << 24);
+  depth_ = r.u64("depth");
+  const std::size_t n = r.count("node count", 1ULL << 24);
+  if (n == 0) throw r.error("empty node list");
+  nodes_.assign(n, Node{});
+  for (Node& nd : nodes_) {
+    nd.feature = static_cast<std::int32_t>(r.i64("node feature"));
+    nd.threshold = r.f64("node threshold");
+    nd.left = static_cast<std::int32_t>(r.i64("node left"));
+    nd.right = static_cast<std::int32_t>(r.i64("node right"));
+    nd.prob = r.f64("node prob");
+    if (nd.feature >= 0) {
+      if (static_cast<std::size_t>(nd.feature) >= n_features_) {
+        throw r.error("node feature out of range");
+      }
+      if (nd.left < 0 || nd.right < 0 ||
+          static_cast<std::size_t>(nd.left) >= n ||
+          static_cast<std::size_t>(nd.right) >= n) {
+        throw r.error("node child index out of range");
+      }
+    }
+  }
+  importances_ = r.vec_f64("importances", 1ULL << 24);
+  if (!importances_.empty() && importances_.size() != n_features_) {
+    throw r.error("importance arity mismatch");
+  }
+}
+
 }  // namespace hdc::ml

@@ -50,6 +50,9 @@ class DecisionTree final : public Classifier {
   [[nodiscard]] double predict_proba_bits(const std::uint64_t* row_bits) const;
   [[nodiscard]] std::string name() const override { return "Decision Tree"; }
 
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
 

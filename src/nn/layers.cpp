@@ -113,4 +113,13 @@ Matrix Sigmoid::backward(const Matrix& grad_output, Adam& /*opt*/) {
   return grad;
 }
 
+void Dense::set_parameters(Matrix weights, Matrix bias) {
+  if (weights.rows() != weights_.rows() || weights.cols() != weights_.cols() ||
+      bias.rows() != bias_.rows() || bias.cols() != bias_.cols()) {
+    throw std::invalid_argument("Dense::set_parameters: shape mismatch");
+  }
+  weights_ = std::move(weights);
+  bias_ = std::move(bias);
+}
+
 }  // namespace hdc::nn

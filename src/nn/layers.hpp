@@ -40,6 +40,11 @@ class Dense final : public Layer {
   }
 
   [[nodiscard]] const Matrix& weights() const noexcept { return weights_; }
+  [[nodiscard]] const Matrix& bias() const noexcept { return bias_; }
+
+  /// Replace the fitted parameters (bundle load). Shapes must match the
+  /// layer's construction shapes; throws std::invalid_argument otherwise.
+  void set_parameters(Matrix weights, Matrix bias);
 
  private:
   Matrix weights_;  // in x out

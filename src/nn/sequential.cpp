@@ -172,4 +172,89 @@ std::vector<double> Sequential::predict_proba_batch(const ml::Matrix& X) const {
   return probs;
 }
 
+void Sequential::save_state(std::ostream& out) const {
+  if (layers_.empty()) throw std::logic_error("Sequential: save of unfitted model");
+  util::serde::Writer w(out);
+  w.tag("nn.sequential").tag("v1").nl();
+  w.u64(config_.hidden.size());
+  for (const std::size_t h : config_.hidden) w.u64(h);
+  w.nl();
+  w.u64(config_.max_epochs).u64(config_.patience);
+  w.u64(config_.monitor == EarlyStopMonitor::kTrainLoss ? 0 : 1);
+  w.f64(config_.min_delta).u64(config_.batch_size).f64(config_.learning_rate);
+  w.f64(config_.internal_val_fraction).u64(config_.seed).nl();
+  w.u64(input_dim_).nl();
+  std::size_t dense_count = 0;
+  for (const auto& layer : layers_) {
+    if (dynamic_cast<const Dense*>(layer.get()) != nullptr) ++dense_count;
+  }
+  w.u64(dense_count).nl();
+  for (const auto& layer : layers_) {
+    const auto* dense = dynamic_cast<const Dense*>(layer.get());
+    if (dense == nullptr) continue;
+    for (const Matrix* m : {&dense->weights(), &dense->bias()}) {
+      w.u64(m->rows()).u64(m->cols()).nl();
+      for (std::size_t i = 0; i < m->rows(); ++i) {
+        for (const double v : m->row(i)) w.f64(v);
+        w.nl();
+      }
+    }
+  }
+}
+
+void Sequential::load_state(std::istream& in) {
+  util::serde::Reader r(in, "load nn.sequential");
+  r.expect("nn.sequential", "model tag");
+  r.expect("v1", "format version");
+  const std::size_t n_hidden = r.count("hidden layer count", 64);
+  config_.hidden.assign(n_hidden, 0);
+  for (std::size_t& h : config_.hidden) {
+    h = r.count("hidden width", 1ULL << 20);
+    if (h == 0) throw r.error("zero-width hidden layer");
+  }
+  config_.max_epochs = r.u64("max_epochs");
+  config_.patience = r.u64("patience");
+  config_.monitor = r.u64("monitor") == 0 ? EarlyStopMonitor::kTrainLoss
+                                          : EarlyStopMonitor::kValLoss;
+  config_.min_delta = r.f64("min_delta");
+  config_.batch_size = r.u64("batch_size");
+  config_.learning_rate = r.f64("learning_rate");
+  config_.internal_val_fraction = r.f64("internal_val_fraction");
+  config_.seed = r.u64("seed");
+  input_dim_ = r.count("input_dim", 1ULL << 24);
+  if (input_dim_ == 0) throw r.error("zero input dimension");
+  build(input_dim_);
+  std::size_t dense_count = 0;
+  for (const auto& layer : layers_) {
+    if (dynamic_cast<Dense*>(layer.get()) != nullptr) ++dense_count;
+  }
+  const std::size_t stored = r.count("dense layer count", 4096);
+  if (stored != dense_count) {
+    throw r.error("dense layer count mismatch: stored " + std::to_string(stored) +
+                  ", architecture has " + std::to_string(dense_count));
+  }
+  auto read_nn_matrix = [&r](const char* what) {
+    const std::size_t rows = r.count(what, 1ULL << 24);
+    const std::size_t cols = r.count(what, 1ULL << 24);
+    if (rows * cols > (1ULL << 26)) throw r.error("matrix too large");
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (double& v : m.row(i)) v = r.f64(what);
+    }
+    return m;
+  };
+  for (auto& layer : layers_) {
+    auto* dense = dynamic_cast<Dense*>(layer.get());
+    if (dense == nullptr) continue;
+    Matrix weights = read_nn_matrix("dense weights");
+    Matrix bias = read_nn_matrix("dense bias");
+    try {
+      dense->set_parameters(std::move(weights), std::move(bias));
+    } catch (const std::invalid_argument& e) {
+      throw r.error(e.what());
+    }
+  }
+  history_ = TrainHistory{};
+}
+
 }  // namespace hdc::nn

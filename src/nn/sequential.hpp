@@ -58,6 +58,12 @@ class Sequential final : public ml::Classifier {
   [[nodiscard]] std::vector<double> predict_proba_batch(const ml::Matrix& X) const;
   [[nodiscard]] std::string name() const override { return "Sequential NN"; }
 
+  /// Persist the fitted architecture + Dense parameters (not the optimiser
+  /// state or training history); load rebuilds the layer stack and restores
+  /// the weights, giving bit-identical predict_proba.
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
   [[nodiscard]] const TrainHistory& history() const noexcept { return history_; }
   [[nodiscard]] std::size_t parameter_count() const noexcept;
 

@@ -1,0 +1,304 @@
+// Round-trip tests for the bundle format: every zoo model, the Sequential
+// NN, both scalers, the online classifier, and full multi-section bundles
+// are fitted on golden synthetic seeds, saved, loaded, and compared with
+// EXPECT_EQ — on re-serialized state (the save/load/save string oracle: any
+// lost or mutated field shows up as a byte diff) and on predict_all_bits
+// outputs. The packed-ML toggle is exercised both ways, and the suite runs
+// under the mlkernel label configs (sanitizers + HDC_DISABLE_SIMD).
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bundle.hpp"
+#include "core/extractor.hpp"
+#include "core/hamming_classifier.hpp"
+#include "core/online.hpp"
+#include "data/preprocess.hpp"
+#include "data/synthetic.hpp"
+#include "hv/bit_matrix.hpp"
+#include "hv/search.hpp"
+#include "ml/packed.hpp"
+#include "ml/zoo.hpp"
+#include "nn/sequential.hpp"
+
+namespace {
+
+using hdc::core::HdcFeatureExtractor;
+using hdc::core::load_bundle;
+using hdc::core::ModelBundle;
+using hdc::core::save_bundle;
+
+/// All names ml::make_model accepts: the nine zoo models of Table III plus
+/// the Naive Bayes baseline.
+const std::vector<std::string> kModelNames = {
+    "Random Forest", "KNN",  "Decision Tree",       "XGBoost", "CatBoost",
+    "SGD",           "SVC",  "Logistic Regression", "LGBM",    "Naive Bayes"};
+
+constexpr double kBudget = 0.15;  // shrink the boosted models' round counts
+
+/// Restores the HDC_ML_PACKED-derived default on scope exit.
+class PackedGuard {
+ public:
+  PackedGuard() = default;
+  ~PackedGuard() { hdc::ml::reset_packed_enabled(); }
+};
+
+struct Golden {
+  hdc::data::Dataset ds;
+  HdcFeatureExtractor extractor;
+  hdc::hv::BitMatrix bits;
+  std::vector<hdc::hv::BitVector> vectors;
+};
+
+Golden make_golden(bool pima) {
+  Golden g;
+  g.ds = pima ? hdc::data::impute_class_median(
+                    hdc::data::make_pima({60, 40, true, 0.05, 4}))
+              : hdc::data::make_sylhet({30, 40, 3});
+  hdc::core::ExtractorConfig config;
+  config.dimensions = 512;
+  config.seed = 99;
+  g.extractor = HdcFeatureExtractor(config);
+  g.extractor.fit(g.ds);
+  g.bits = g.extractor.transform_bits(g.ds);
+  g.vectors = g.extractor.transform(g.ds);
+  return g;
+}
+
+/// Copyable stand-in for the golden extractor (the extractor itself owns a
+/// unique_ptr encoder): rebuild from the learned column encodings.
+HdcFeatureExtractor clone_extractor(const HdcFeatureExtractor& source) {
+  HdcFeatureExtractor extractor(source.config());
+  extractor.fit_from_columns(source.column_encodings());
+  return extractor;
+}
+
+const Golden& golden_pima() {
+  static const Golden g = make_golden(true);
+  return g;
+}
+
+const Golden& golden_sylhet() {
+  static const Golden g = make_golden(false);
+  return g;
+}
+
+std::string save_to_string(const hdc::ml::Classifier& model) {
+  std::ostringstream out;
+  model.save_state(out);
+  return out.str();
+}
+
+/// Fit `name` on the golden seed, round-trip it, and require (1) identical
+/// re-serialized state and (2) identical hard predictions on the training
+/// bits — the strongest equality the public interface can express.
+void expect_model_round_trips(const std::string& name, const Golden& g) {
+  auto original = hdc::ml::make_model(name, kBudget);
+  original->fit_bits(g.bits, g.ds.labels());
+  const std::string saved = save_to_string(*original);
+
+  auto loaded = hdc::ml::make_model(name, kBudget);
+  std::istringstream in(saved);
+  loaded->load_state(in);
+
+  EXPECT_EQ(save_to_string(*loaded), saved) << name << ": state drifted";
+  EXPECT_EQ(loaded->predict_all_bits(g.bits), original->predict_all_bits(g.bits))
+      << name << ": predictions drifted";
+}
+
+TEST(BundleZooRoundTrip, EveryModelOnPima) {
+  for (const std::string& name : kModelNames) {
+    SCOPED_TRACE(name);
+    expect_model_round_trips(name, golden_pima());
+  }
+}
+
+TEST(BundleZooRoundTrip, EveryModelOnSylhet) {
+  for (const std::string& name : kModelNames) {
+    SCOPED_TRACE(name);
+    expect_model_round_trips(name, golden_sylhet());
+  }
+}
+
+TEST(BundleZooRoundTrip, PackedAndDenseConfigsBothRoundTrip) {
+  // KNN persists its training store in whichever representation it was
+  // fitted with ("packed" vs "dense"); both must survive the trip, and the
+  // other models' state must be representation-independent.
+  PackedGuard guard;
+  for (const bool packed : {true, false}) {
+    hdc::ml::set_packed_enabled(packed);
+    SCOPED_TRACE(packed ? "packed" : "dense");
+    for (const std::string& name : {std::string("KNN"),
+                                    std::string("Logistic Regression"),
+                                    std::string("Random Forest")}) {
+      SCOPED_TRACE(name);
+      expect_model_round_trips(name, golden_pima());
+    }
+  }
+}
+
+TEST(BundleZooRoundTrip, UnfittedSaveThrows) {
+  for (const std::string& name : kModelNames) {
+    SCOPED_TRACE(name);
+    const auto model = hdc::ml::make_model(name, kBudget);
+    std::ostringstream out;
+    EXPECT_THROW(model->save_state(out), std::logic_error);
+  }
+}
+
+TEST(BundleNnRoundTrip, SequentialWeightsAndPredictions) {
+  const Golden& g = golden_pima();
+  hdc::nn::SequentialConfig config;
+  config.hidden = {16, 8};
+  config.max_epochs = 30;
+  config.seed = 11;
+  hdc::nn::Sequential original(config);
+  const hdc::ml::Matrix X = g.extractor.transform_to_matrix(g.ds);
+  original.fit(X, g.ds.labels());
+
+  const std::string saved = save_to_string(original);
+  hdc::nn::Sequential loaded;
+  std::istringstream in(saved);
+  loaded.load_state(in);
+
+  EXPECT_EQ(save_to_string(loaded), saved);
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    // Bit-identical doubles: same weights, same deterministic forward pass.
+    EXPECT_EQ(loaded.predict_proba(X[i]), original.predict_proba(X[i])) << i;
+  }
+}
+
+TEST(BundleScalerRoundTrip, MinMaxAndStandard) {
+  const hdc::data::Dataset ds = golden_pima().ds;
+
+  hdc::data::MinMaxScaler minmax;
+  minmax.fit(ds);
+  std::stringstream mm_stream;
+  minmax.save(mm_stream);
+  hdc::data::MinMaxScaler minmax_loaded;
+  minmax_loaded.load(mm_stream);
+  const hdc::data::Dataset mm_a = minmax.transform(ds);
+  const hdc::data::Dataset mm_b = minmax_loaded.transform(ds);
+
+  hdc::data::StandardScaler standard;
+  standard.fit(ds);
+  std::stringstream std_stream;
+  standard.save(std_stream);
+  hdc::data::StandardScaler standard_loaded;
+  standard_loaded.load(std_stream);
+  const hdc::data::Dataset std_a = standard.transform(ds);
+  const hdc::data::Dataset std_b = standard_loaded.transform(ds);
+
+  for (std::size_t i = 0; i < ds.n_rows(); ++i) {
+    for (std::size_t j = 0; j < ds.n_cols(); ++j) {
+      EXPECT_EQ(mm_a.value(i, j), mm_b.value(i, j)) << i << "," << j;
+      EXPECT_EQ(std_a.value(i, j), std_b.value(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(BundleScalerRoundTrip, UnfittedSaveThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(hdc::data::MinMaxScaler().save(out), std::logic_error);
+  EXPECT_THROW(hdc::data::StandardScaler().save(out), std::logic_error);
+}
+
+TEST(BundleOnlineRoundTrip, PrototypesAndPredictions) {
+  const Golden& g = golden_sylhet();
+  hdc::core::OnlineHdClassifier original;
+  original.fit(g.vectors, g.ds.labels());
+
+  std::stringstream stream;
+  original.save(stream);
+  hdc::core::OnlineHdClassifier loaded;
+  loaded.load(stream);
+
+  EXPECT_EQ(loaded.prototype(0), original.prototype(0));
+  EXPECT_EQ(loaded.prototype(1), original.prototype(1));
+  for (const hdc::hv::BitVector& v : g.vectors) {
+    EXPECT_EQ(loaded.predict(v), original.predict(v));
+  }
+}
+
+/// Full bundle: every section kind at once, through save/load/save.
+TEST(BundleFullRoundTrip, AllSectionsSurvive) {
+  const Golden& g = golden_pima();
+
+  ModelBundle bundle;
+  bundle.extractor = clone_extractor(g.extractor);
+  {
+    hdc::core::HammingClassifier hamming;
+    hamming.fit(g.vectors, g.ds.labels());
+    bundle.hamming = std::move(hamming);
+  }
+  bundle.minmax_scaler.emplace();
+  bundle.minmax_scaler->fit(g.ds);
+  bundle.standard_scaler.emplace();
+  bundle.standard_scaler->fit(g.ds);
+  bundle.online.emplace();
+  bundle.online->fit(g.vectors, g.ds.labels());
+  {
+    hdc::nn::SequentialConfig config;
+    config.hidden = {8};
+    config.max_epochs = 10;
+    bundle.nn = std::make_unique<hdc::nn::Sequential>(config);
+    bundle.nn->fit(g.extractor.transform_to_matrix(g.ds), g.ds.labels());
+  }
+  for (const char* name : {"Logistic Regression", "Decision Tree"}) {
+    auto model = hdc::ml::make_model(name, kBudget);
+    model->fit_bits(g.bits, g.ds.labels());
+    bundle.models.push_back(std::move(model));
+  }
+
+  std::ostringstream first;
+  save_bundle(first, bundle);
+  std::istringstream stored(first.str());
+  const ModelBundle loaded = load_bundle(stored);
+
+  // The string oracle: a second save of the loaded bundle must reproduce
+  // the first byte for byte.
+  std::ostringstream second;
+  save_bundle(second, loaded);
+  EXPECT_EQ(second.str(), first.str());
+
+  ASSERT_TRUE(loaded.extractor.has_value());
+  ASSERT_TRUE(loaded.hamming.has_value());
+  ASSERT_TRUE(loaded.online.has_value());
+  ASSERT_NE(loaded.nn, nullptr);
+  ASSERT_EQ(loaded.model_names(),
+            (std::vector<std::string>{"Logistic Regression", "Decision Tree"}));
+
+  // Loaded pipeline behaves identically end to end.
+  for (std::size_t i = 0; i < g.ds.n_rows(); ++i) {
+    EXPECT_EQ(loaded.extractor->encode_row(g.ds.row(i)), g.vectors[i]) << i;
+    EXPECT_EQ(loaded.hamming->predict(g.vectors[i]),
+              bundle.hamming->predict(g.vectors[i]))
+        << i;
+  }
+  for (const std::string& name : loaded.model_names()) {
+    EXPECT_EQ(loaded.find_model(name)->predict_all_bits(g.bits),
+              bundle.find_model(name)->predict_all_bits(g.bits))
+        << name;
+  }
+}
+
+TEST(BundleFullRoundTrip, EmptyBundleSaveThrows) {
+  const ModelBundle empty;
+  std::ostringstream out;
+  EXPECT_THROW(save_bundle(out, empty), std::logic_error);
+}
+
+TEST(BundleFullRoundTrip, FileRoundTrip) {
+  const Golden& g = golden_sylhet();
+  ModelBundle bundle;
+  bundle.extractor = clone_extractor(g.extractor);
+  const std::string path = ::testing::TempDir() + "/roundtrip.bundle";
+  hdc::core::save_bundle_file(path, bundle);
+  const ModelBundle loaded = hdc::core::load_bundle_file(path);
+  ASSERT_TRUE(loaded.extractor.has_value());
+  EXPECT_EQ(loaded.extractor->encode_row(g.ds.row(0)), g.vectors[0]);
+}
+
+}  // namespace

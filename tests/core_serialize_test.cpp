@@ -29,8 +29,49 @@ TEST(SerializeBitVector, OddSizesRoundTrip) {
 }
 
 TEST(SerializeBitVector, TruncatedInputThrows) {
-  std::istringstream stream("128 deadbeef");  // needs 2 words, has 1
+  // Needs 2 words; the second is missing entirely.
+  std::istringstream stream("128 00000000deadbeef");
   EXPECT_THROW((void)read_bitvector(stream), std::runtime_error);
+}
+
+TEST(SerializeBitVector, OddLengthHexThrows) {
+  // Words are fixed-width 16-hex-digit tokens; a short (odd-length) word is
+  // a short read / hand-edited file, not something to zero-extend silently.
+  std::istringstream stream("64 deadbeef");
+  EXPECT_THROW((void)read_bitvector(stream), std::runtime_error);
+  std::istringstream fifteen("64 00000000deadbee");
+  EXPECT_THROW((void)read_bitvector(fifteen), std::runtime_error);
+  std::istringstream seventeen("64 000000000deadbeef");
+  EXPECT_THROW((void)read_bitvector(seventeen), std::runtime_error);
+}
+
+TEST(SerializeBitVector, HexGarbageThrows) {
+  std::istringstream uppercase("64 00000000DEADBEEF");
+  EXPECT_THROW((void)read_bitvector(uppercase), std::runtime_error);
+  std::istringstream stray("64 0000000000g0beef");
+  EXPECT_THROW((void)read_bitvector(stray), std::runtime_error);
+}
+
+TEST(SerializeBitVector, NonzeroPaddingBitsThrow) {
+  // 60-bit vector: the top 4 bits of the single word must be zero.
+  std::istringstream padded("60 f000000000000001");
+  EXPECT_THROW((void)read_bitvector(padded), std::runtime_error);
+  std::istringstream clean("60 0000000000000001");
+  EXPECT_EQ(read_bitvector(clean).popcount(), 1u);
+}
+
+TEST(SerializeBitVector, TrailingDataThrows) {
+  std::istringstream stream("64 0000000000000001 0000000000000002");
+  EXPECT_THROW((void)read_bitvector(stream), std::runtime_error);
+}
+
+TEST(SerializeBitVector, BadSizeThrows) {
+  std::istringstream negative("-8 0000000000000001");
+  EXPECT_THROW((void)read_bitvector(negative), std::runtime_error);
+  std::istringstream huge("999999999999 0000000000000001");
+  EXPECT_THROW((void)read_bitvector(huge), std::runtime_error);
+  std::istringstream garbage("sixty-four 0000000000000001");
+  EXPECT_THROW((void)read_bitvector(garbage), std::runtime_error);
 }
 
 TEST(SerializeExtractor, RoundTripPreservesEncoding) {
@@ -131,10 +172,37 @@ TEST(SerializeHamming, UnfittedSaveThrows) {
 TEST(SerializeHamming, BadInputThrows) {
   std::istringstream bad_magic("nope\n");
   EXPECT_THROW((void)load_hamming(bad_magic), std::runtime_error);
-  std::istringstream bad_mode("hdc-hamming v1\nwarp\n1\n");
+  std::istringstream bad_mode("hdc-hamming v2\nwarp\n1\n");
   EXPECT_THROW((void)load_hamming(bad_mode), std::runtime_error);
-  std::istringstream empty_model("hdc-hamming v1\nnearest\n0\n");
+  std::istringstream empty_model("hdc-hamming v2\nnearest\n0\n");
   EXPECT_THROW((void)load_hamming(empty_model), std::runtime_error);
+}
+
+TEST(SerializeHamming, OldVersionMagicThrows) {
+  // v1 files used variable-width hex words; the strict v2 reader refuses the
+  // old magic instead of misparsing the body.
+  std::istringstream v1("hdc-hamming v1\nnearest\n1\n0\n64 deadbeef\n");
+  EXPECT_THROW((void)load_hamming(v1), std::runtime_error);
+}
+
+TEST(SerializeHamming, ShortReadThrows) {
+  // A valid header whose last vector line got cut mid-word (the classic
+  // partial-download failure) must be a clean error, not a silent zero-fill.
+  util::Rng rng(7);
+  std::vector<hv::BitVector> vectors;
+  std::vector<int> labels;
+  for (int i = 0; i < 4; ++i) {
+    vectors.push_back(hv::BitVector::random(192, rng));
+    labels.push_back(i % 2);
+  }
+  HammingClassifier model;
+  model.fit(vectors, labels);
+  std::ostringstream out;
+  save_hamming(out, model);
+  const std::string full = out.str();
+  // Chop inside the final hex word: odd-length token -> strict reader throws.
+  std::istringstream truncated(full.substr(0, full.size() - 9));
+  EXPECT_THROW((void)load_hamming(truncated), std::runtime_error);
 }
 
 TEST(SerializeFiles, ExtractorFileRoundTrip) {
