@@ -5,8 +5,10 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "core/experiment.hpp"
+#include "core/manifest.hpp"
 #include "data/preprocess.hpp"
 #include "data/synthetic.hpp"
 #include "util/cli.hpp"
@@ -53,6 +55,16 @@ inline BenchSetup make_setup(int argc, const char* const* argv) {
   std::printf("# datasets: Pima R n=%zu, Pima M n=%zu, Sylhet n=%zu\n",
               setup.pima_r.n_rows(), setup.pima_m.n_rows(), setup.sylhet.n_rows());
   return setup;
+}
+
+/// `"manifest"` provenance block for a bench JSON artifact — the same
+/// core::RunManifest the library embeds in results and bundles, so every
+/// BENCH_*.json records what was measured (dataset hash, seeds, dims, simd
+/// tier, thread count, feature flags). bench-smoke fails artifacts without it.
+inline std::string manifest_json(const data::Dataset& ds,
+                                 std::string_view dataset_name,
+                                 const core::ExperimentConfig& config) {
+  return core::to_json(core::make_run_manifest(ds, dataset_name, config));
 }
 
 }  // namespace hdc::bench

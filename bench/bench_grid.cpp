@@ -203,7 +203,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(st.cache_evictions),
         st.cache_peak_entries, i + 1 < samples.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  // Provenance from the grid itself: run_grid's combined manifest covers
+  // both datasets (mixed hash, summed rows) at the last sample's threads.
+  std::fprintf(out, "  ],\n  \"manifest\": %s\n}\n",
+               hdc::core::to_json(samples.back().result.manifest).c_str());
   std::fclose(out);
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;

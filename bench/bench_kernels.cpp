@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/extractor.hpp"
 #include "data/preprocess.hpp"
 #include "data/synthetic.hpp"
@@ -162,6 +163,12 @@ int main(int argc, char** argv) {
   const TierResult& scalar = results.front();
   const TierResult& best = results.back();
 
+  hdc::core::ExperimentConfig manifest_config;
+  manifest_config.extractor = extractor_config;
+  manifest_config.seed = seed;
+  const std::string manifest_json =
+      hdc::bench::manifest_json(ds, "pima_m_synthetic", manifest_config);
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "FATAL: cannot write %s\n", out_path.c_str());
@@ -202,12 +209,14 @@ int main(int argc, char** argv) {
                "    \"popcount\": %.3f,\n"
                "    \"majority\": %.3f,\n"
                "    \"encode\": %.3f\n"
-               "  }\n}\n",
+               "  },\n"
+               "  \"manifest\": %s\n}\n",
                hdc::simd::tier_name(best.tier),
                scalar.hamming_ns_per_pair / best.hamming_ns_per_pair,
                best.popcount_gbps / scalar.popcount_gbps,
                scalar.majority_ns_per_bundle / best.majority_ns_per_bundle,
-               best.encode_rows_per_sec / scalar.encode_rows_per_sec);
+               best.encode_rows_per_sec / scalar.encode_rows_per_sec,
+               manifest_json.c_str());
   std::fclose(out);
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;

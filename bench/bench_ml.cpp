@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/extractor.hpp"
 #include "data/preprocess.hpp"
 #include "data/synthetic.hpp"
@@ -210,12 +211,19 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out, "]}%s\n", i + 1 < results.size() ? "," : "");
   }
+  hdc::core::ExperimentConfig manifest_config;
+  manifest_config.extractor = extractor_config;
+  manifest_config.seed = seed;
+  manifest_config.model_budget = budget;
   std::fprintf(out,
                "  ],\n"
                "  \"hist_gbdt_fit_speedup\": %.3f,\n"
-               "  \"parity_ok\": %s\n"
+               "  \"parity_ok\": %s,\n"
+               "  \"manifest\": %s\n"
                "}\n",
-               hist_speedup, all_parity ? "true" : "false");
+               hist_speedup, all_parity ? "true" : "false",
+               hdc::bench::manifest_json(ds, "pima_m_synthetic", manifest_config)
+                   .c_str());
   std::fclose(out);
   std::printf("# wrote %s\n", out_path.c_str());
   return all_parity ? 0 : 1;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/extractor.hpp"
 #include "data/preprocess.hpp"
 #include "data/synthetic.hpp"
@@ -227,6 +228,9 @@ int main(int argc, char** argv) {
   // snapshot from the (untimed) instrumented pass.
   const auto* encode_hist = obs_snapshot.histogram("hv.encode.chunk_seconds");
   const auto* search_hist = obs_snapshot.histogram("hv.search.chunk_seconds");
+  hdc::core::ExperimentConfig manifest_config;
+  manifest_config.extractor = extractor_config;
+  manifest_config.seed = seed;
   std::fprintf(out,
                "  ],\n"
                "  \"obs\": {\n"
@@ -237,7 +241,8 @@ int main(int argc, char** argv) {
                "    \"encode_stage_seconds\": %.6f,\n"
                "    \"search_stage_seconds\": %.6f,\n"
                "    \"snapshot\": %s\n"
-               "  }\n}\n",
+               "  },\n"
+               "  \"manifest\": %s\n}\n",
                static_cast<unsigned long long>(
                    obs_snapshot.counter_value("hv.encode.rows")),
                static_cast<unsigned long long>(
@@ -247,7 +252,9 @@ int main(int argc, char** argv) {
                static_cast<long long>(obs_snapshot.gauge_max("pool.queue_depth")),
                encode_hist != nullptr ? encode_hist->sum : 0.0,
                search_hist != nullptr ? search_hist->sum : 0.0,
-               hdc::obs::to_json(obs_snapshot).c_str());
+               hdc::obs::to_json(obs_snapshot).c_str(),
+               hdc::bench::manifest_json(ds, "pima_m_synthetic", manifest_config)
+                   .c_str());
   std::fclose(out);
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;

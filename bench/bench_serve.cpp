@@ -26,6 +26,7 @@
 #include "core/serve.hpp"
 #include "hv/bit_matrix.hpp"
 #include "ml/zoo.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -123,12 +124,17 @@ int main(int argc, char** argv) {
   }
 
   // 3. Single-request latency through the Hamming predictor (the paper's
-  // deployed model): per-request timing over `reps` dataset sweeps.
+  // deployed model): per-request timing over `reps` dataset sweeps. The
+  // obs registry is on for the timed sweeps so the serve layer's own
+  // windowed latency sketch (serve.latency_seconds — what a live /metrics
+  // scrape reports) can be emitted next to the exact oracle percentiles.
   std::istringstream reload(saved.str());
   hdc::core::ServeEngine engine(hdc::core::load_bundle(reload), {});
   for (std::size_t i = 0; i < n; ++i) {
     (void)engine.classify(ds.row(i));  // warm the scratch pool + caches
   }
+  hdc::obs::reset_metrics();
+  hdc::obs::set_enabled(true);
   std::vector<double> latencies_us;
   latencies_us.reserve(n * reps);
   Timer sweep;
@@ -142,6 +148,7 @@ int main(int argc, char** argv) {
   const double sync_seconds = sweep.seconds();
   std::sort(latencies_us.begin(), latencies_us.end());
   const double p50_us = percentile(latencies_us, 0.50);
+  const double p90_us = percentile(latencies_us, 0.90);
   const double p99_us = percentile(latencies_us, 0.99);
   const double qps =
       static_cast<double>(latencies_us.size()) / std::max(sync_seconds, 1e-12);
@@ -163,7 +170,43 @@ int main(int argc, char** argv) {
   const double coalesced_qps = static_cast<double>(n * reps) /
                                std::max(coalesced_seconds, 1e-12);
 
+  // The live-telemetry view of the same load: the windowed sketch the
+  // /metrics endpoint serves must have seen every instrumented request.
+  hdc::obs::set_enabled(false);
+  const hdc::obs::MetricsSnapshot snap = hdc::obs::snapshot();
+  const hdc::obs::WindowedSample* windowed =
+      snap.windowed_sample("serve.latency_seconds");
+  if (windowed == nullptr || windowed->total_count == 0 ||
+      windowed->window_count == 0) {
+    std::fprintf(stderr,
+                 "FATAL: serve.latency_seconds windowed sketch is empty — the "
+                 "serve path stopped recording latency telemetry\n");
+    return 1;
+  }
+  std::string bounds_json;
+  std::string counts_json;
+  for (std::size_t b = 0; b < windowed->bucket_counts.size(); ++b) {
+    if (b > 0) {
+      bounds_json += ", ";
+      counts_json += ", ";
+    }
+    char buffer[64];
+    if (b < windowed->bounds.size()) {
+      std::snprintf(buffer, sizeof buffer, "%.9g", windowed->bounds[b]);
+    } else {
+      std::snprintf(buffer, sizeof buffer, "\"+Inf\"");
+    }
+    bounds_json += buffer;
+    std::snprintf(buffer, sizeof buffer, "%llu",
+                  static_cast<unsigned long long>(windowed->bucket_counts[b]));
+    counts_json += buffer;
+  }
+
   std::printf("# sync: p50=%.1fus p99=%.1fus qps=%.0f\n", p50_us, p99_us, qps);
+  std::printf("# windowed sketch: p50=%.1fus p90=%.1fus p99=%.1fus over %llu "
+              "requests\n",
+              windowed->p50 * 1e6, windowed->p90 * 1e6, windowed->p99 * 1e6,
+              static_cast<unsigned long long>(windowed->total_count));
   std::printf("# coalesced: qps=%.0f (%zu requests in %.3fs)\n", coalesced_qps,
               n * reps, coalesced_seconds);
   std::printf("# determinism: %s\n", determinism_ok ? "ok" : "FAILED");
@@ -184,14 +227,28 @@ int main(int argc, char** argv) {
                "  \"predictors\": %zu,\n"
                "  \"bundle_bytes\": %zu,\n"
                "  \"p50_us\": %.3f,\n"
+               "  \"p90_us\": %.3f,\n"
                "  \"p99_us\": %.3f,\n"
                "  \"qps\": %.1f,\n"
                "  \"coalesced_qps\": %.1f,\n"
-               "  \"determinism_ok\": true\n"
+               "  \"windowed_p50_us\": %.3f,\n"
+               "  \"windowed_p90_us\": %.3f,\n"
+               "  \"windowed_p99_us\": %.3f,\n"
+               "  \"windowed_requests\": %llu,\n"
+               "  \"latency_bucket_bounds\": [%s],\n"
+               "  \"latency_bucket_counts\": [%s],\n"
+               "  \"determinism_ok\": true,\n"
+               "  \"manifest\": %s\n"
                "}\n",
                n, setup.experiment.extractor.dimensions, reps,
-               predictors.size(), saved.str().size(), p50_us, p99_us, qps,
-               coalesced_qps);
+               predictors.size(), saved.str().size(), p50_us, p90_us, p99_us,
+               qps, coalesced_qps, windowed->p50 * 1e6, windowed->p90 * 1e6,
+               windowed->p99 * 1e6,
+               static_cast<unsigned long long>(windowed->total_count),
+               bounds_json.c_str(), counts_json.c_str(),
+               hdc::bench::manifest_json(ds, "pima_m_synthetic",
+                                         setup.experiment)
+                   .c_str());
   std::fclose(out);
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;

@@ -31,13 +31,21 @@
 // final "# serve:" line reports the request/batch counters.
 //
 // Observability (any command): --metrics-out=FILE writes the obs metrics
-// registry as JSON; --trace-out=FILE writes a Chrome trace-event JSON
-// (chrome://tracing / Perfetto) of the run's spans. Both enable the
-// corresponding recording; results are identical either way.
+// registry as JSON (with --metrics-interval MS it becomes a JSONL stream, one
+// snapshot line per interval plus a final one); --trace-out=FILE writes a
+// Chrome trace-event JSON (chrome://tracing / Perfetto) of the run's spans,
+// including cross-thread flow arrows; --stacks-out=FILE writes the same
+// spans folded into flamegraph collapsed-stack lines. `serve` additionally
+// takes --metrics-port P to expose GET /metrics (Prometheus text) and
+// /healthz on an embedded HTTP listener while it runs (P=0 picks an
+// ephemeral port, logged at startup). All of it enables the corresponding
+// recording; predictions are identical either way.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/bundle.hpp"
@@ -52,8 +60,10 @@
 #include "data/csv.hpp"
 #include "data/describe.hpp"
 #include "eval/metrics.hpp"
+#include "core/manifest.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -224,8 +234,8 @@ int cmd_predict(const hdc::data::Dataset& ds, const std::string& model_path) {
   return 0;
 }
 
-int cmd_bundle(const hdc::data::Dataset& ds, const std::string& out_path,
-               const hdc::util::Cli& cli) {
+int cmd_bundle(const hdc::data::Dataset& ds, const std::string& data_path,
+               const std::string& out_path, const hdc::util::Cli& cli) {
   hdc::core::ExtractorConfig config;
   config.dimensions = static_cast<std::size_t>(cli.get_int("--dim", 10000));
   config.seed = cli.get_uint("--seed", 2023);
@@ -257,6 +267,13 @@ int cmd_bundle(const hdc::data::Dataset& ds, const std::string& out_path,
   }
   bundle.extractor = std::move(extractor);
 
+  // Provenance rides inside the artifact: exactly which data, seeds, and
+  // runtime configuration produced these weights.
+  hdc::core::ExperimentConfig run_config;
+  run_config.extractor = config;
+  run_config.seed = config.seed;
+  bundle.manifest = hdc::core::make_run_manifest(ds, data_path, run_config);
+
   hdc::core::save_bundle_file(out_path, bundle);
   std::printf("bundled %zu patients (%zu features) -> %s\n", ds.n_rows(),
               ds.n_cols(), out_path.c_str());
@@ -273,6 +290,21 @@ int cmd_serve(const hdc::data::Dataset& ds, const std::string& bundle_path,
   config.max_batch = static_cast<std::size_t>(cli.get_int("--max-batch", 64));
   hdc::core::ServeEngine engine(hdc::core::load_bundle_file(bundle_path),
                                 config);
+
+  // --metrics-port P: live Prometheus endpoint for the duration of the run
+  // (P=0 = ephemeral; the bound port is logged at startup).
+  std::optional<hdc::obs::MetricsServer> metrics_server;
+  const int metrics_port = cli.get_int("--metrics-port", -1);
+  if (metrics_port >= 0) {
+    hdc::obs::MetricsServer::Options server_options;
+    server_options.port = static_cast<std::uint16_t>(metrics_port);
+    metrics_server.emplace(server_options);
+    if (!metrics_server->ok()) {
+      std::fprintf(stderr, "warning: metrics server failed: %s\n",
+                   metrics_server->error().c_str());
+      metrics_server.reset();
+    }
+  }
 
   std::printf("row,prediction\n");
   if (cli.has_flag("--coalesce")) {
@@ -321,15 +353,17 @@ int run_command(const hdc::util::Cli& cli) {
   if (command == "train") return cmd_train(ds, args[2], cli);
   if (command == "evaluate") return cmd_evaluate(ds, args[2]);
   if (command == "predict") return cmd_predict(ds, args[2]);
-  if (command == "bundle") return cmd_bundle(ds, args[2], cli);
+  if (command == "bundle") return cmd_bundle(ds, args[1], args[2], cli);
   if (command == "serve") return cmd_serve(ds, args[2], cli);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }
 
-/// Flush --metrics-out / --trace-out files after the command ran.
+/// Flush --metrics-out / --trace-out / --stacks-out files after the command
+/// ran. metrics_out is skipped when a JSONL writer already owns that path.
 void flush_observability(const std::string& metrics_out,
-                         const std::string& trace_out) {
+                         const std::string& trace_out,
+                         const std::string& stacks_out) {
   if (!metrics_out.empty() && !hdc::obs::write_metrics_json(metrics_out)) {
     std::fprintf(stderr, "warning: cannot write %s\n", metrics_out.c_str());
   }
@@ -343,6 +377,9 @@ void flush_observability(const std::string& metrics_out,
     } else {
       std::fprintf(stderr, "warning: cannot write %s\n", trace_out.c_str());
     }
+  }
+  if (!stacks_out.empty() && !hdc::obs::write_collapsed_stacks(stacks_out)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", stacks_out.c_str());
   }
 }
 
@@ -358,20 +395,35 @@ int main(int argc, char** argv) {
                  "       hdc_cli bundle <data.csv> <out.bundle> [--models "
                  "a,b,c] [--with-nn] [--dim N] [--seed S] [--k K]\n"
                  "       hdc_cli serve <data.csv|-> <model.bundle> [--model "
-                 "NAME] [--coalesce] [--max-batch N]\n"
+                 "NAME] [--coalesce] [--max-batch N] [--metrics-port P]\n"
                  "       hdc_cli grid <data.csv> [more.csv ...] [--kfold K] "
                  "[--models a,b,c] [--threads N] [--serial] [--budget B] "
-                 "[--dim N] [--seed S] [--metrics-out FILE] [--trace-out "
+                 "[--dim N] [--seed S]\n"
+                 "observability (any command): [--metrics-out FILE] "
+                 "[--metrics-interval MS] [--trace-out FILE] [--stacks-out "
                  "FILE]\n");
     return 2;
   }
   const std::string metrics_out = cli.get_string("--metrics-out", "");
   const std::string trace_out = cli.get_string("--trace-out", "");
+  const std::string stacks_out = cli.get_string("--stacks-out", "");
+  const int metrics_interval_ms = cli.get_int("--metrics-interval", 0);
   if (!metrics_out.empty()) hdc::obs::set_enabled(true);
-  if (!trace_out.empty()) hdc::obs::set_trace_enabled(true);
+  if (!trace_out.empty() || !stacks_out.empty()) {
+    hdc::obs::set_trace_enabled(true);
+  }
+  // --metrics-interval turns --metrics-out into a periodic JSONL stream for
+  // headless runs; the writer owns the file, so the one-shot flush is skipped.
+  std::optional<hdc::obs::SnapshotJsonlWriter> jsonl;
+  if (metrics_interval_ms > 0 && !metrics_out.empty()) {
+    jsonl.emplace(metrics_out, std::chrono::milliseconds(metrics_interval_ms));
+  }
   try {
     const int status = run_command(cli);
-    flush_observability(metrics_out, trace_out);
+    if (jsonl) {
+      jsonl->stop();
+    }
+    flush_observability(jsonl ? "" : metrics_out, trace_out, stacks_out);
     return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

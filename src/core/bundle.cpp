@@ -154,6 +154,10 @@ void save_bundle(std::ostream& out, const ModelBundle& bundle) {
     add("model:" + model->name(),
         [&](std::ostream& o) { model->save_state(o); });
   }
+  if (bundle.manifest) {
+    add("manifest",
+        [&](std::ostream& o) { save_manifest(o, *bundle.manifest); });
+  }
   if (sections.empty()) {
     throw std::logic_error("save_bundle: bundle has no fitted members");
   }
@@ -185,6 +189,8 @@ ModelBundle load_bundle(std::istream& in) {
       } else if (section.name == "nn") {
         bundle.nn = std::make_unique<nn::Sequential>();
         bundle.nn->load_state(body);
+      } else if (section.name == "manifest") {
+        bundle.manifest = load_manifest(body);
       } else if (section.name.rfind("model:", 0) == 0) {
         // make_model throws on unknown names, covering bad model sections.
         auto model = ml::make_model(section.name.substr(6));

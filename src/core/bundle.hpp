@@ -24,6 +24,7 @@
 //   online           fitted OnlineHdClassifier (integer prototypes)
 //   nn               fitted nn::Sequential
 //   model:<name>     fitted zoo model, <name> = ml::Classifier::name()
+//   manifest         core::RunManifest of the producing training run
 //
 // Every section is optional; duplicates and unknown names are errors.
 #pragma once
@@ -36,6 +37,7 @@
 
 #include "core/extractor.hpp"
 #include "core/hamming_classifier.hpp"
+#include "core/manifest.hpp"
 #include "core/online.hpp"
 #include "data/preprocess.hpp"
 #include "ml/classifier.hpp"
@@ -54,6 +56,9 @@ struct ModelBundle {
   std::unique_ptr<nn::Sequential> nn;
   /// Fitted zoo models, keyed by their Classifier::name().
   std::vector<std::unique_ptr<ml::Classifier>> models;
+  /// Provenance of the training run that produced this bundle (optional —
+  /// older bundles round-trip without it).
+  std::optional<RunManifest> manifest;
 
   /// Zoo model by exact name; nullptr when absent.
   [[nodiscard]] const ml::Classifier* find_model(std::string_view name) const;

@@ -123,10 +123,12 @@ eval::BinaryMetrics hamming_loo(const data::Dataset& ds,
 }
 
 ExperimentResult hamming_loo_observed(const data::Dataset& ds,
-                                      const ExperimentConfig& config) {
+                                      const ExperimentConfig& config,
+                                      std::string_view dataset_name) {
   ExperimentResult result;
   result.metrics = hamming_loo(ds, config);
   result.obs = obs::snapshot();
+  result.manifest = make_run_manifest(ds, dataset_name, config);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/extractor.hpp"
+#include "core/manifest.hpp"
 #include "data/dataset.hpp"
 #include "eval/cross_validation.hpp"
 #include "eval/metrics.hpp"
@@ -92,18 +93,22 @@ void fit_fold_model(ml::Classifier& model, const FoldData& fold);
 [[nodiscard]] eval::BinaryMetrics hamming_loo(const data::Dataset& ds,
                                               const ExperimentConfig& config);
 
-/// Metrics plus the obs-registry state captured when the run finished. The
-/// snapshot is pure observability output — identical metrics are produced
-/// whether obs recording is on or off.
+/// Metrics plus the obs-registry state and run provenance captured when the
+/// run finished. Snapshot and manifest are pure observability output —
+/// identical metrics are produced whether obs recording is on or off.
 struct ExperimentResult {
   eval::BinaryMetrics metrics;
   obs::MetricsSnapshot obs;
+  RunManifest manifest;
 };
 
 /// hamming_loo() plus a global-registry snapshot taken after the run (the
-/// encode / search / pool counters accumulated so far in this process).
-[[nodiscard]] ExperimentResult hamming_loo_observed(const data::Dataset& ds,
-                                                    const ExperimentConfig& config);
+/// encode / search / pool counters accumulated so far in this process) and a
+/// RunManifest recording how it was produced. `dataset_name` labels the
+/// manifest (the Dataset itself carries no name).
+[[nodiscard]] ExperimentResult hamming_loo_observed(
+    const data::Dataset& ds, const ExperimentConfig& config,
+    std::string_view dataset_name = "");
 
 struct NnProtocolResult {
   double mean_test_accuracy = 0.0;

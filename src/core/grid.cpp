@@ -1,10 +1,12 @@
 #include "core/grid.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "core/fold_cache.hpp"
+#include "core/manifest.hpp"
 #include "data/split.hpp"
 #include "ml/packed.hpp"
 #include "ml/zoo.hpp"
@@ -227,8 +229,32 @@ GridResult run_grid(std::span<const GridDatasetSpec> datasets,
   for (const std::string& model : models) {
     ml::make_model(model, config.experiment.model_budget);
   }
-  return config.scheduled ? run_grid_scheduled(datasets, config, models)
+  GridResult result = config.scheduled
+                          ? run_grid_scheduled(datasets, config, models)
                           : run_grid_serial(datasets, config, models);
+  // Provenance over the whole sweep (after the run, so the embedded obs
+  // snapshot includes the grid's own counters).
+  if (!datasets.empty()) {
+    result.manifest =
+        make_run_manifest(*datasets[0].data, datasets[0].name, config.experiment);
+    std::string names;
+    std::uint64_t hash = 0;
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    for (const GridDatasetSpec& spec : datasets) {
+      if (!names.empty()) names.push_back(',');
+      names += spec.name;
+      hash = mix_hash(hash, dataset_fingerprint(*spec.data));
+      rows += spec.data->n_rows();
+      cols = std::max<std::uint64_t>(cols, spec.data->n_cols());
+    }
+    result.manifest.dataset = std::move(names);
+    result.manifest.dataset_hash = hash;
+    result.manifest.rows = rows;
+    result.manifest.cols = cols;
+    result.manifest.threads = result.stats.workers;
+  }
+  return result;
 }
 
 }  // namespace hdc::core

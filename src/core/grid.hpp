@@ -99,6 +99,9 @@ struct GridStats {
 struct GridResult {
   std::vector<GridDatasetResult> datasets;  // in input order
   GridStats stats;
+  /// Provenance for the whole sweep: dataset names comma-joined in input
+  /// order, dataset_hash mixed across them, threads = scheduler workers.
+  RunManifest manifest;
 };
 
 /// Run the grid over `datasets`. The scheduled path runs on a dedicated

@@ -7,8 +7,10 @@
 #include "hv/bit_matrix.hpp"
 #include "hv/search.hpp"
 #include "obs/metrics.hpp"
+#include "obs/quantile.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace hdc::core {
 
@@ -16,6 +18,14 @@ namespace {
 
 parallel::ThreadPool& resolve_pool(parallel::ThreadPool* pool) {
   return pool != nullptr ? *pool : parallel::ThreadPool::global();
+}
+
+/// Streaming per-request latency for live /metrics scrapes (p50/p90/p99
+/// over the retained windows). Registered once; record() is obs-gated.
+obs::WindowedHistogram& serve_latency() {
+  static obs::WindowedHistogram& h =
+      obs::windowed_histogram("serve.latency_seconds");
+  return h;
 }
 
 }  // namespace
@@ -108,6 +118,7 @@ int ServeEngine::predict_encoded(const hv::BitVector& encoded) const {
 
 int ServeEngine::classify(std::span<const double> row) {
   obs::Span span("serve.classify");
+  const util::Timer timer;  // one clock read; negligible next to encode
   std::unique_ptr<Scratch> scratch = acquire_scratch();
   int prediction = 0;
   try {
@@ -121,6 +132,7 @@ int ServeEngine::classify(std::span<const double> row) {
   release_scratch(std::move(scratch));
   served_.fetch_add(1, std::memory_order_relaxed);
   obs::counter("serve.requests").add(1);
+  serve_latency().record(timer.seconds());
   return prediction;
 }
 
@@ -167,6 +179,7 @@ void ServeEngine::drain() {
       }
       obs::gauge("serve.queue_depth").add(-static_cast<std::int64_t>(take));
     }
+    const util::Timer batch_timer;
 
     std::unique_ptr<Scratch> scratch = acquire_scratch();
     // Encode sequentially; a bad record fails its own promise only.
@@ -220,6 +233,15 @@ void ServeEngine::drain() {
     }
     obs::counter("serve.batches").add(1);
     obs::histogram("serve.batch_size").record(static_cast<double>(batch.size()));
+    if (obs::enabled() && !batch.empty()) {
+      // Per-request share of the batch's wall time: the coalesced analogue
+      // of classify()'s latency sample.
+      const double per_request =
+          batch_timer.seconds() / static_cast<double>(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        serve_latency().record(per_request);
+      }
+    }
   }
 }
 

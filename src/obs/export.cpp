@@ -85,6 +85,39 @@ std::string to_json(const MetricsSnapshot& snapshot) {
     }
     out += "]}";
   }
+  out += "},\"windowed\":{";
+  for (std::size_t i = 0; i < snapshot.windowed.size(); ++i) {
+    const WindowedSample& w = snapshot.windowed[i];
+    if (i > 0) out.push_back(',');
+    append_json_string(out, w.name);
+    out += ":{\"p50\":";
+    append_number(out, w.p50);
+    out += ",\"p90\":";
+    append_number(out, w.p90);
+    out += ",\"p99\":";
+    append_number(out, w.p99);
+    out += ",\"window_count\":";
+    append_number(out, w.window_count);
+    out += ",\"window_sum\":";
+    append_number(out, w.window_sum);
+    out += ",\"total_count\":";
+    append_number(out, w.total_count);
+    out += ",\"total_sum\":";
+    append_number(out, w.total_sum);
+    out += ",\"span_seconds\":";
+    append_number(out, w.span_seconds);
+    out += ",\"bounds\":[";
+    for (std::size_t b = 0; b < w.bounds.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      append_number(out, w.bounds[b]);
+    }
+    out += "],\"bucket_counts\":[";
+    for (std::size_t b = 0; b < w.bucket_counts.size(); ++b) {
+      if (b > 0) out.push_back(',');
+      append_number(out, w.bucket_counts[b]);
+    }
+    out += "]}";
+  }
   out += "}}";
   return out;
 }
@@ -110,11 +143,18 @@ std::string to_text(const MetricsSnapshot& snapshot) {
                   h.name.c_str(), h.count, h.sum, mean);
     out += line;
   }
+  for (const WindowedSample& w : snapshot.windowed) {
+    std::snprintf(line, sizeof(line),
+                  "windowed   %-36s count=%-10" PRIu64
+                  " p50=%-10.4g p90=%-10.4g p99=%.4g\n",
+                  w.name.c_str(), w.window_count, w.p50, w.p90, w.p99);
+    out += line;
+  }
   return out;
 }
 
 bool write_metrics_json(const std::string& path) {
-  const std::string json = to_json(Registry::global().snapshot());
+  const std::string json = to_json(snapshot());
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
   const bool wrote = std::fwrite(json.data(), 1, json.size(), file) == json.size();

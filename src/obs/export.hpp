@@ -9,9 +9,10 @@
 
 namespace hdc::obs {
 
-/// One JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
-/// Gauges carry {"value", "max"}; histograms carry bounds, per-bucket counts,
-/// total count, and sum.
+/// One JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...},
+/// "windowed": {...}}. Gauges carry {"value", "max"}; histograms carry
+/// bounds, per-bucket counts, total count, and sum; windowed sketches carry
+/// p50/p90/p99 plus their bucket bounds and counts.
 [[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
 
 /// Aligned plain-text table (one instrument per line).

@@ -1,0 +1,131 @@
+#include "obs/exposition.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace hdc::obs {
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "NaN";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out += buf;
+}
+
+void append_type_line(std::string& out, const std::string& name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "hdc_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name);
+    append_type_line(out, name, "counter");
+    out += name;
+    out.push_back(' ');
+    append_u64(out, c.value);
+    out.push_back('\n');
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    append_type_line(out, name, "gauge");
+    out += name;
+    out.push_back(' ');
+    append_i64(out, g.value);
+    out.push_back('\n');
+    const std::string max_name = name + "_max";
+    append_type_line(out, max_name, "gauge");
+    out += max_name;
+    out.push_back(' ');
+    append_i64(out, g.max);
+    out.push_back('\n');
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    append_type_line(out, name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += b < h.bucket_counts.size() ? h.bucket_counts[b] : 0;
+      out += name;
+      out += "_bucket{le=\"";
+      append_double(out, h.bounds[b]);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out.push_back('\n');
+    }
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out.push_back('\n');
+    out += name;
+    out += "_sum ";
+    append_double(out, h.sum);
+    out.push_back('\n');
+    out += name;
+    out += "_count ";
+    append_u64(out, h.count);
+    out.push_back('\n');
+  }
+  for (const WindowedSample& w : snapshot.windowed) {
+    const std::string name = prometheus_name(w.name);
+    append_type_line(out, name, "summary");
+    static constexpr struct {
+      const char* label;
+      double q;
+    } kQuantiles[] = {{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
+    for (const auto& [label, q] : kQuantiles) {
+      out += name;
+      out += "{quantile=\"";
+      out += label;
+      out += "\"} ";
+      append_double(out, w.quantile(q));
+      out.push_back('\n');
+    }
+    out += name;
+    out += "_sum ";
+    append_double(out, w.total_sum);
+    out.push_back('\n');
+    out += name;
+    out += "_count ";
+    append_u64(out, w.total_count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace hdc::obs

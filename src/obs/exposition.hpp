@@ -1,0 +1,30 @@
+// Prometheus text exposition (format version 0.0.4) of a MetricsSnapshot.
+//
+// Mapping: Counter → counter; Gauge → gauge (plus a companion `<name>_max`
+// gauge for the high-water mark); Histogram → histogram with cumulative
+// `le`-labelled buckets, `+Inf`, `_sum` and `_count`; WindowedHistogram →
+// summary with quantile labels 0.5 / 0.9 / 0.99 over the retained windows
+// (NaN while empty, per the exposition spec) and lifetime `_sum`/`_count`.
+// Instrument names are sanitised (characters outside [a-zA-Z0-9_:] become
+// '_') and prefixed `hdc_`, so `serve.latency_seconds` scrapes as
+// `hdc_serve_latency_seconds`.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace hdc::obs {
+
+/// Content-Type for HTTP responses carrying to_prometheus() output.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Render `snapshot` in Prometheus text exposition format.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Sanitised metric name as it appears in the exposition ("hdc_" prefix,
+/// invalid characters replaced by '_'). Exposed for tests and tooling.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+}  // namespace hdc::obs

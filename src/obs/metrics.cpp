@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <deque>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <thread>
+
+#include "obs/quantile.hpp"
+#include "obs/trace.hpp"
 
 namespace hdc::obs {
 
@@ -167,6 +172,38 @@ const HistogramSample* MetricsSnapshot::histogram(std::string_view name) const n
   return nullptr;
 }
 
+const WindowedSample* MetricsSnapshot::windowed_sample(std::string_view name) const noexcept {
+  for (const WindowedSample& w : windowed) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+double WindowedSample::quantile(double q) const noexcept {
+  if (window_count == 0 || bucket_counts.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(window_count);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < bucket_counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(bucket_counts[b]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      // Linear interpolation between the bucket's edges; the overflow
+      // bucket has no upper edge, so report its lower edge.
+      const double lower = b == 0 ? 0.0 : bounds[b - 1];
+      if (b >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double upper = bounds[b];
+      const double fraction =
+          std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 // -- Registry -----------------------------------------------------------
 
 struct Registry::Impl {
@@ -175,9 +212,11 @@ struct Registry::Impl {
   std::deque<Counter> counters;
   std::deque<Gauge> gauges;
   std::deque<Histogram> histograms;
+  std::deque<WindowedHistogram> windowed;
   std::map<std::string, Counter*, std::less<>> counter_by_name;
   std::map<std::string, Gauge*, std::less<>> gauge_by_name;
   std::map<std::string, Histogram*, std::less<>> histogram_by_name;
+  std::map<std::string, WindowedHistogram*, std::less<>> windowed_by_name;
 };
 
 Registry::Registry() : impl_(new Impl) {}
@@ -224,6 +263,19 @@ Histogram& Registry::histogram(std::string_view name, std::span<const double> bo
   return created;
 }
 
+WindowedHistogram& Registry::windowed_histogram(std::string_view name,
+                                                const WindowedOptions& options) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (const auto it = impl_->windowed_by_name.find(name);
+      it != impl_->windowed_by_name.end()) {
+    return *it->second;
+  }
+  WindowedHistogram& created =
+      impl_->windowed.emplace_back(std::string(name), options);
+  impl_->windowed_by_name.emplace(created.name(), &created);
+  return created;
+}
+
 MetricsSnapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   MetricsSnapshot snap;
@@ -240,6 +292,10 @@ MetricsSnapshot Registry::snapshot() const {
     snap.histograms.push_back(
         {h.name(), h.bounds(), h.bucket_counts(), h.count(), h.sum()});
   }
+  snap.windowed.reserve(impl_->windowed.size());
+  for (const WindowedHistogram& w : impl_->windowed) {
+    snap.windowed.push_back(w.sample());
+  }
   return snap;
 }
 
@@ -248,6 +304,7 @@ void Registry::reset() {
   for (Counter& c : impl_->counters) c.reset();
   for (Gauge& g : impl_->gauges) g.reset();
   for (Histogram& h : impl_->histograms) h.reset();
+  for (WindowedHistogram& w : impl_->windowed) w.reset();
 }
 
 Counter& counter(std::string_view name) { return Registry::global().counter(name); }
@@ -255,7 +312,16 @@ Gauge& gauge(std::string_view name) { return Registry::global().gauge(name); }
 Histogram& histogram(std::string_view name, std::span<const double> bounds) {
   return Registry::global().histogram(name, bounds);
 }
-MetricsSnapshot snapshot() { return Registry::global().snapshot(); }
+MetricsSnapshot snapshot() {
+  MetricsSnapshot snap = Registry::global().snapshot();
+  // Trace ring-buffer health rides along as synthetic gauges so overflow is
+  // visible in every snapshot / scrape instead of silently counted.
+  const auto buffered = static_cast<std::int64_t>(trace_event_count());
+  const auto dropped = static_cast<std::int64_t>(trace_dropped_count());
+  snap.gauges.push_back({"trace.buffered_events", buffered, buffered});
+  snap.gauges.push_back({"trace.dropped_events", dropped, dropped});
+  return snap;
+}
 void reset_metrics() { Registry::global().reset(); }
 
 }  // namespace hdc::obs

@@ -135,6 +135,10 @@ class Histogram {
 /// Exponential latency boundaries in seconds: 1 µs .. ~8.4 s, ×2 per bucket.
 [[nodiscard]] std::span<const double> default_latency_bounds() noexcept;
 
+/// Windowed-quantile sketch over rotating time windows; see obs/quantile.hpp.
+class WindowedHistogram;
+struct WindowedOptions;
+
 // -- Snapshot -----------------------------------------------------------
 
 struct CounterSample {
@@ -156,16 +160,39 @@ struct HistogramSample {
   double sum = 0.0;
 };
 
+/// Aggregate of a WindowedHistogram's retained windows. Quantiles are NaN
+/// when the windows are empty; lifetime totals keep accumulating across
+/// rotations.
+struct WindowedSample {
+  std::string name;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::uint64_t window_count = 0;  // events inside the retained windows
+  double window_sum = 0.0;
+  std::uint64_t total_count = 0;   // lifetime events
+  double total_sum = 0.0;
+  double span_seconds = 0.0;       // windows * window_ns of history
+  std::vector<double> bounds;      // bucket upper edges (log-spaced)
+  std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1, aggregated
+
+  /// Streaming quantile estimate over the aggregated buckets (NaN when
+  /// window_count == 0). p50/p90/p99 above are quantile(0.5/0.9/0.99).
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
 /// Point-in-time copy of every registered instrument, in registration order.
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<WindowedSample> windowed;
 
   /// Counter value by name (0 if absent) — convenience for tests/benches.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const noexcept;
   [[nodiscard]] std::int64_t gauge_max(std::string_view name) const noexcept;
   [[nodiscard]] const HistogramSample* histogram(std::string_view name) const noexcept;
+  [[nodiscard]] const WindowedSample* windowed_sample(std::string_view name) const noexcept;
 };
 
 // -- Registry -----------------------------------------------------------
@@ -181,6 +208,10 @@ class Registry {
   /// Empty bounds = default_latency_bounds(). Bounds are fixed at first
   /// registration; later calls with the same name ignore them.
   Histogram& histogram(std::string_view name, std::span<const double> bounds = {});
+  /// Windowed-quantile sketch (obs/quantile.hpp); options fixed at first
+  /// registration, like histogram bounds.
+  WindowedHistogram& windowed_histogram(std::string_view name,
+                                        const WindowedOptions& options);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
   /// Zero every instrument (names stay registered).

@@ -1,0 +1,152 @@
+#include "obs/quantile.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+namespace hdc::obs {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void cas_add_double(std::atomic<std::uint64_t>& bits, double delta) noexcept {
+  std::uint64_t seen = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next =
+        std::bit_cast<std::uint64_t>(std::bit_cast<double>(seen) + delta);
+    if (bits.compare_exchange_weak(seen, next, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+WindowedHistogram::WindowedHistogram(std::string name, const WindowedOptions& options)
+    : name_(std::move(name)), options_(options) {
+  if (options_.min_value <= 0.0) options_.min_value = 1e-6;
+  if (options_.buckets == 0) options_.buckets = 1;
+  if (options_.window_ns == 0) options_.window_ns = 1'000'000'000ULL;
+  if (options_.windows < 2) options_.windows = 2;
+  n_buckets_ = options_.buckets + 2;
+  const std::size_t n_windows = options_.windows;
+  epochs_.reset(new std::atomic<std::uint64_t>[n_windows]);
+  window_counts_.reset(new std::atomic<std::uint64_t>[n_windows]);
+  window_sum_bits_.reset(new std::atomic<std::uint64_t>[n_windows]);
+  cells_.reset(new std::atomic<std::uint64_t>[n_windows * kShards * n_buckets_]);
+  for (std::size_t w = 0; w < n_windows; ++w) {
+    epochs_[w] = 0;
+    window_counts_[w] = 0;
+    window_sum_bits_[w] = std::bit_cast<std::uint64_t>(0.0);
+  }
+  for (std::size_t i = 0; i < n_windows * kShards * n_buckets_; ++i) cells_[i] = 0;
+}
+
+std::size_t WindowedHistogram::bucket_index(double value) const noexcept {
+  if (!(value > options_.min_value)) return 0;  // NaN and <= min land in 0
+  // bucket b covers (min*2^(b-1), min*2^b]; overflow is the last bucket.
+  const double ratio = value / options_.min_value;
+  const int exp = static_cast<int>(std::ceil(std::log2(ratio)));
+  if (exp < 1) return 1;
+  const std::size_t b = static_cast<std::size_t>(exp);
+  return std::min(b, n_buckets_ - 1);
+}
+
+void WindowedHistogram::rotate_slot(std::size_t slot) noexcept {
+  // Called after winning the epoch CAS: clear the slot's cells for reuse.
+  // Records racing the rotation may land in the cleared window or vanish
+  // with it — bounded telemetry slop at the window boundary, never a race.
+  window_counts_[slot].store(0, std::memory_order_relaxed);
+  window_sum_bits_[slot].store(std::bit_cast<std::uint64_t>(0.0),
+                               std::memory_order_relaxed);
+  std::atomic<std::uint64_t>* base = cells_.get() + slot * kShards * n_buckets_;
+  for (std::size_t i = 0; i < kShards * n_buckets_; ++i) {
+    base[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void WindowedHistogram::record(double value) noexcept {
+  if (!enabled()) return;
+  // Epoch tag is epoch + 1 so 0 unambiguously means "never written".
+  const std::uint64_t epoch = now_ns() / options_.window_ns + 1;
+  const std::size_t slot = static_cast<std::size_t>(epoch % options_.windows);
+  std::uint64_t tag = epochs_[slot].load(std::memory_order_relaxed);
+  if (tag != epoch) {
+    if (epochs_[slot].compare_exchange_strong(tag, epoch,
+                                              std::memory_order_relaxed)) {
+      rotate_slot(slot);
+    }
+    // Losing the CAS means another thread rotated (or a record from a past
+    // epoch arrived late); either way the slot now belongs to some epoch
+    // and we record into it.
+  }
+  const std::size_t bucket = bucket_index(value);
+  cells_[(slot * kShards + detail::shard_index()) * n_buckets_ + bucket]
+      .fetch_add(1, std::memory_order_relaxed);
+  window_counts_[slot].fetch_add(1, std::memory_order_relaxed);
+  cas_add_double(window_sum_bits_[slot], value);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+  cas_add_double(total_sum_bits_, value);
+}
+
+WindowedSample WindowedHistogram::sample() const {
+  WindowedSample out;
+  out.name = name_;
+  out.total_count = total_count_.load(std::memory_order_relaxed);
+  out.total_sum =
+      std::bit_cast<double>(total_sum_bits_.load(std::memory_order_relaxed));
+  out.span_seconds = static_cast<double>(options_.windows) *
+                     static_cast<double>(options_.window_ns) * 1e-9;
+  out.bounds.resize(n_buckets_ - 1);
+  double edge = options_.min_value;
+  for (std::size_t b = 0; b + 1 < n_buckets_; ++b) {
+    out.bounds[b] = edge;
+    edge *= 2.0;
+  }
+  out.bucket_counts.assign(n_buckets_, 0);
+  const std::uint64_t current_epoch = now_ns() / options_.window_ns + 1;
+  const std::uint64_t oldest_valid =
+      current_epoch >= options_.windows ? current_epoch - options_.windows + 1 : 1;
+  for (std::size_t w = 0; w < options_.windows; ++w) {
+    const std::uint64_t tag = epochs_[w].load(std::memory_order_relaxed);
+    if (tag == 0 || tag < oldest_valid || tag > current_epoch) continue;
+    out.window_count += window_counts_[w].load(std::memory_order_relaxed);
+    out.window_sum += std::bit_cast<double>(
+        window_sum_bits_[w].load(std::memory_order_relaxed));
+    const std::atomic<std::uint64_t>* base =
+        cells_.get() + w * kShards * n_buckets_;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      for (std::size_t b = 0; b < n_buckets_; ++b) {
+        out.bucket_counts[b] += base[s * n_buckets_ + b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  out.p50 = out.quantile(0.50);
+  out.p90 = out.quantile(0.90);
+  out.p99 = out.quantile(0.99);
+  return out;
+}
+
+void WindowedHistogram::reset() noexcept {
+  for (std::size_t w = 0; w < options_.windows; ++w) {
+    epochs_[w].store(0, std::memory_order_relaxed);
+    rotate_slot(w);
+  }
+  total_count_.store(0, std::memory_order_relaxed);
+  total_sum_bits_.store(std::bit_cast<std::uint64_t>(0.0),
+                        std::memory_order_relaxed);
+}
+
+WindowedHistogram& windowed_histogram(std::string_view name,
+                                      const WindowedOptions& options) {
+  return Registry::global().windowed_histogram(name, options);
+}
+
+}  // namespace hdc::obs

@@ -1,0 +1,93 @@
+// obs::WindowedHistogram — streaming latency quantiles over rotating time
+// windows.
+//
+// A fixed-bucket obs::Histogram accumulates forever, so its distribution is
+// dominated by ancient samples; a long-running serve process wants "p99 over
+// the last minute". WindowedHistogram keeps `windows` log-bucketed sketches,
+// each covering `window_ns` of wall time; record() lands in the window of
+// the current epoch (rotating a stale slot in place, so memory is bounded at
+// windows x shards x buckets cells forever), and sample() aggregates the
+// retained windows into streaming p50/p90/p99 estimates.
+//
+// Buckets are exponential: bucket 0 holds values <= min_value, bucket b
+// holds (min_value*2^(b-1), min_value*2^b], plus one overflow bucket — so a
+// quantile estimate is within one 2x bucket of the exact order statistic
+// (linear interpolation inside the bucket tightens typical error well below
+// that bound; obs_quantile_test pins the envelope against an exact oracle).
+//
+// Recording follows the same discipline as Counter/Histogram: sharded
+// relaxed atomics (no locks, no cache-line ping-pong), gated on the same
+// obs::enabled() flag, compiled out with -DHDC_OBS_DISABLE, and never
+// feeding back into any computation. Window rotation is approximate at the
+// boundary: a record racing the thread that rotates a slot may land in the
+// cleared window or be discarded with it — bounded telemetry slop, never a
+// data race (every cell is atomic). Lifetime count/sum are exact.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace hdc::obs {
+
+struct WindowedOptions {
+  /// Upper edge of the first bucket; every later edge doubles.
+  double min_value = 1e-6;
+  /// Log buckets above min_value (plus an implicit overflow bucket).
+  /// 36 doubling buckets span 1 µs .. ~19 h of latency.
+  std::size_t buckets = 36;
+  /// Wall-time covered by one window before it rotates.
+  std::uint64_t window_ns = 15'000'000'000ULL;
+  /// Windows retained; quantiles aggregate over windows * window_ns of
+  /// history. Must be >= 2 (the current window is always partial).
+  std::size_t windows = 4;
+};
+
+class WindowedHistogram {
+ public:
+  /// Create through Registry::windowed_histogram(); public for emplace.
+  WindowedHistogram(std::string name, const WindowedOptions& options);
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  /// Record one value (seconds for latency instruments) into the current
+  /// window. Lock-free; a single relaxed load when recording is off.
+  void record(double value) noexcept;
+
+  /// Aggregate the retained windows into a point-in-time sample.
+  [[nodiscard]] WindowedSample sample() const;
+
+  /// Zero every window and the lifetime totals (name stays registered).
+  void reset() noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const WindowedOptions& options() const noexcept { return options_; }
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double value) const noexcept;
+  void rotate_slot(std::size_t slot) noexcept;
+
+  std::string name_;
+  WindowedOptions options_;
+  std::size_t n_buckets_;  // options_.buckets + 2 (underflow-at-min + overflow)
+  // Per-window epoch tag (epoch + 1; 0 = never written) and per-window
+  // exact count/sum for the aggregate sample.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> epochs_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> window_counts_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> window_sum_bits_;
+  // windows x kShards x n_buckets_ cells, window-major then shard-major.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;
+  std::atomic<std::uint64_t> total_count_{0};
+  std::atomic<std::uint64_t> total_sum_bits_{0};
+};
+
+/// Global-registry convenience, mirroring counter()/histogram(). Options are
+/// fixed at first registration; later calls with the same name ignore them.
+[[nodiscard]] WindowedHistogram& windowed_histogram(std::string_view name,
+                                                    const WindowedOptions& options = {});
+
+}  // namespace hdc::obs

@@ -1,0 +1,203 @@
+#include "obs/telemetry.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/export.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace hdc::obs {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;  // peer went away — nothing useful to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+// -- MetricsServer -------------------------------------------------------
+
+MetricsServer::MetricsServer(const Options& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "invalid host: " + options.host;
+    ::close(fd);
+    return;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  if (::listen(fd, 16) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { accept_loop(); });
+  util::log_fields(util::LogLevel::kInfo, "obs: metrics server listening",
+                   {{"host", options.host}, {"port", std::to_string(port_)}});
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::stop() {
+  if (listen_fd_ < 0) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() wakes the blocking accept(); the loop then sees the error
+  // and exits. close() afterwards releases the fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsServer::accept_loop() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or unrecoverable) — exit the thread
+    }
+    // Read the request head; we only need the request line. A scraper
+    // sends a few hundred bytes at most, so one bounded read suffices.
+    char buf[2048];
+    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    if (n > 0) {
+      buf[n] = '\0';
+      const std::string_view head(buf, static_cast<std::size_t>(n));
+      std::string response;
+      if (head.starts_with("GET /metrics ") || head.starts_with("GET /metrics?")) {
+        response = http_response("200 OK", kPrometheusContentType,
+                                 to_prometheus(snapshot()));
+      } else if (head.starts_with("GET /healthz ")) {
+        response = http_response("200 OK", "text/plain; charset=utf-8", "ok\n");
+      } else if (head.starts_with("GET ")) {
+        response = http_response("404 Not Found", "text/plain; charset=utf-8",
+                                 "not found\n");
+      } else {
+        response = http_response("405 Method Not Allowed",
+                                 "text/plain; charset=utf-8",
+                                 "only GET is supported\n");
+      }
+      send_all(client, response);
+    }
+    ::shutdown(client, SHUT_RDWR);
+    ::close(client);
+  }
+}
+
+// -- SnapshotJsonlWriter -------------------------------------------------
+
+SnapshotJsonlWriter::SnapshotJsonlWriter(std::string path,
+                                         std::chrono::milliseconds interval)
+    : path_(std::move(path)),
+      interval_(interval < std::chrono::milliseconds(1)
+                    ? std::chrono::milliseconds(1)
+                    : interval) {
+  // Truncate up front so one run yields one file; the loop appends.
+  std::FILE* file = std::fopen(path_.c_str(), "w");
+  if (file == nullptr) {
+    util::log_fields(util::LogLevel::kWarn, "obs: cannot open metrics JSONL",
+                     {{"path", path_}});
+    return;
+  }
+  std::fclose(file);
+  ok_ = true;
+  thread_ = std::thread([this] { writer_loop(); });
+}
+
+SnapshotJsonlWriter::~SnapshotJsonlWriter() { stop(); }
+
+std::size_t SnapshotJsonlWriter::lines_written() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void SnapshotJsonlWriter::stop() {
+  if (!ok_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Already stopped; just make sure the thread is joined.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void SnapshotJsonlWriter::writer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) break;
+    lock.unlock();
+    append_snapshot_line();
+    lock.lock();
+  }
+  lock.unlock();
+  append_snapshot_line();  // final flush so short runs still record one line
+}
+
+void SnapshotJsonlWriter::append_snapshot_line() {
+  const auto unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  std::string line = "{\"unix_ms\":";
+  line += std::to_string(unix_ms);
+  line += ",\"metrics\":";
+  line += to_json(snapshot());
+  line += "}\n";
+  std::FILE* file = std::fopen(path_.c_str(), "a");
+  if (file == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file);
+  std::fclose(file);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++lines_;
+}
+
+}  // namespace hdc::obs

@@ -1,0 +1,95 @@
+// Live telemetry endpoints for long-running processes (`hdc_cli serve`).
+//
+// MetricsServer is a deliberately minimal embedded HTTP/1.1 listener: one
+// blocking accept loop on its own thread, serving exactly GET /metrics
+// (Prometheus text exposition of the global registry snapshot) and GET
+// /healthz ("ok"). No keep-alive, no TLS, no routing table — a scrape
+// target, not a web framework. Binding 127.0.0.1:0 picks an ephemeral port
+// (reported by port()) so tests never collide. stop() shuts the listen
+// socket down and joins the thread; the destructor stops implicitly.
+//
+// SnapshotJsonlWriter covers headless runs with no scraper: a background
+// thread appends one JSON line per interval — {"unix_ms":...,"metrics":{...}}
+// — to a file, plus a final line on stop, so a run's telemetry trajectory
+// survives the process.
+//
+// Both are observability-only: they read snapshots, never influence any
+// computation, and serving while recording is off simply exposes zeros.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace hdc::obs {
+
+class MetricsServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral, see port()
+  };
+
+  /// Binds and starts the accept thread. On failure ok() is false and
+  /// error() describes why (the process keeps running — telemetry must
+  /// never take down serving).
+  explicit MetricsServer(const Options& options);
+  MetricsServer() : MetricsServer(Options{}) {}
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  /// Actual bound port (resolves ephemeral 0); 0 when !ok().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Idempotent: shut down the listener and join the accept thread.
+  void stop();
+
+ private:
+  void accept_loop();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+  std::thread thread_;
+};
+
+class SnapshotJsonlWriter {
+ public:
+  /// Appends a snapshot line to `path` every `interval`, and once more on
+  /// stop. On open failure ok() is false and no thread is started.
+  SnapshotJsonlWriter(std::string path, std::chrono::milliseconds interval);
+  ~SnapshotJsonlWriter();
+
+  SnapshotJsonlWriter(const SnapshotJsonlWriter&) = delete;
+  SnapshotJsonlWriter& operator=(const SnapshotJsonlWriter&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// Lines written so far (including the final flush after stop()).
+  [[nodiscard]] std::size_t lines_written() const noexcept;
+
+  /// Idempotent: write the final snapshot line and join the writer thread.
+  void stop();
+
+ private:
+  void writer_loop();
+  void append_snapshot_line();
+
+  std::string path_;
+  std::chrono::milliseconds interval_;
+  bool ok_ = false;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::size_t lines_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace hdc::obs

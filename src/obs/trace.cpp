@@ -1,12 +1,16 @@
 #include "obs/trace.hpp"
 
 #include "obs/metrics.hpp"  // kCompiledIn
+#include "util/log.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace hdc::obs {
@@ -14,6 +18,13 @@ namespace hdc::obs {
 namespace {
 
 std::atomic<bool> g_trace_enabled{false};
+
+// Process-unique ids for spans and flows (0 = "none").
+std::atomic<std::uint64_t> g_next_id{1};
+
+// Innermost active span on this thread; tasks adopt a submitter's span via
+// ContextGuard so the chain crosses thread boundaries.
+thread_local std::uint64_t t_current_span = 0;
 
 std::uint64_t now_ns() noexcept {
   using Clock = std::chrono::steady_clock;
@@ -23,10 +34,15 @@ std::uint64_t now_ns() noexcept {
           .count());
 }
 
+enum class EventKind : std::uint8_t { kComplete, kFlowStart, kFlowEnd };
+
 struct TraceEvent {
   const char* name;
   std::uint64_t begin_ns;
-  std::uint64_t dur_ns;
+  std::uint64_t dur_ns;   // 0 for flow events
+  std::uint64_t span;     // complete: span id; flow: flow id
+  std::uint64_t parent;   // complete only: enclosing span id (0 = root)
+  EventKind kind;
 };
 
 // Per-thread buffer; the mutex is uncontended on the hot path (only the
@@ -63,14 +79,14 @@ TraceBuffer& local_buffer() {
   return *buffer;
 }
 
-void record_event(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+void record_event(const TraceEvent& event) {
   TraceBuffer& buffer = local_buffer();
   std::lock_guard<std::mutex> lock(buffer.mutex);
   if (buffer.events.size() >= kTraceCapacity) {
     ++buffer.dropped;
     return;
   }
-  buffer.events.push_back({name, begin_ns, end_ns - begin_ns});
+  buffer.events.push_back(event);
 }
 
 void append_json_escaped(std::string& out, const char* s) {
@@ -104,11 +120,44 @@ Span::Span(const char* name) noexcept {
   if (!trace_enabled()) return;
   name_ = name;
   begin_ns_ = now_ns();
+  id_ = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
 }
 
 Span::~Span() {
   if (name_ == nullptr) return;
-  record_event(name_, begin_ns_, now_ns());
+  t_current_span = parent_;
+  record_event({name_, begin_ns_, now_ns() - begin_ns_, id_, parent_,
+                EventKind::kComplete});
+}
+
+SpanContext current_span_context() noexcept {
+  if constexpr (!kCompiledIn) return {};
+  return {t_current_span};
+}
+
+ContextGuard::ContextGuard(SpanContext context) noexcept {
+  if constexpr (!kCompiledIn) return;
+  saved_ = t_current_span;
+  t_current_span = context.span_id;
+}
+
+ContextGuard::~ContextGuard() {
+  if constexpr (!kCompiledIn) return;
+  t_current_span = saved_;
+}
+
+std::uint64_t flow_begin(const char* name) noexcept {
+  if (!trace_enabled()) return 0;
+  const std::uint64_t id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  record_event({name, now_ns(), 0, id, t_current_span, EventKind::kFlowStart});
+  return id;
+}
+
+void flow_end(const char* name, std::uint64_t id) noexcept {
+  if (id == 0 || !trace_enabled()) return;
+  record_event({name, now_ns(), 0, id, t_current_span, EventKind::kFlowEnd});
 }
 
 std::size_t trace_event_count() {
@@ -146,7 +195,8 @@ void clear_trace() {
 std::string chrome_trace_json() {
   // Complete events ("ph":"X") carry begin + duration in microseconds, so
   // span nesting is expressed by interval containment — no begin/end pairing
-  // for viewers to lose.
+  // for viewers to lose. Flow events ("ph":"s"/"f") share an "id" and draw
+  // the submit→execute arrow across threads.
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   BufferRegistry& registry = buffer_registry();
@@ -156,14 +206,35 @@ std::string chrome_trace_json() {
     for (const TraceEvent& event : buffer->events) {
       if (!first) out.push_back(',');
       first = false;
-      char fields[160];
+      char fields[224];
       out += "{\"name\":\"";
       append_json_escaped(out, event.name);
-      std::snprintf(fields, sizeof(fields),
-                    "\",\"cat\":\"hdc\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                    "\"pid\":1,\"tid\":%u}",
-                    static_cast<double>(event.begin_ns) / 1e3,
-                    static_cast<double>(event.dur_ns) / 1e3, buffer->tid);
+      switch (event.kind) {
+        case EventKind::kComplete:
+          std::snprintf(fields, sizeof(fields),
+                        "\",\"cat\":\"hdc\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                        "\"pid\":1,\"tid\":%u,\"args\":{\"span\":%llu,"
+                        "\"parent\":%llu}}",
+                        static_cast<double>(event.begin_ns) / 1e3,
+                        static_cast<double>(event.dur_ns) / 1e3, buffer->tid,
+                        static_cast<unsigned long long>(event.span),
+                        static_cast<unsigned long long>(event.parent));
+          break;
+        case EventKind::kFlowStart:
+          std::snprintf(fields, sizeof(fields),
+                        "\",\"cat\":\"flow\",\"ph\":\"s\",\"ts\":%.3f,"
+                        "\"pid\":1,\"tid\":%u,\"id\":%llu}",
+                        static_cast<double>(event.begin_ns) / 1e3, buffer->tid,
+                        static_cast<unsigned long long>(event.span));
+          break;
+        case EventKind::kFlowEnd:
+          std::snprintf(fields, sizeof(fields),
+                        "\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+                        "\"ts\":%.3f,\"pid\":1,\"tid\":%u,\"id\":%llu}",
+                        static_cast<double>(event.begin_ns) / 1e3, buffer->tid,
+                        static_cast<unsigned long long>(event.span));
+          break;
+      }
       out += fields;
     }
   }
@@ -172,10 +243,86 @@ std::string chrome_trace_json() {
 }
 
 bool write_chrome_trace(const std::string& path) {
+  const std::size_t dropped = trace_dropped_count();
+  if (dropped > 0) {
+    util::log_fields(util::LogLevel::kWarn,
+                     "obs: trace ring buffers overflowed; events were dropped",
+                     {{"dropped", std::to_string(dropped)},
+                      {"capacity_per_thread", std::to_string(kTraceCapacity)}});
+  }
   const std::string json = chrome_trace_json();
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
   const bool wrote = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  const bool closed = std::fclose(file) == 0;
+  return wrote && closed;
+}
+
+std::string collapsed_stacks() {
+  // Gather every complete event, then fold each span's parent chain into a
+  // root;...;leaf line weighted by self-time (duration minus the durations
+  // of direct children). Ids are process-unique, so chains cross threads.
+  struct Node {
+    const char* name;
+    std::uint64_t dur_ns;
+    std::uint64_t parent;
+    std::uint64_t child_ns = 0;
+  };
+  std::unordered_map<std::uint64_t, Node> nodes;
+  {
+    BufferRegistry& registry = buffer_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const auto& buffer : registry.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      for (const TraceEvent& event : buffer->events) {
+        if (event.kind != EventKind::kComplete || event.span == 0) continue;
+        nodes.emplace(event.span,
+                      Node{event.name, event.dur_ns, event.parent});
+      }
+    }
+  }
+  for (const auto& [id, node] : nodes) {
+    if (node.parent == 0) continue;
+    if (const auto it = nodes.find(node.parent); it != nodes.end()) {
+      it->second.child_ns += node.dur_ns;
+    }
+  }
+  std::map<std::string, std::uint64_t> folded;
+  for (const auto& [id, node] : nodes) {
+    const std::uint64_t self_ns =
+        node.dur_ns > node.child_ns ? node.dur_ns - node.child_ns : 0;
+    if (self_ns == 0) continue;
+    // Walk root-ward, then reverse; depth-capped as a cycle backstop.
+    std::vector<const char*> chain{node.name};
+    std::uint64_t cursor = node.parent;
+    for (int depth = 0; cursor != 0 && depth < 64; ++depth) {
+      const auto it = nodes.find(cursor);
+      if (it == nodes.end()) break;  // parent dropped to overflow
+      chain.push_back(it->second.name);
+      cursor = it->second.parent;
+    }
+    std::string line;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (!line.empty()) line.push_back(';');
+      line += *it;
+    }
+    folded[line] += self_ns;
+  }
+  std::string out;
+  for (const auto& [stack, weight] : folded) {
+    out += stack;
+    out.push_back(' ');
+    out += std::to_string(weight);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool write_collapsed_stacks(const std::string& path) {
+  const std::string text = collapsed_stacks();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), file) == text.size();
   const bool closed = std::fclose(file) == 0;
   return wrote && closed;
 }

@@ -32,6 +32,11 @@ struct TaskGraph::Task {
   bool queued = false;      // currently sitting in some worker deque
   bool done = false;
   std::vector<TaskId> children;
+  // Trace causality, captured at add(): the submitter's span becomes the
+  // parent of this task's span, and the flow id links add → execute with a
+  // Chrome flow arrow. Both are 0 when tracing was off at add time.
+  obs::SpanContext trace_parent{};
+  std::uint64_t trace_flow = 0;
 };
 
 struct TaskGraph::RunState {
@@ -112,6 +117,10 @@ TaskGraph::TaskId TaskGraph::add(const char* name, std::function<void()> fn,
     Task& task = tasks_.back();
     task.name = name;
     task.fn = std::move(fn);
+    if (obs::trace_enabled()) {
+      task.trace_parent = obs::current_span_context();
+      task.trace_flow = obs::flow_begin("graph.submit");
+    }
     for (const TaskId dep : deps) {
       if (!tasks_[dep].done) {
         tasks_[dep].children.push_back(id);
@@ -152,17 +161,26 @@ void TaskGraph::execute(RunState* state, std::size_t worker, TaskId id) {
     std::lock_guard<std::mutex> lock(mutex_);
     task = &tasks_[id];  // deque addresses are stable across add()
   }
-  if (obs::enabled()) {
-    GraphMetrics& metrics = GraphMetrics::get();
-    util::Timer timer;
-    {
+  {
+    // Adopt the submitter's span as parent and close the flow arrow before
+    // opening this task's span, so the span parents across the thread
+    // boundary. The Span itself is trace-gated, so this also covers the
+    // trace-on / metrics-off configuration.
+    obs::ContextGuard context_guard(task->trace_parent);
+    obs::flow_end("graph.submit", task->trace_flow);
+    if (obs::enabled()) {
+      GraphMetrics& metrics = GraphMetrics::get();
+      util::Timer timer;
+      {
+        obs::Span span(task->name);
+        task->fn();
+      }
+      metrics.task_seconds.record(timer.seconds());
+      metrics.executed.increment();
+    } else {
       obs::Span span(task->name);
       task->fn();
     }
-    metrics.task_seconds.record(timer.seconds());
-    metrics.executed.increment();
-  } else {
-    task->fn();
   }
   executed_.fetch_add(1, std::memory_order_relaxed);
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace hdc::parallel {
@@ -49,6 +50,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (obs::trace_enabled()) {
+    // Capture the submitter's span context and open a flow arrow, so the
+    // worker-side execution parents back to (and is visually linked with)
+    // the code that scheduled it.
+    const obs::SpanContext context = obs::current_span_context();
+    const std::uint64_t flow = obs::flow_begin("pool.submit");
+    task = [context, flow, inner = std::move(task)] {
+      obs::ContextGuard guard(context);
+      obs::flow_end("pool.submit", flow);
+      obs::Span span("pool.task");
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));

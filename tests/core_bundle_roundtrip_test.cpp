@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "core/bundle.hpp"
+#include "core/experiment.hpp"
 #include "core/extractor.hpp"
 #include "core/hamming_classifier.hpp"
 #include "core/online.hpp"
@@ -299,6 +300,92 @@ TEST(BundleFullRoundTrip, FileRoundTrip) {
   const ModelBundle loaded = hdc::core::load_bundle_file(path);
   ASSERT_TRUE(loaded.extractor.has_value());
   EXPECT_EQ(loaded.extractor->encode_row(g.ds.row(0)), g.vectors[0]);
+  // No manifest section was written, and none is invented on load.
+  EXPECT_FALSE(loaded.manifest.has_value());
+}
+
+TEST(BundleManifestRoundTrip, EveryFieldSurvives) {
+  const Golden& g = golden_pima();
+  ModelBundle bundle;
+  bundle.extractor = clone_extractor(g.extractor);
+
+  hdc::core::RunManifest manifest;
+  manifest.dataset = "pima_m,sylhet";  // grid-style joined names
+  manifest.dataset_hash = 0xdeadbeefcafef00dULL;
+  manifest.rows = 90;
+  manifest.cols = 9;
+  manifest.dimensions = 512;
+  manifest.extractor_seed = 99;
+  manifest.split_seed = 7;
+  manifest.simd_tier = "avx2";
+  manifest.threads = 4;
+  manifest.hardware_threads = 8;
+  manifest.packed_ml = true;
+  manifest.fold_cache = true;
+  manifest.obs_enabled = true;
+  manifest.trace_enabled = false;
+  manifest.obs_json = "{\"counters\":{\"experiment.folds\":10}}";
+  bundle.manifest = manifest;
+
+  std::ostringstream first;
+  save_bundle(first, bundle);
+  std::istringstream stored(first.str());
+  const ModelBundle loaded = load_bundle(stored);
+
+  // String oracle: re-saving reproduces the bytes, manifest section included.
+  std::ostringstream second;
+  save_bundle(second, loaded);
+  EXPECT_EQ(second.str(), first.str());
+
+  ASSERT_TRUE(loaded.manifest.has_value());
+  const hdc::core::RunManifest& m = *loaded.manifest;
+  EXPECT_EQ(m.dataset, manifest.dataset);
+  EXPECT_EQ(m.dataset_hash, manifest.dataset_hash);
+  EXPECT_EQ(m.rows, manifest.rows);
+  EXPECT_EQ(m.cols, manifest.cols);
+  EXPECT_EQ(m.dimensions, manifest.dimensions);
+  EXPECT_EQ(m.extractor_seed, manifest.extractor_seed);
+  EXPECT_EQ(m.split_seed, manifest.split_seed);
+  EXPECT_EQ(m.simd_tier, manifest.simd_tier);
+  EXPECT_EQ(m.threads, manifest.threads);
+  EXPECT_EQ(m.hardware_threads, manifest.hardware_threads);
+  EXPECT_EQ(m.packed_ml, manifest.packed_ml);
+  EXPECT_EQ(m.fold_cache, manifest.fold_cache);
+  EXPECT_EQ(m.obs_enabled, manifest.obs_enabled);
+  EXPECT_EQ(m.trace_enabled, manifest.trace_enabled);
+  EXPECT_EQ(m.obs_json, manifest.obs_json);
+}
+
+TEST(BundleManifestRoundTrip, CapturedManifestFingerprintsTheDataset) {
+  const Golden& g = golden_pima();
+  hdc::core::ExperimentConfig config;
+  config.extractor = g.extractor.config();
+  config.seed = 5;
+
+  ModelBundle bundle;
+  bundle.extractor = clone_extractor(g.extractor);
+  bundle.manifest = hdc::core::make_run_manifest(g.ds, "golden_pima", config);
+
+  std::ostringstream out;
+  save_bundle(out, bundle);
+  std::istringstream in(out.str());
+  const ModelBundle loaded = load_bundle(in);
+
+  ASSERT_TRUE(loaded.manifest.has_value());
+  EXPECT_EQ(loaded.manifest->dataset, "golden_pima");
+  EXPECT_EQ(loaded.manifest->dataset_hash,
+            hdc::core::dataset_fingerprint(g.ds));
+  EXPECT_EQ(loaded.manifest->rows, g.ds.n_rows());
+  EXPECT_EQ(loaded.manifest->cols, g.ds.n_cols());
+  EXPECT_EQ(loaded.manifest->dimensions, g.extractor.config().dimensions);
+  EXPECT_EQ(loaded.manifest->split_seed, 5u);
+  EXPECT_FALSE(loaded.manifest->simd_tier.empty());
+
+  // The fingerprint is sensitive to the data bytes: any value edit moves it.
+  hdc::data::Dataset edited = g.ds;
+  edited.set_value(0, 0, edited.value(0, 0) + 1.0);
+  EXPECT_NE(hdc::core::dataset_fingerprint(edited),
+            hdc::core::dataset_fingerprint(g.ds));
 }
 
 }  // namespace

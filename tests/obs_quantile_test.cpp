@@ -1,0 +1,208 @@
+// obs::WindowedHistogram tests: the streaming p50/p90/p99 estimates are
+// pinned against an exact sorted-oracle within the documented one-2x-bucket
+// envelope, concurrent recording keeps exact counts/sums (the suite runs
+// under TSan via the obs/telemetry labels), stale windows expire, the
+// enabled() gate makes record() a no-op, and the registry snapshot / JSON
+// export carry the bucket boundaries next to the counts.
+#include "obs/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace hdc::obs {
+namespace {
+
+class ObsQuantileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_metrics();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset_metrics();
+  }
+};
+
+/// Exact order statistic oracle: value at the same cumulative-count target
+/// the sketch's quantile() scans to.
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double target = q * static_cast<double>(values.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(target));
+  if (index > 0) --index;
+  return values[std::min(index, values.size() - 1)];
+}
+
+/// Log-uniform latencies spanning several buckets, deterministic by seed.
+std::vector<double> log_uniform_values(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // 10us .. ~10ms: inside the default bucket range, away from overflow.
+    const double exponent = -5.0 + 3.0 * rng.uniform();
+    values.push_back(std::pow(10.0, exponent));
+  }
+  return values;
+}
+
+TEST_F(ObsQuantileTest, QuantilesWithinOneBucketOfExactOracle) {
+  WindowedHistogram histogram("test.oracle", WindowedOptions{});
+  const std::vector<double> values = log_uniform_values(5000, 2023);
+  for (const double v : values) histogram.record(v);
+
+  const WindowedSample sample = histogram.sample();
+  ASSERT_EQ(sample.window_count, values.size());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact = exact_quantile(values, q);
+    const double estimate = sample.quantile(q);
+    // Buckets double, so the estimate and the exact order statistic share a
+    // (lower, 2*lower] bucket: the ratio is bounded by one bucket either way.
+    EXPECT_GE(estimate, exact / 2.0) << "q=" << q;
+    EXPECT_LE(estimate, exact * 2.0) << "q=" << q;
+  }
+  // The precomputed headline quantiles are the same estimator.
+  EXPECT_EQ(sample.p50, sample.quantile(0.50));
+  EXPECT_EQ(sample.p90, sample.quantile(0.90));
+  EXPECT_EQ(sample.p99, sample.quantile(0.99));
+  EXPECT_LE(sample.p50, sample.p90);
+  EXPECT_LE(sample.p90, sample.p99);
+}
+
+TEST_F(ObsQuantileTest, ConcurrentRecordingKeepsExactTotals) {
+  WindowedHistogram histogram("test.concurrent", WindowedOptions{});
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 5000;
+  constexpr double kValue = 1e-3;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (std::size_t i = 0; i < kPerThread; ++i) histogram.record(kValue);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const WindowedSample sample = histogram.sample();
+  EXPECT_EQ(sample.total_count, kThreads * kPerThread);
+  EXPECT_EQ(sample.window_count, kThreads * kPerThread);
+  // The CAS-loop double accumulator linearizes every add, and all adds are
+  // the same value, so the sum is the exact sequential fold.
+  double expected = 0.0;
+  for (std::size_t i = 0; i < kThreads * kPerThread; ++i) expected += kValue;
+  EXPECT_EQ(sample.total_sum, expected);
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t c : sample.bucket_counts) bucketed += c;
+  EXPECT_EQ(bucketed, kThreads * kPerThread);
+}
+
+TEST_F(ObsQuantileTest, StaleWindowsExpireFromTheSampleButNotTheLifetime) {
+  WindowedOptions options;
+  options.window_ns = 1'000'000;  // 1ms windows
+  options.windows = 2;
+  WindowedHistogram histogram("test.expiry", options);
+
+  histogram.record(1e-3);
+  // Sleep long past windows*window_ns so the first record's epoch is
+  // unambiguously outside the retained range.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  histogram.record(2e-3);
+
+  const WindowedSample sample = histogram.sample();
+  EXPECT_EQ(sample.total_count, 2u);
+  EXPECT_EQ(sample.window_count, 1u);  // only the fresh record remains
+  EXPECT_DOUBLE_EQ(sample.window_sum, 2e-3);
+  EXPECT_DOUBLE_EQ(sample.total_sum, 3e-3);
+}
+
+TEST_F(ObsQuantileTest, DisabledRecordingIsANoOp) {
+  WindowedHistogram histogram("test.disabled", WindowedOptions{});
+  set_enabled(false);
+  histogram.record(1e-3);
+  const WindowedSample sample = histogram.sample();
+  EXPECT_EQ(sample.total_count, 0u);
+  EXPECT_EQ(sample.window_count, 0u);
+  EXPECT_TRUE(std::isnan(sample.quantile(0.5)));
+}
+
+TEST_F(ObsQuantileTest, BoundsAreDoublingEdgesAlignedWithCounts) {
+  WindowedOptions options;
+  options.min_value = 1e-6;
+  options.buckets = 8;
+  WindowedHistogram histogram("test.bounds", options);
+  histogram.record(5e-7);   // bucket 0: <= min_value
+  histogram.record(3e-6);   // interior bucket
+  histogram.record(1e3);    // overflow bucket
+
+  const WindowedSample sample = histogram.sample();
+  ASSERT_EQ(sample.bounds.size(), options.buckets + 1);
+  ASSERT_EQ(sample.bucket_counts.size(), sample.bounds.size() + 1);
+  EXPECT_DOUBLE_EQ(sample.bounds.front(), options.min_value);
+  for (std::size_t b = 1; b < sample.bounds.size(); ++b) {
+    EXPECT_DOUBLE_EQ(sample.bounds[b], 2.0 * sample.bounds[b - 1]) << b;
+  }
+  EXPECT_EQ(sample.bucket_counts.front(), 1u);  // the 5e-7 record
+  EXPECT_EQ(sample.bucket_counts.back(), 1u);   // the overflow record
+}
+
+TEST_F(ObsQuantileTest, RegistrySnapshotAndJsonCarryTheSketch) {
+  WindowedHistogram& histogram = windowed_histogram("test.registry_windowed");
+  for (const double v : log_uniform_values(200, 7)) histogram.record(v);
+
+  const MetricsSnapshot snap = snapshot();
+  const WindowedSample* sample = snap.windowed_sample("test.registry_windowed");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->total_count, 200u);
+
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("\"windowed\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.registry_windowed\""), std::string::npos);
+  // Satellite contract: bucket boundaries are exported alongside counts.
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_counts\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  // reset_metrics zeroes the sketch but keeps the registration.
+  reset_metrics();
+  const MetricsSnapshot after = snapshot();
+  const WindowedSample* cleared = after.windowed_sample("test.registry_windowed");
+  ASSERT_NE(cleared, nullptr);
+  EXPECT_EQ(cleared->total_count, 0u);
+}
+
+TEST_F(ObsQuantileTest, SampleIsSafeWhileRecordersRun) {
+  // Scrape-under-load shape for TSan: readers aggregate while writers record.
+  WindowedHistogram& histogram = windowed_histogram("test.scrape_load");
+  std::vector<std::thread> writers;
+  writers.reserve(2);
+  for (std::size_t t = 0; t < 2; ++t) {
+    writers.emplace_back([&histogram] {
+      for (std::size_t i = 0; i < 2000; ++i) {
+        histogram.record(1e-4 * static_cast<double>(1 + (i % 7)));
+      }
+    });
+  }
+  for (std::size_t s = 0; s < 20; ++s) {
+    const WindowedSample sample = histogram.sample();
+    EXPECT_LE(sample.window_count, 4000u);
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(histogram.sample().total_count, 4000u);
+}
+
+}  // namespace
+}  // namespace hdc::obs

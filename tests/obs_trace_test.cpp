@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -20,6 +21,9 @@ struct ParsedEvent {
   std::uint64_t tid = 0;
   double ts = 0.0;   // microseconds
   double dur = 0.0;  // microseconds
+  std::uint64_t id = 0;      // flow events: shared arrow id
+  std::uint64_t span = 0;    // complete events: args.span
+  std::uint64_t parent = 0;  // complete events: args.parent (0 = root)
   [[nodiscard]] double end() const { return ts + dur; }
 };
 
@@ -58,6 +62,13 @@ std::vector<ParsedEvent> parse_trace(const std::string& json) {
     e.tid = static_cast<std::uint64_t>(extract_number_field(object, "tid"));
     e.ts = extract_number_field(object, "ts");
     e.dur = extract_number_field(object, "dur");
+    const auto as_id = [&](const char* key) {
+      const double v = extract_number_field(object, key);
+      return v < 0.0 ? std::uint64_t{0} : static_cast<std::uint64_t>(v);
+    };
+    e.id = as_id("id");
+    e.span = as_id("span");
+    e.parent = as_id("parent");
     events.push_back(e);
     pos = close + 1;
   }
@@ -178,6 +189,117 @@ TEST_F(ObsTraceTest, ClearTraceDiscardsEvents) {
   clear_trace();
   EXPECT_EQ(trace_event_count(), 0u);
   EXPECT_EQ(parse_trace(chrome_trace_json()).size(), 0u);
+}
+
+TEST_F(ObsTraceTest, CompleteEventsCarrySpanAndParentIds) {
+  {
+    Span outer("test.ids.outer");
+    Span inner("test.ids.inner");
+  }
+  std::vector<ParsedEvent> events = parse_trace(chrome_trace_json());
+  ASSERT_EQ(events.size(), 2u);
+  const auto find = [&](const std::string& name) -> const ParsedEvent& {
+    const auto it = std::find_if(events.begin(), events.end(),
+                                 [&](const ParsedEvent& e) { return e.name == name; });
+    EXPECT_NE(it, events.end()) << name;
+    return *it;
+  };
+  const ParsedEvent& outer = find("test.ids.outer");
+  const ParsedEvent& inner = find("test.ids.inner");
+  EXPECT_NE(outer.span, 0u);
+  EXPECT_NE(inner.span, 0u);
+  EXPECT_NE(outer.span, inner.span);  // process-unique ids
+  EXPECT_EQ(outer.parent, 0u);        // root span
+  EXPECT_EQ(inner.parent, outer.span);
+}
+
+TEST_F(ObsTraceTest, FlowEventsLinkSubmitToExecuteAcrossThreads) {
+  std::uint64_t flow = 0;
+  SpanContext context;
+  {
+    Span submit("test.flow.submit");
+    context = current_span_context();
+    flow = flow_begin("test.flow");
+  }
+  ASSERT_NE(flow, 0u);
+  std::thread worker([&] {
+    ContextGuard guard(context);
+    flow_end("test.flow", flow);
+    Span task("test.flow.task");
+  });
+  worker.join();
+
+  std::vector<ParsedEvent> events = parse_trace(chrome_trace_json());
+  const auto find_ph = [&](const std::string& ph) -> const ParsedEvent& {
+    const auto it = std::find_if(events.begin(), events.end(),
+                                 [&](const ParsedEvent& e) { return e.ph == ph; });
+    EXPECT_NE(it, events.end()) << ph;
+    return *it;
+  };
+  const ParsedEvent& start = find_ph("s");
+  const ParsedEvent& finish = find_ph("f");
+  EXPECT_EQ(start.name, "test.flow");
+  EXPECT_EQ(finish.name, "test.flow");
+  EXPECT_NE(start.id, 0u);
+  EXPECT_EQ(start.id, finish.id);    // the arrow binds on a shared id
+  EXPECT_NE(start.tid, finish.tid);  // across the thread boundary
+
+  // The worker's span parents back to the submitting span via the adopted
+  // context, even though it ran on another thread.
+  const auto find_name = [&](const std::string& name) -> const ParsedEvent& {
+    const auto it = std::find_if(events.begin(), events.end(),
+                                 [&](const ParsedEvent& e) { return e.name == name; });
+    EXPECT_NE(it, events.end()) << name;
+    return *it;
+  };
+  const ParsedEvent& submit = find_name("test.flow.submit");
+  const ParsedEvent& task = find_name("test.flow.task");
+  EXPECT_EQ(task.parent, submit.span);
+}
+
+TEST_F(ObsTraceTest, FlowBeginReturnsZeroWhenDisabledAndEndIgnoresIt) {
+  set_trace_enabled(false);
+  const std::uint64_t flow = flow_begin("test.flow.off");
+  EXPECT_EQ(flow, 0u);
+  flow_end("test.flow.off", flow);  // must be a safe no-op
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST_F(ObsTraceTest, CollapsedStacksFoldParentChainsWithWeights) {
+  {
+    // Sleeps guarantee strictly positive self-time for both chain lines
+    // (collapsed_stacks omits zero-weight chains).
+    Span root("test.fold.root");
+    {
+      Span child("test.fold.child");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::string folded = collapsed_stacks();
+  // One line per unique chain: "root;...;leaf <self-ns>\n". The child chain
+  // must spell out the full path through its parent.
+  EXPECT_NE(folded.find("test.fold.root;test.fold.child "), std::string::npos)
+      << folded;
+  std::size_t start = 0;
+  std::size_t lines = 0;
+  while (start < folded.size()) {
+    std::size_t end = folded.find('\n', start);
+    if (end == std::string::npos) end = folded.size();
+    const std::string line = folded.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    ++lines;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    // The weight is a bare non-negative integer (nanoseconds of self-time).
+    const std::string weight = line.substr(space + 1);
+    ASSERT_FALSE(weight.empty()) << line;
+    for (const char c : weight) {
+      EXPECT_TRUE(c >= '0' && c <= '9') << line;
+    }
+  }
+  EXPECT_GE(lines, 1u);
 }
 
 }  // namespace
