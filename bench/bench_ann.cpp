@@ -1,0 +1,348 @@
+// ANN-index bench: recall and work-reduction of hv::ann against the exact
+// tiled sweep, on the golden datasets and on synthetic cohorts up to 100k
+// rows. Emits BENCH_ann.json.
+//
+// Protocol:
+//   1. Golden recall gate: encode Pima M and Sylhet, build the index with
+//      default parameters, and measure tie-tolerant leave-one-out recall@1
+//      against the exact kernels. The bench exits non-zero when the minimum
+//      golden recall@1 drops below 0.999 (the ROADMAP acceptance gate).
+//   2. Determinism gate: the `exact` fallback must match hv::nearest_neighbors
+//      result-for-result, a rebuild under the same seed must serialize
+//      byte-identically, and a save/load round-trip must serialize
+//      byte-identically.
+//   3. Scale sweep: synthetic cohorts (data::make_synthetic_cohort) at
+//      n ∈ {1k, 10k, 100k} rows (reduced under --fast), with separately
+//      generated query rows. Per size: build time, recall@1/@5,
+//      candidates-per-query, word-ops reduction vs the exact sweep, and
+//      per-query p50/p99 latency for both paths. At n >= 100k the measured
+//      word-ops reduction must be >= 5x or the bench exits non-zero.
+//
+// Flags (bench_common): --dim N, --seed S, --fast; plus --queries Q
+// (default 1000, fast 200), --reps R (accepted for smoke-harness
+// compatibility; unused) and --out PATH (default BENCH_ann.json).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/extractor.hpp"
+#include "hv/ann.hpp"
+#include "hv/bit_matrix.hpp"
+#include "hv/search.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using hdc::hv::Neighbor;
+using hdc::hv::PackedHVs;
+using hdc::util::Timer;
+namespace ann = hdc::hv::ann;
+
+double percentile(std::vector<double> sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted_us.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted_us.size())));
+  return sorted_us[idx];
+}
+
+std::string serialized(const ann::Index& index) {
+  std::ostringstream out;
+  index.save(out);
+  return out.str();
+}
+
+/// Copy rows [begin, end) of `bits` into a standalone PackedHVs.
+PackedHVs slice_rows(const hdc::hv::BitMatrix& bits, std::size_t begin,
+                     std::size_t end) {
+  PackedHVs out(bits.cols(), end - begin);
+  const std::size_t words = bits.words_per_row();
+  for (std::size_t i = begin; i < end; ++i) {
+    std::memcpy(out.row(i - begin), bits.row_bits(i),
+                words * sizeof(std::uint64_t));
+  }
+  return out;
+}
+
+/// Tie-tolerant leave-one-out recall@1 of the default-parameter index on one
+/// encoded golden dataset, plus the exact-fallback identity check.
+struct GoldenResult {
+  std::size_t rows = 0;
+  double recall_at_1 = 0.0;
+  double build_seconds = 0.0;
+  bool exact_fallback_ok = false;
+};
+
+GoldenResult golden_recall(const hdc::data::Dataset& ds,
+                           const hdc::core::ExtractorConfig& config) {
+  hdc::core::HdcFeatureExtractor extractor(config);
+  extractor.fit(ds);
+  const PackedHVs packed = extractor.transform_packed(ds);
+
+  GoldenResult result;
+  result.rows = packed.rows();
+  Timer build;
+  const ann::Index index = ann::Index::build(packed);
+  result.build_seconds = build.seconds();
+
+  hdc::hv::SearchOptions exact_options;
+  exact_options.exclude_same_index = true;
+  const std::vector<Neighbor> exact =
+      hdc::hv::nearest_neighbors(packed, packed, exact_options);
+
+  ann::SearchOptions options;
+  options.exclude_same_index = true;
+  const std::vector<Neighbor> approx = index.nearest(packed, packed, options);
+
+  std::size_t hits = 0;
+  for (std::size_t q = 0; q < exact.size(); ++q) {
+    // A hit is any neighbour at the true best distance (distance ties are
+    // interchangeable for the 1-NN classifier).
+    if (approx[q].distance == exact[q].distance) ++hits;
+  }
+  result.recall_at_1 =
+      static_cast<double>(hits) / static_cast<double>(exact.size());
+
+  ann::SearchOptions fallback;
+  fallback.exact = true;
+  fallback.exclude_same_index = true;
+  result.exact_fallback_ok = index.nearest(packed, packed, fallback) == exact;
+  return result;
+}
+
+struct SizeResult {
+  std::size_t rows = 0;
+  std::size_t queries = 0;
+  double build_seconds = 0.0;
+  double recall_at_1 = 0.0;
+  double recall_at_5 = 0.0;
+  double candidates_per_query = 0.0;
+  std::uint64_t word_ops_exact = 0;
+  std::uint64_t word_ops_ann = 0;
+  double word_ops_reduction = 0.0;
+  double exact_p50_us = 0.0;
+  double exact_p99_us = 0.0;
+  double ann_p50_us = 0.0;
+  double ann_p99_us = 0.0;
+};
+
+SizeResult sweep_size(std::size_t rows, std::size_t n_queries,
+                      const hdc::core::ExtractorConfig& extractor_config,
+                      std::uint64_t seed) {
+  SizeResult result;
+  result.rows = rows;
+  result.queries = n_queries;
+
+  // Database and query rows come from disjoint index ranges of the same
+  // deterministic cohort stream, so queries are unseen but identically
+  // distributed (no exclude-self bookkeeping needed).
+  const hdc::data::Dataset cohort =
+      hdc::data::make_synthetic_cohort(rows + n_queries, seed);
+  hdc::core::HdcFeatureExtractor extractor(extractor_config);
+  extractor.fit(cohort);
+  const hdc::hv::BitMatrix bits = extractor.transform_bits(cohort);
+  const PackedHVs database = slice_rows(bits, 0, rows);
+  const PackedHVs queries = slice_rows(bits, rows, rows + n_queries);
+  const std::size_t words = database.words_per_row();
+
+  Timer build;
+  const ann::Index index = ann::Index::build(database);
+  result.build_seconds = build.seconds();
+
+  // Exact reference + per-query latency (top-5 so recall@5 has its oracle).
+  std::vector<std::vector<Neighbor>> exact(n_queries);
+  std::vector<double> exact_us;
+  exact_us.reserve(n_queries);
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    PackedHVs one(queries.bits(), 1);
+    std::memcpy(one.row(0), queries.row(q), words * sizeof(std::uint64_t));
+    Timer t;
+    exact[q] = hdc::hv::top_k_neighbors(one, database, 5).front();
+    exact_us.push_back(t.seconds() * 1e6);
+  }
+
+  // ANN per-query latency + work accounting.
+  std::vector<std::vector<Neighbor>> approx(n_queries);
+  std::vector<double> ann_us;
+  ann_us.reserve(n_queries);
+  ann::SearchStats totals;
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    PackedHVs one(queries.bits(), 1);
+    std::memcpy(one.row(0), queries.row(q), words * sizeof(std::uint64_t));
+    Timer t;
+    ann::SearchStats stats;
+    approx[q] = index.top_k(one, database, 5, {}, &stats).front();
+    ann_us.push_back(t.seconds() * 1e6);
+    totals.probes += stats.probes;
+    totals.candidates += stats.candidates;
+    totals.reranked += stats.reranked;
+    totals.word_ops += stats.word_ops;
+  }
+
+  std::size_t hits_1 = 0;
+  std::size_t hits_5 = 0;
+  std::size_t want_5 = 0;
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    if (approx[q].front().distance == exact[q].front().distance) ++hits_1;
+    // Tie-tolerant recall@5: an ANN neighbour counts when it is at least as
+    // close as the exact 5th-best.
+    const std::size_t k = std::min<std::size_t>(5, exact[q].size());
+    const std::size_t kth = exact[q][k - 1].distance;
+    want_5 += k;
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, approx[q].size()); ++i) {
+      if (approx[q][i].distance <= kth) ++hits_5;
+    }
+  }
+  result.recall_at_1 =
+      static_cast<double>(hits_1) / static_cast<double>(n_queries);
+  result.recall_at_5 =
+      static_cast<double>(hits_5) / static_cast<double>(want_5);
+  result.candidates_per_query =
+      static_cast<double>(totals.candidates) / static_cast<double>(n_queries);
+  result.word_ops_exact =
+      static_cast<std::uint64_t>(n_queries) * rows * words;
+  result.word_ops_ann = totals.word_ops;
+  result.word_ops_reduction =
+      totals.word_ops > 0
+          ? static_cast<double>(result.word_ops_exact) /
+                static_cast<double>(totals.word_ops)
+          : 0.0;
+
+  std::sort(exact_us.begin(), exact_us.end());
+  std::sort(ann_us.begin(), ann_us.end());
+  result.exact_p50_us = percentile(exact_us, 0.50);
+  result.exact_p99_us = percentile(exact_us, 0.99);
+  result.ann_p50_us = percentile(ann_us, 0.50);
+  result.ann_p99_us = percentile(ann_us, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const hdc::bench::BenchSetup setup = hdc::bench::make_setup(argc, argv);
+  const hdc::util::Cli cli(argc, argv);
+  const bool fast = cli.has_flag("--fast");
+  const std::size_t n_queries =
+      static_cast<std::size_t>(cli.get_int("--queries", fast ? 200 : 1000));
+  const std::string out_path = cli.get_string("--out", "BENCH_ann.json");
+
+  // 1. Golden recall gate (default index parameters, LOO protocol).
+  const GoldenResult pima = golden_recall(setup.pima_m, setup.experiment.extractor);
+  const GoldenResult sylhet = golden_recall(setup.sylhet, setup.experiment.extractor);
+  const double recall_at_1 = std::min(pima.recall_at_1, sylhet.recall_at_1);
+  std::printf("# golden: pima_m recall@1=%.4f (n=%zu), sylhet recall@1=%.4f (n=%zu)\n",
+              pima.recall_at_1, pima.rows, sylhet.recall_at_1, sylhet.rows);
+
+  // 2. Determinism gate: rebuild + round-trip byte identity on an encoded
+  // golden set, exact fallback identity from the golden runs.
+  bool determinism_ok = pima.exact_fallback_ok && sylhet.exact_fallback_ok;
+  {
+    hdc::core::HdcFeatureExtractor extractor(setup.experiment.extractor);
+    extractor.fit(setup.sylhet);
+    const PackedHVs packed = extractor.transform_packed(setup.sylhet);
+    const ann::Index a = ann::Index::build(packed);
+    const ann::Index b = ann::Index::build(packed);
+    const std::string bytes = serialized(a);
+    if (bytes != serialized(b)) {
+      determinism_ok = false;
+      std::fprintf(stderr, "FATAL: seeded rebuild is not byte-identical\n");
+    }
+    std::istringstream in(bytes);
+    if (serialized(ann::Index::load(in)) != bytes) {
+      determinism_ok = false;
+      std::fprintf(stderr, "FATAL: save/load round-trip is not byte-identical\n");
+    }
+  }
+  if (!determinism_ok) {
+    std::fprintf(stderr, "FATAL: determinism gate failed\n");
+  }
+
+  // 3. Scale sweep over synthetic cohorts.
+  std::vector<std::size_t> sizes =
+      fast ? std::vector<std::size_t>{1000, 3000}
+           : std::vector<std::size_t>{1000, 10000, 100000};
+  std::vector<SizeResult> results;
+  for (const std::size_t rows : sizes) {
+    results.push_back(sweep_size(rows, n_queries, setup.experiment.extractor,
+                                 setup.experiment.seed));
+    const SizeResult& r = results.back();
+    std::printf("# n=%zu: build=%.3fs recall@1=%.4f recall@5=%.4f "
+                "cand/q=%.0f word-ops x%.1f exact p50=%.0fus ann p50=%.0fus\n",
+                r.rows, r.build_seconds, r.recall_at_1, r.recall_at_5,
+                r.candidates_per_query, r.word_ops_reduction, r.exact_p50_us,
+                r.ann_p50_us);
+  }
+  const SizeResult& largest = results.back();
+
+  // Hard gates.
+  int exit_code = 0;
+  if (recall_at_1 < 0.999) {
+    std::fprintf(stderr,
+                 "FATAL: golden recall@1 %.5f below the 0.999 gate\n",
+                 recall_at_1);
+    exit_code = 1;
+  }
+  if (!determinism_ok) exit_code = 1;
+  if (largest.rows >= 100000 && largest.word_ops_reduction < 5.0) {
+    std::fprintf(stderr,
+                 "FATAL: word-ops reduction %.2fx at n=%zu below the 5x gate\n",
+                 largest.word_ops_reduction, largest.rows);
+    exit_code = 1;
+  }
+
+  std::string sizes_json;
+  for (const SizeResult& r : results) {
+    char buffer[640];
+    std::snprintf(
+        buffer, sizeof buffer,
+        "%s    {\"rows\": %zu, \"queries\": %zu, \"build_seconds\": %.4f, "
+        "\"recall_at_1\": %.6f, \"recall_at_5\": %.6f, "
+        "\"candidates_per_query\": %.1f, \"word_ops_exact\": %llu, "
+        "\"word_ops_ann\": %llu, \"word_ops_reduction\": %.3f, "
+        "\"exact_p50_us\": %.2f, \"exact_p99_us\": %.2f, "
+        "\"ann_p50_us\": %.2f, \"ann_p99_us\": %.2f}",
+        sizes_json.empty() ? "" : ",\n", r.rows, r.queries, r.build_seconds,
+        r.recall_at_1, r.recall_at_5, r.candidates_per_query,
+        static_cast<unsigned long long>(r.word_ops_exact),
+        static_cast<unsigned long long>(r.word_ops_ann),
+        r.word_ops_reduction, r.exact_p50_us, r.exact_p99_us, r.ann_p50_us,
+        r.ann_p99_us);
+    sizes_json += buffer;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"bench_ann\",\n"
+               "  \"dimensions\": %zu,\n"
+               "  \"recall_at_1\": %.6f,\n"
+               "  \"golden_pima_m_recall_at_1\": %.6f,\n"
+               "  \"golden_sylhet_recall_at_1\": %.6f,\n"
+               "  \"golden_rows\": [%zu, %zu],\n"
+               "  \"determinism_ok\": %s,\n"
+               "  \"rows_max\": %zu,\n"
+               "  \"word_ops_reduction\": %.3f,\n"
+               "  \"sizes\": [\n%s\n  ],\n"
+               "  \"manifest\": %s\n"
+               "}\n",
+               setup.experiment.extractor.dimensions, recall_at_1,
+               pima.recall_at_1, sylhet.recall_at_1, pima.rows, sylhet.rows,
+               determinism_ok ? "true" : "false", largest.rows,
+               largest.word_ops_reduction, sizes_json.c_str(),
+               hdc::bench::manifest_json(setup.pima_m, "pima_m_synthetic",
+                                         setup.experiment)
+                   .c_str());
+  std::fclose(out);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return exit_code;
+}

@@ -11,6 +11,9 @@
 //   3. Latency: per-request wall times of classify() over --reps sweeps of
 //      the dataset -> p50/p99 microseconds + QPS.
 //   4. Throughput: all rows pushed through the coalescing queue at once.
+//   5. Paired exact-vs-ann serve: the same bundle served with the ANN index
+//      attached (--ann path), reporting ann p50/p99/qps and the fraction of
+//      requests whose prediction matches the exact engine.
 //
 // Flags (bench_common): --dim N, --seed S, --fast; plus --reps R (default 3)
 // and --out PATH (default BENCH_serve.json).
@@ -202,6 +205,55 @@ int main(int argc, char** argv) {
     counts_json += buffer;
   }
 
+  // 5. Paired exact-vs-ann serve: the same bundle served with the ANN index
+  // attached (ServeConfig::ann). Predictions are compared request-for-request
+  // against the exact engine; with the default index parameters the golden
+  // recall gate (bench_ann) makes disagreement an anomaly worth surfacing.
+  double ann_p50_us = 0.0;
+  double ann_p99_us = 0.0;
+  double ann_qps = 0.0;
+  double ann_match_fraction = 0.0;
+  std::string ann_skipped_reason;
+  if (!bundle.hamming.has_value()) {
+    ann_skipped_reason = "bundle has no hamming predictor";
+  } else {
+    std::vector<int> exact_predictions;
+    exact_predictions.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      exact_predictions.push_back(engine.classify(ds.row(i)));
+    }
+
+    std::istringstream ann_reload(saved.str());
+    hdc::core::ServeConfig ann_config;
+    ann_config.ann = true;
+    hdc::core::ServeEngine ann_engine(hdc::core::load_bundle(ann_reload),
+                                      ann_config);
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)ann_engine.classify(ds.row(i));  // warm
+    }
+    std::vector<double> ann_us;
+    ann_us.reserve(n * reps);
+    std::size_t matches = 0;
+    Timer ann_sweep;
+    for (std::size_t r = 0; r < reps; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        Timer request;
+        const int predicted = ann_engine.classify(ds.row(i));
+        ann_us.push_back(request.seconds() * 1e6);
+        if (predicted == exact_predictions[i]) ++matches;
+      }
+    }
+    const double ann_seconds = ann_sweep.seconds();
+    std::sort(ann_us.begin(), ann_us.end());
+    ann_p50_us = percentile(ann_us, 0.50);
+    ann_p99_us = percentile(ann_us, 0.99);
+    ann_qps = static_cast<double>(ann_us.size()) / std::max(ann_seconds, 1e-12);
+    ann_match_fraction =
+        static_cast<double>(matches) / static_cast<double>(n * reps);
+    std::printf("# ann: p50=%.1fus p99=%.1fus qps=%.0f match=%.4f\n",
+                ann_p50_us, ann_p99_us, ann_qps, ann_match_fraction);
+  }
+
   std::printf("# sync: p50=%.1fus p99=%.1fus qps=%.0f\n", p50_us, p99_us, qps);
   std::printf("# windowed sketch: p50=%.1fus p90=%.1fus p99=%.1fus over %llu "
               "requests\n",
@@ -211,6 +263,21 @@ int main(int argc, char** argv) {
               n * reps, coalesced_seconds);
   std::printf("# determinism: %s\n", determinism_ok ? "ok" : "FAILED");
   if (!determinism_ok) return 1;
+
+  std::string ann_json;
+  {
+    char buffer[256];
+    if (ann_skipped_reason.empty()) {
+      std::snprintf(buffer, sizeof buffer,
+                    "  \"ann_p50_us\": %.3f,\n  \"ann_p99_us\": %.3f,\n"
+                    "  \"ann_qps\": %.1f,\n  \"ann_match_fraction\": %.6f,\n",
+                    ann_p50_us, ann_p99_us, ann_qps, ann_match_fraction);
+    } else {
+      std::snprintf(buffer, sizeof buffer, "  \"ann_skipped_reason\": \"%s\",\n",
+                    ann_skipped_reason.c_str());
+    }
+    ann_json = buffer;
+  }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -237,6 +304,7 @@ int main(int argc, char** argv) {
                "  \"windowed_requests\": %llu,\n"
                "  \"latency_bucket_bounds\": [%s],\n"
                "  \"latency_bucket_counts\": [%s],\n"
+               "%s"
                "  \"determinism_ok\": true,\n"
                "  \"manifest\": %s\n"
                "}\n",
@@ -245,7 +313,7 @@ int main(int argc, char** argv) {
                qps, coalesced_qps, windowed->p50 * 1e6, windowed->p90 * 1e6,
                windowed->p99 * 1e6,
                static_cast<unsigned long long>(windowed->total_count),
-               bounds_json.c_str(), counts_json.c_str(),
+               bounds_json.c_str(), counts_json.c_str(), ann_json.c_str(),
                hdc::bench::manifest_json(ds, "pima_m_synthetic",
                                          setup.experiment)
                    .c_str());

@@ -5,14 +5,20 @@
 //
 //   bench_validate FILE SPEC...
 //
-// A SPEC is `key` or `key1|key2` — at least one listed key must exist at
-// the top level with a non-failing value. `false`, `null` and `""` fail;
-// any number, object, array or non-empty string passes. So
+// A SPEC is a `|`-list of alternatives; at least one must hold at the top
+// level. An alternative is either `key` — the key must exist with a
+// non-failing value (`false`, `null` and `""` fail; any number, object,
+// array or non-empty string passes) — or `key>=value`, a numeric gate: the
+// key must hold a top-level number >= the literal threshold. So
 // `speedup_valid|speedup_skipped_reason` encodes "either the speedup sweep
-// was valid, or the bench said why it was skipped".
+// was valid, or the bench said why it was skipped", and
+// `recall_at_1>=0.999` hard-fails a bench whose measured recall regressed.
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -42,6 +48,12 @@ class JsonChecker {
   [[nodiscard]] bool truthy(const std::string& key) const {
     const auto it = top_.find(key);
     return it != top_.end() && it->second;
+  }
+  /// Top-level numeric value, or NaN when absent / not a plain number.
+  [[nodiscard]] double number(const std::string& key) const {
+    const auto it = numbers_.find(key);
+    return it != numbers_.end() ? it->second
+                                : std::numeric_limits<double>::quiet_NaN();
   }
 
  private:
@@ -98,7 +110,7 @@ class JsonChecker {
     return true;
   }
 
-  bool parse_number() {
+  bool parse_number(double* out) {
     const std::size_t start = pos_;
     if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
     bool digits = false;
@@ -113,6 +125,10 @@ class JsonChecker {
       pos_ = start;
       return fail("bad number");
     }
+    if (out != nullptr) {
+      *out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                         nullptr);
+    }
     return true;
   }
 
@@ -124,8 +140,9 @@ class JsonChecker {
     return fail("bad literal");
   }
 
-  /// Parses any value; reports whether it is "truthy" for gate purposes.
-  bool parse_value(bool* truthy) {
+  /// Parses any value; reports whether it is "truthy" for gate purposes and
+  /// (for plain numbers) its numeric value.
+  bool parse_value(bool* truthy, double* number = nullptr) {
     skip_ws();
     if (pos_ >= text_.size()) return fail("unexpected end");
     const char c = text_[pos_];
@@ -150,11 +167,12 @@ class JsonChecker {
       return parse_literal("null");
     }
     if (truthy != nullptr) *truthy = true;
-    return parse_number();
+    return parse_number(number);
   }
 
-  bool parse_members(bool top,
-                     const std::function<void(std::string, bool)>& on_member) {
+  bool parse_members(
+      bool top,
+      const std::function<void(std::string, bool, double)>& on_member) {
     if (!consume('{')) return false;
     skip_ws();
     if (pos_ < text_.size() && text_[pos_] == '}') {
@@ -168,8 +186,9 @@ class JsonChecker {
       skip_ws();
       if (!consume(':')) return false;
       bool value_truthy = false;
-      if (!parse_value(&value_truthy)) return false;
-      if (top) on_member(std::move(key), value_truthy);
+      double value_number = std::numeric_limits<double>::quiet_NaN();
+      if (!parse_value(&value_truthy, &value_number)) return false;
+      if (top) on_member(std::move(key), value_truthy, value_number);
       skip_ws();
       if (pos_ < text_.size() && text_[pos_] == ',') {
         ++pos_;
@@ -180,14 +199,16 @@ class JsonChecker {
   }
 
   bool parse_top_object() {
-    return parse_members(true, [this](std::string key, bool truthy) {
+    return parse_members(true, [this](std::string key, bool truthy,
+                                      double number) {
+      if (!std::isnan(number)) numbers_[key] = number;
       top_[std::move(key)] = truthy;
     });
   }
 
   bool parse_object(bool* truthy) {
     if (truthy != nullptr) *truthy = true;
-    return parse_members(false, [](std::string, bool) {});
+    return parse_members(false, [](std::string, bool, double) {});
   }
 
   bool parse_array(bool* truthy) {
@@ -213,6 +234,7 @@ class JsonChecker {
   std::size_t pos_ = 0;
   std::string error_;
   std::unordered_map<std::string, bool> top_;
+  std::unordered_map<std::string, double> numbers_;
 };
 
 }  // namespace
@@ -247,8 +269,25 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string spec = argv[i];
     bool ok = false;
-    for (const std::string& key : hdc::util::split(spec, '|')) {
-      if (checker.truthy(key)) {
+    for (const std::string& alternative : hdc::util::split(spec, '|')) {
+      const std::size_t gate = alternative.find(">=");
+      if (gate != std::string::npos) {
+        // Numeric gate: the key must hold a top-level number >= threshold.
+        const std::string key = alternative.substr(0, gate);
+        char* end = nullptr;
+        const std::string threshold_text = alternative.substr(gate + 2);
+        const double threshold = std::strtod(threshold_text.c_str(), &end);
+        if (end == threshold_text.c_str() || *end != '\0') {
+          std::fprintf(stderr, "FAIL: bad threshold in spec \"%s\"\n",
+                       spec.c_str());
+          break;
+        }
+        const double value = checker.number(key);
+        if (!std::isnan(value) && value >= threshold) {
+          ok = true;
+          break;
+        }
+      } else if (checker.truthy(alternative)) {
         ok = true;
         break;
       }

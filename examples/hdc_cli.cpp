@@ -247,6 +247,13 @@ int cmd_bundle(const hdc::data::Dataset& ds, const std::string& data_path,
       hdc::core::HammingMode::kNearestNeighbor,
       static_cast<std::size_t>(cli.get_int("--k", 1)));
   hamming.fit(extractor.transform(ds), ds.labels());
+  if (cli.has_flag("--ann")) {
+    // Bake the ANN index into the bundle so serve start-up skips the build.
+    hdc::hv::ann::Config ann_config;
+    ann_config.cells = static_cast<std::size_t>(cli.get_int("--cells", 0));
+    ann_config.nprobe = static_cast<std::size_t>(cli.get_int("--nprobe", 0));
+    hamming.enable_ann(ann_config);
+  }
   bundle.hamming = std::move(hamming);
 
   const std::string models = cli.get_string("--models", "");
@@ -288,6 +295,8 @@ int cmd_serve(const hdc::data::Dataset& ds, const std::string& bundle_path,
   hdc::core::ServeConfig config;
   config.model = cli.get_string("--model", "");
   config.max_batch = static_cast<std::size_t>(cli.get_int("--max-batch", 64));
+  config.ann = cli.has_flag("--ann");
+  config.nprobe = static_cast<std::size_t>(cli.get_int("--nprobe", 0));
   hdc::core::ServeEngine engine(hdc::core::load_bundle_file(bundle_path),
                                 config);
 
@@ -331,6 +340,13 @@ int cmd_serve(const hdc::data::Dataset& ds, const std::string& bundle_path,
               static_cast<unsigned long long>(
                   snapshot.counter_value("serve.batches")),
               static_cast<long long>(snapshot.gauge_max("serve.queue_depth")));
+  if (config.ann) {
+    std::printf("# serve.ann: probes=%llu candidates=%llu\n",
+                static_cast<unsigned long long>(
+                    snapshot.counter_value("serve.ann.probes")),
+                static_cast<unsigned long long>(
+                    snapshot.counter_value("serve.ann.candidates")));
+  }
   return 0;
 }
 
@@ -393,9 +409,11 @@ int main(int argc, char** argv) {
                  "[--k K] [--model NAME] [--threads T] [--metrics-out FILE] "
                  "[--trace-out FILE]\n"
                  "       hdc_cli bundle <data.csv> <out.bundle> [--models "
-                 "a,b,c] [--with-nn] [--dim N] [--seed S] [--k K]\n"
+                 "a,b,c] [--with-nn] [--dim N] [--seed S] [--k K] [--ann "
+                 "[--cells C] [--nprobe P]]\n"
                  "       hdc_cli serve <data.csv|-> <model.bundle> [--model "
-                 "NAME] [--coalesce] [--max-batch N] [--metrics-port P]\n"
+                 "NAME] [--coalesce] [--max-batch N] [--metrics-port P] "
+                 "[--ann [--nprobe P]]\n"
                  "       hdc_cli grid <data.csv> [more.csv ...] [--kfold K] "
                  "[--models a,b,c] [--threads N] [--serial] [--budget B] "
                  "[--dim N] [--seed S]\n"

@@ -135,6 +135,11 @@ void save_bundle(std::ostream& out, const ModelBundle& bundle) {
   }
   if (bundle.hamming) {
     add("hamming", [&](std::ostream& o) { save_hamming(o, *bundle.hamming); });
+    if (const hv::ann::Index* ann = bundle.hamming->ann_index()) {
+      // The prebuilt ANN index rides along so serve start-up skips the
+      // build; load re-verifies its fingerprint against the hamming rows.
+      add("ann", [&](std::ostream& o) { ann->save(o); });
+    }
   }
   if (bundle.minmax_scaler && bundle.minmax_scaler->fitted()) {
     add("scaler.minmax", [&](std::ostream& o) { bundle.minmax_scaler->save(o); });
@@ -170,6 +175,7 @@ void save_bundle(std::ostream& out, const ModelBundle& bundle) {
 
 ModelBundle load_bundle(std::istream& in) {
   ModelBundle bundle;
+  std::optional<hv::ann::Index> ann_section;
   for (RawSection& section : read_sections(in)) {
     std::istringstream body(section.body);
     try {
@@ -177,6 +183,10 @@ ModelBundle load_bundle(std::istream& in) {
         bundle.extractor = load_extractor(body);
       } else if (section.name == "hamming") {
         bundle.hamming = load_hamming(body);
+      } else if (section.name == "ann") {
+        // Attached after the loop: section order in the file is not a
+        // contract, and the index must verify against the hamming rows.
+        ann_section = hv::ann::Index::load(body);
       } else if (section.name == "scaler.minmax") {
         bundle.minmax_scaler.emplace();
         bundle.minmax_scaler->load(body);
@@ -203,6 +213,16 @@ ModelBundle load_bundle(std::istream& in) {
       fail("section '" + section.name + "': " + e.what());
     } catch (const std::invalid_argument& e) {
       fail("section '" + section.name + "': " + e.what());
+    }
+  }
+  if (ann_section) {
+    if (!bundle.hamming) {
+      fail("section 'ann': requires a hamming section");
+    }
+    try {
+      bundle.hamming->attach_ann(std::move(*ann_section));
+    } catch (const std::exception& e) {
+      fail(std::string("section 'ann': ") + e.what());
     }
   }
   return bundle;

@@ -21,6 +21,7 @@ void HammingClassifier::fit(std::vector<hv::BitVector> vectors,
   vectors_ = std::move(vectors);
   packed_ = hv::PackedHVs::pack(vectors_);
   labels_ = std::move(labels);
+  ann_.reset();  // any attached index was built over the previous database
 
   if (mode_ == HammingMode::kPrototype) {
     hv::BitAccumulator acc[2] = {hv::BitAccumulator(vectors_.front().size()),
@@ -37,11 +38,13 @@ void HammingClassifier::fit(std::vector<hv::BitVector> vectors,
   }
 }
 
-int HammingClassifier::predict(const hv::BitVector& query) const {
-  return predict_score(query) >= 0.5 ? 1 : 0;
+int HammingClassifier::predict(const hv::BitVector& query,
+                               hv::ann::SearchStats* stats) const {
+  return predict_score(query, stats) >= 0.5 ? 1 : 0;
 }
 
-double HammingClassifier::predict_score(const hv::BitVector& query) const {
+double HammingClassifier::predict_score(const hv::BitVector& query,
+                                        hv::ann::SearchStats* stats) const {
   if (!fitted()) throw std::logic_error("HammingClassifier: not fitted");
   if (mode_ == HammingMode::kPrototype) {
     const double d0 = query.hamming_fraction(prototypes_[0]);
@@ -51,9 +54,26 @@ double HammingClassifier::predict_score(const hv::BitVector& query) const {
   }
   // k-NN vote (k = 1 gives the paper's model: score 1 iff the nearest
   // neighbour is positive). Distance ties resolve toward the earliest
-  // training row; both kernels guarantee (distance, index) ordering.
+  // training row; both kernels guarantee (distance, index) ordering, and
+  // the ANN path preserves it over its reranked candidate set.
   const std::size_t k = std::min(k_, vectors_.size());
   const hv::PackedHVs packed_query = hv::PackedHVs::pack({&query, 1});
+  if (ann_) {
+    hv::ann::SearchOptions options;
+    options.nprobe = ann_nprobe_;
+    if (k == 1) {
+      const std::vector<hv::Neighbor> nearest =
+          ann_->nearest(packed_query, packed_, options, stats);
+      return labels_[nearest.front().index] == 1 ? 1.0 : 0.0;
+    }
+    const std::vector<std::vector<hv::Neighbor>> nearest =
+        ann_->top_k(packed_query, packed_, k, options, stats);
+    std::size_t positive_votes = 0;
+    for (const hv::Neighbor& n : nearest.front()) {
+      positive_votes += labels_[n.index] == 1 ? 1 : 0;
+    }
+    return static_cast<double>(positive_votes) / static_cast<double>(k);
+  }
   if (k == 1) {
     const std::vector<hv::Neighbor> nearest =
         hv::nearest_neighbors(packed_query, packed_);
@@ -66,6 +86,26 @@ double HammingClassifier::predict_score(const hv::BitVector& query) const {
     positive_votes += labels_[n.index] == 1 ? 1 : 0;
   }
   return static_cast<double>(positive_votes) / static_cast<double>(k);
+}
+
+void HammingClassifier::enable_ann(const hv::ann::Config& config) {
+  if (!fitted()) throw std::logic_error("HammingClassifier: not fitted");
+  if (mode_ == HammingMode::kPrototype) {
+    throw std::logic_error(
+        "HammingClassifier: ANN needs kNearestNeighbor mode (prototype mode "
+        "has no training database to index)");
+  }
+  ann_ = hv::ann::Index::build(packed_, config);
+}
+
+void HammingClassifier::attach_ann(hv::ann::Index index) {
+  if (!fitted()) throw std::logic_error("HammingClassifier: not fitted");
+  if (mode_ == HammingMode::kPrototype) {
+    throw std::logic_error(
+        "HammingClassifier: ANN needs kNearestNeighbor mode");
+  }
+  index.check_database(packed_);  // throws on fingerprint/shape mismatch
+  ann_ = std::move(index);
 }
 
 const hv::BitVector& HammingClassifier::prototype(int label) const {

@@ -5,9 +5,11 @@
 // queries snap to the nearer prototype.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "eval/metrics.hpp"
+#include "hv/ann.hpp"
 #include "hv/bitvector.hpp"
 #include "hv/ops.hpp"
 #include "hv/search.hpp"
@@ -41,11 +43,41 @@ class HammingClassifier {
   [[nodiscard]] bool fitted() const noexcept { return !labels_.empty(); }
   [[nodiscard]] HammingMode mode() const noexcept { return mode_; }
 
-  /// Predicted class of a query hypervector.
-  [[nodiscard]] int predict(const hv::BitVector& query) const;
+  /// Predicted class of a query hypervector. The optional `stats` out-param
+  /// receives the ANN work accounting when the index path answered the query
+  /// (untouched on the exact path — callers can zero-init and inspect).
+  [[nodiscard]] int predict(const hv::BitVector& query,
+                            hv::ann::SearchStats* stats = nullptr) const;
 
   /// Distance-ratio score in [0,1]; > 0.5 favours the positive class.
-  [[nodiscard]] double predict_score(const hv::BitVector& query) const;
+  [[nodiscard]] double predict_score(const hv::BitVector& query,
+                                     hv::ann::SearchStats* stats = nullptr) const;
+
+  /// Build (or rebuild) an approximate-NN index over the stored training
+  /// vectors; k-NN queries then route through it. Prototype mode has no
+  /// database to index, so enabling there throws.
+  void enable_ann(const hv::ann::Config& config = {});
+
+  /// Adopt a prebuilt index (bundle load path — avoids paying the build at
+  /// serve start-up). The index fingerprint must match the stored training
+  /// vectors; throws std::invalid_argument otherwise.
+  void attach_ann(hv::ann::Index index);
+
+  void disable_ann() noexcept { ann_.reset(); }
+  [[nodiscard]] bool ann_enabled() const noexcept { return ann_.has_value(); }
+  /// The attached index, or nullptr (for bundle save / introspection).
+  [[nodiscard]] const hv::ann::Index* ann_index() const noexcept {
+    return ann_ ? &*ann_ : nullptr;
+  }
+  /// Per-query probe-width override for the attached index (0 = the index
+  /// default). Serve's --nprobe flag lands here.
+  void set_ann_nprobe(std::size_t nprobe) noexcept { ann_nprobe_ = nprobe; }
+  [[nodiscard]] std::size_t ann_nprobe() const noexcept { return ann_nprobe_; }
+
+  /// Packed training vectors (the ANN index's database).
+  [[nodiscard]] const hv::PackedHVs& packed_vectors() const noexcept {
+    return packed_;
+  }
 
   /// Class prototypes (prototype mode only).
   [[nodiscard]] const hv::BitVector& prototype(int label) const;
@@ -65,6 +97,8 @@ class HammingClassifier {
   hv::PackedHVs packed_;  // training vectors packed for the search kernel
   std::vector<int> labels_;
   hv::BitVector prototypes_[2];
+  std::optional<hv::ann::Index> ann_;  // opt-in sub-linear k-NN path
+  std::size_t ann_nprobe_ = 0;         // 0 = index default
 };
 
 /// Leave-one-out evaluation of the 1-NN Hamming model over a full dataset of

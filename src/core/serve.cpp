@@ -71,6 +71,22 @@ ServeEngine::ServeEngine(ModelBundle bundle, ServeConfig config)
     kind_ = PredictorKind::kMl;
     model_name_ = ml_model_->name();
   }
+  if (config_.ann && kind_ != PredictorKind::kHamming) {
+    throw std::invalid_argument(
+        "ServeEngine: ann requires the hamming predictor");
+  }
+  if (bundle_.hamming) {
+    if (config_.ann) {
+      // Prefer the index persisted in the bundle (attached by load_bundle);
+      // build one here only when the bundle carries none.
+      if (!bundle_.hamming->ann_enabled()) bundle_.hamming->enable_ann();
+      bundle_.hamming->set_ann_nprobe(config_.nprobe);
+    } else {
+      // Exact serving stays byte-identical to the kernels even when the
+      // bundle happens to carry an index.
+      bundle_.hamming->disable_ann();
+    }
+  }
 }
 
 ServeEngine::~ServeEngine() { shutdown(); }
@@ -94,8 +110,23 @@ void ServeEngine::release_scratch(std::unique_ptr<Scratch> scratch) {
 
 int ServeEngine::predict_encoded(const hv::BitVector& encoded) const {
   switch (kind_) {
-    case PredictorKind::kHamming:
+    case PredictorKind::kHamming: {
+      if (bundle_.hamming->ann_enabled()) {
+        hv::ann::SearchStats stats;
+        const int prediction = bundle_.hamming->predict(encoded, &stats);
+        if (obs::enabled() && stats.queries > 0) {
+          obs::counter("serve.ann.candidates").add(stats.candidates);
+          obs::counter("serve.ann.probes").add(stats.probes);
+          if (stats.candidates > 0) {
+            obs::histogram("serve.ann.rerank_fraction")
+                .record(static_cast<double>(stats.reranked) /
+                        static_cast<double>(stats.candidates));
+          }
+        }
+        return prediction;
+      }
       return bundle_.hamming->predict(encoded);
+    }
     case PredictorKind::kNn: {
       // Per-row evaluation in both serve paths, so batching cannot change
       // the answer.

@@ -46,6 +46,12 @@ struct ServeConfig {
   std::string model;
   /// Most requests folded into one packed predict per drain sweep.
   std::size_t max_batch = 64;
+  /// Route hamming k-NN requests through the bundle's ANN index (attached
+  /// at load, or built here when the bundle carries none). Requires the
+  /// hamming predictor; other predictors reject the flag.
+  bool ann = false;
+  /// Probe-width override for the ANN path (0 = the index default).
+  std::size_t nprobe = 0;
   /// Pool running the drain task; nullptr = process-wide pool.
   parallel::ThreadPool* pool = nullptr;
 };

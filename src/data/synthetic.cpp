@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "util/rng.hpp"
 
@@ -125,6 +126,37 @@ Dataset make_pima(const PimaConfig& config) {
     ds.add_row(row, y);
   }
   return ds;
+}
+
+Dataset make_synthetic_cohort_range(std::size_t begin, std::size_t end,
+                                    std::uint64_t seed) {
+  if (begin > end) {
+    throw std::invalid_argument("make_synthetic_cohort_range: begin > end");
+  }
+  std::vector<ColumnSpec> columns;
+  columns.reserve(std::size(kPimaSpecs));
+  for (const auto& spec : kPimaSpecs) {
+    columns.push_back(ColumnSpec{spec.name, ColumnKind::kContinuous});
+  }
+  Dataset ds(std::move(columns));
+
+  // One independent substream per row: row i is a pure function of
+  // (i, seed), which is what makes arbitrary chunkings bit-identical.
+  std::vector<double> row(std::size(kPimaSpecs));
+  for (std::size_t i = begin; i < end; ++i) {
+    util::Rng rng(util::mix_seed(seed, i));
+    const int y = rng.bernoulli(0.35) ? 1 : 0;  // ~Pima prevalence
+    double latents[3] = {rng.normal(), rng.normal(), rng.normal()};
+    for (std::size_t j = 0; j < std::size(kPimaSpecs); ++j) {
+      row[j] = sample_pima_feature(kPimaSpecs[j], y, latents, rng);
+    }
+    ds.add_row(row, y);
+  }
+  return ds;
+}
+
+Dataset make_synthetic_cohort(std::size_t rows, std::uint64_t seed) {
+  return make_synthetic_cohort_range(0, rows, seed);
 }
 
 Dataset make_sylhet(const SylhetConfig& config) {

@@ -44,6 +44,23 @@ struct SylhetConfig {
 /// No missing values (the real dataset is complete).
 [[nodiscard]] Dataset make_sylhet(const SylhetConfig& config = {});
 
+/// Scalable Pima-like cohort for ANN benches and large-n tests: 8 complete
+/// continuous features (no injected missingness) drawn from the same
+/// per-class marginals as make_pima, ~35% positive. Row i is generated from
+/// its own seeded substream (util::mix_seed(seed, i)), so the generator is a
+/// pure function of (i, seed): make_synthetic_cohort(n, s) row i equals
+/// make_synthetic_cohort_range(i, i+1, s) row 0, and any chunking of
+/// [0, n) concatenates to the same cohort. That is the row-range hook the
+/// out-of-core path (ROADMAP item 2) will stream through.
+[[nodiscard]] Dataset make_synthetic_cohort(std::size_t rows,
+                                            std::uint64_t seed = 2023);
+
+/// Rows [begin, end) of the same cohort, bit-identical to the corresponding
+/// slice of make_synthetic_cohort(end, seed).
+[[nodiscard]] Dataset make_synthetic_cohort_range(std::size_t begin,
+                                                  std::size_t end,
+                                                  std::uint64_t seed = 2023);
+
 /// Two spherical Gaussian blobs in `n_features` dimensions, centred at
 /// +/- `separation`/2 along every axis. Used by the ML substrate tests.
 [[nodiscard]] Dataset make_two_gaussians(std::size_t n_per_class,

@@ -1,0 +1,556 @@
+#include "hv/ann.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "simd/dispatch.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace hdc::hv::ann {
+
+namespace {
+
+constexpr std::size_t kMaxSketchBits = 1024;
+constexpr std::size_t kMaxRows = 1ULL << 27;
+constexpr std::uint64_t kSketchSeedStream = 0x534b4554ULL;  // "SKET"
+/// Auto-nprobe floors the expected candidate count at this many rows.
+constexpr std::size_t kAutoProbeRowFloor = 600;
+
+/// Registry handles resolved once per process; counts are derived outside
+/// the kernels, so the disabled path costs one relaxed load per chunk.
+struct AnnMetrics {
+  obs::Counter& queries = obs::counter("hv.ann.queries");
+  obs::Counter& probes = obs::counter("hv.ann.probes");
+  obs::Counter& candidates = obs::counter("hv.ann.candidates");
+  obs::Counter& reranked = obs::counter("hv.ann.reranked");
+  obs::Counter& word_ops = obs::counter("hv.ann.word_ops");
+
+  static AnnMetrics& get() {
+    static AnnMetrics metrics;
+    return metrics;
+  }
+};
+
+/// Platform-stable FNV-1a 64 over little-endian word bytes plus the shape,
+/// so a fingerprint written on one machine verifies on any other.
+std::uint64_t fingerprint_words(const std::uint64_t* words, std::size_t n,
+                                std::size_t bits, std::size_t rows) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto eat = [&h](std::uint64_t value) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (value >> (8 * b)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  eat(bits);
+  eat(rows);
+  for (std::size_t i = 0; i < n; ++i) eat(words[i]);
+  return h;
+}
+
+struct SketchCandidate {
+  std::size_t sketch_distance;
+  std::uint64_t row;
+};
+
+bool sketch_less(const SketchCandidate& a, const SketchCandidate& b) noexcept {
+  return a.sketch_distance != b.sketch_distance
+             ? a.sketch_distance < b.sketch_distance
+             : a.row < b.row;
+}
+
+bool neighbor_less(const Neighbor& a, const Neighbor& b) noexcept {
+  return a.distance != b.distance ? a.distance < b.distance : a.index < b.index;
+}
+
+}  // namespace
+
+void Index::sketch_row(const std::uint64_t* words, std::uint64_t* out) const {
+  std::fill(out, out + sketch_words_, 0ULL);
+  for (std::size_t s = 0; s < positions_.size(); ++s) {
+    const std::uint32_t bit = positions_[s];
+    if ((words[bit >> 6] >> (bit & 63)) & 1ULL) {
+      out[s >> 6] |= 1ULL << (s & 63);
+    }
+  }
+}
+
+Index Index::build(const PackedHVs& database, const Config& config,
+                   parallel::ThreadPool* pool) {
+  if (database.empty()) {
+    throw std::invalid_argument("ann::build: empty database");
+  }
+  if (database.rows() > kMaxRows) {
+    throw std::invalid_argument("ann::build: database too large");
+  }
+  if (config.sketch_bits == 0 || config.sketch_bits > kMaxSketchBits) {
+    throw std::invalid_argument("ann::build: sketch_bits out of range");
+  }
+  if (!(config.rerank_fraction >= 0.0 && config.rerank_fraction <= 1.0)) {
+    throw std::invalid_argument("ann::build: rerank_fraction must be in [0,1]");
+  }
+  obs::Span span("hv.ann.build");
+
+  const std::size_t n = database.rows();
+  const std::size_t words = database.words_per_row();
+
+  Index index;
+  index.config_ = config;
+  index.bits_ = database.bits();
+  index.words_per_row_ = words;
+  index.rows_ = n;
+
+  // Resolve the sizing knobs against this database; the resolved values are
+  // what serialize, so a reloaded index behaves identically.
+  Config& c = index.config_;
+  c.sketch_bits = std::min(c.sketch_bits, index.bits_);
+  if (c.cells == 0) {
+    c.cells = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(n))));
+  }
+  c.cells = std::clamp<std::size_t>(c.cells, 1, n);
+  if (c.lloyd_sample == 0) c.lloyd_sample = n;
+  index.sketch_words_ = (c.sketch_bits + 63) / 64;
+
+  // Deterministic sketch positions: seeded sample without replacement,
+  // sorted so sketch extraction walks each row monotonically.
+  util::Rng position_rng(util::mix_seed(c.seed, kSketchSeedStream));
+  std::vector<std::size_t> sampled =
+      position_rng.sample_without_replacement(index.bits_, c.sketch_bits);
+  std::sort(sampled.begin(), sampled.end());
+  index.positions_.assign(sampled.begin(), sampled.end());
+
+  // Initial centroids: rows at evenly strided positions (deterministic and
+  // spread across whatever ordering the database arrived in).
+  std::vector<std::uint64_t> centroids(c.cells * words);
+  for (std::size_t cell = 0; cell < c.cells; ++cell) {
+    const std::size_t row = cell * n / c.cells;
+    std::copy_n(database.row(row), words, centroids.data() + cell * words);
+  }
+
+  // Nearest centroid of one row (ties -> lowest cell id).
+  const auto nearest_cell = [&](const std::uint64_t* row,
+                                std::size_t n_cells) -> std::size_t {
+    const auto hamming = simd::active().hamming;
+    std::size_t best_cell = 0;
+    std::size_t best_distance = index.bits_ + 1;
+    for (std::size_t cell = 0; cell < n_cells; ++cell) {
+      const std::size_t d = hamming(row, centroids.data() + cell * words, words);
+      if (d < best_distance) {
+        best_distance = d;
+        best_cell = cell;
+      }
+    }
+    return best_cell;
+  };
+
+  // Lloyd refinement over a strided sample (assignments are embarrassingly
+  // parallel; accumulation is a serial pass, so results are thread-count-
+  // invariant by construction).
+  const std::size_t stride = (n + c.lloyd_sample - 1) / c.lloyd_sample;
+  const std::size_t sample_count = (n + stride - 1) / stride;
+  std::vector<std::uint32_t> sample_cell(sample_count);
+  std::vector<std::uint32_t> counts(c.cells * index.bits_);
+  std::vector<std::uint64_t> cell_sizes(c.cells);
+  for (std::size_t iter = 0; iter < c.lloyd_iterations; ++iter) {
+    parallel::parallel_for(
+        0, sample_count,
+        [&](std::size_t s) {
+          sample_cell[s] = static_cast<std::uint32_t>(
+              nearest_cell(database.row(s * stride), c.cells));
+        },
+        pool);
+    std::fill(counts.begin(), counts.end(), 0);
+    std::fill(cell_sizes.begin(), cell_sizes.end(), 0);
+    for (std::size_t s = 0; s < sample_count; ++s) {
+      const std::size_t cell = sample_cell[s];
+      ++cell_sizes[cell];
+      std::uint32_t* cell_counts = counts.data() + cell * index.bits_;
+      const std::uint64_t* row = database.row(s * stride);
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t word = row[w];
+        while (word != 0) {
+          const auto b = static_cast<std::size_t>(std::countr_zero(word));
+          ++cell_counts[w * 64 + b];
+          word &= word - 1;
+        }
+      }
+    }
+    for (std::size_t cell = 0; cell < c.cells; ++cell) {
+      const std::uint64_t size = cell_sizes[cell];
+      if (size == 0) continue;  // empty cell keeps its previous centroid
+      std::uint64_t* centroid = centroids.data() + cell * words;
+      const std::uint32_t* cell_counts = counts.data() + cell * index.bits_;
+      std::fill_n(centroid, words, 0ULL);
+      for (std::size_t bit = 0; bit < index.bits_; ++bit) {
+        // Majority with ties -> 1, matching hv::TiePolicy::kOne.
+        if (2ULL * cell_counts[bit] >= size) {
+          centroid[bit >> 6] |= 1ULL << (bit & 63);
+        }
+      }
+    }
+  }
+
+  // Final assignment covers every row, then empty cells are compacted away
+  // (probing an empty cell would waste a probe budget slot).
+  std::vector<std::uint32_t> assignment(n);
+  parallel::parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        assignment[i] =
+            static_cast<std::uint32_t>(nearest_cell(database.row(i), c.cells));
+      },
+      pool);
+  std::fill(cell_sizes.begin(), cell_sizes.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) ++cell_sizes[assignment[i]];
+  std::vector<std::uint32_t> remap(c.cells);
+  std::size_t kept = 0;
+  for (std::size_t cell = 0; cell < c.cells; ++cell) {
+    remap[cell] = static_cast<std::uint32_t>(kept);
+    if (cell_sizes[cell] != 0) {
+      if (kept != cell) {
+        std::copy_n(centroids.data() + cell * words, words,
+                    centroids.data() + kept * words);
+      }
+      ++kept;
+    }
+  }
+  centroids.resize(kept * words);
+  index.centroids_ = std::move(centroids);
+  c.cells = kept;
+  if (c.nprobe == 0) {
+    // Floor the expected candidate count (nprobe * rows / cells) at
+    // kAutoProbeRowFloor rows: small databases probe most of their cells,
+    // which is what the golden-dataset recall@1 >= 0.999 gate needs, while
+    // large databases stay on the max(8, cells/8) sub-linear profile.
+    const std::size_t floor_probes =
+        (kAutoProbeRowFloor * c.cells + n - 1) / n;
+    c.nprobe = std::max({std::size_t{8}, c.cells / 8, floor_probes});
+  }
+  c.nprobe = std::clamp<std::size_t>(c.nprobe, 1, c.cells);
+
+  // Counting sort by (cell, row): rows ascend within each cell, the order
+  // the rerank tie rule depends on.
+  index.offsets_.assign(kept + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++index.offsets_[remap[assignment[i]] + 1];
+  }
+  for (std::size_t cell = 0; cell < kept; ++cell) {
+    index.offsets_[cell + 1] += index.offsets_[cell];
+  }
+  index.members_.resize(n);
+  std::vector<std::uint64_t> cursor(index.offsets_.begin(),
+                                    index.offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    index.members_[cursor[remap[assignment[i]]]++] = i;
+  }
+
+  // Sketches in member (cell-grouped) order: probing a cell streams one
+  // contiguous span of sketch words.
+  index.sketches_.resize(n * index.sketch_words_);
+  parallel::parallel_for(
+      0, n,
+      [&](std::size_t p) {
+        index.sketch_row(database.row(index.members_[p]),
+                         index.sketches_.data() + p * index.sketch_words_);
+      },
+      pool);
+
+  index.fingerprint_ = fingerprint_words(database.row(0), n * words,
+                                         index.bits_, n);
+  return index;
+}
+
+void Index::check_database(const PackedHVs& database) const {
+  if (empty()) throw std::logic_error("ann: index is empty");
+  if (database.rows() != rows_ || database.bits() != bits_) {
+    throw std::invalid_argument("ann: database shape does not match the index");
+  }
+  const std::uint64_t fp = fingerprint_words(
+      database.row(0), rows_ * words_per_row_, bits_, rows_);
+  if (fp != fingerprint_) {
+    throw std::invalid_argument(
+        "ann: database fingerprint mismatch (index was built over different "
+        "vectors)");
+  }
+}
+
+std::vector<Neighbor> Index::nearest(const PackedHVs& queries,
+                                     const PackedHVs& database,
+                                     const SearchOptions& options,
+                                     SearchStats* stats) const {
+  std::vector<std::vector<Neighbor>> lists =
+      top_k(queries, database, 1, options, stats);
+  std::vector<Neighbor> out;
+  out.reserve(lists.size());
+  for (const auto& list : lists) out.push_back(list.front());
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> Index::top_k(const PackedHVs& queries,
+                                                const PackedHVs& database,
+                                                std::size_t k,
+                                                const SearchOptions& options,
+                                                SearchStats* stats) const {
+  if (k == 0) throw std::invalid_argument("ann: k must be >= 1");
+  if (options.exact) {
+    // Fallback contract: byte-identical to the exact tiled kernels.
+    hv::SearchOptions exact_options;
+    exact_options.exclude_same_index = options.exclude_same_index;
+    exact_options.pool = options.pool;
+    if (k == 1) {
+      const std::vector<Neighbor> flat =
+          nearest_neighbors(queries, database, exact_options);
+      std::vector<std::vector<Neighbor>> out;
+      out.reserve(flat.size());
+      for (const Neighbor& n : flat) out.push_back({n});
+      return out;
+    }
+    return top_k_neighbors(queries, database, k, exact_options);
+  }
+
+  if (empty()) throw std::logic_error("ann: index is empty");
+  if (queries.empty()) throw std::invalid_argument("ann: empty queries");
+  if (queries.bits() != bits_) {
+    throw std::invalid_argument("ann: query dimensionality mismatch");
+  }
+  if (database.rows() != rows_ || database.bits() != bits_) {
+    throw std::invalid_argument("ann: database shape does not match the index");
+  }
+  if (options.exclude_same_index && queries.rows() != rows_) {
+    throw std::invalid_argument(
+        "ann: exclude_same_index needs queries == database");
+  }
+  const std::size_t n_cells = cells();
+  const std::size_t nprobe = std::clamp<std::size_t>(
+      options.nprobe != 0 ? options.nprobe : config_.nprobe, 1, n_cells);
+  const std::size_t words = words_per_row_;
+
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  SearchStats totals;
+  std::mutex totals_mutex;
+
+  parallel::parallel_for_chunks(
+      0, queries.rows(),
+      [&](std::size_t q_lo, std::size_t q_hi) {
+        obs::Span span("hv.ann.chunk");
+        const auto hamming = simd::active().hamming;
+        SearchStats local;
+        std::vector<SketchCandidate> candidates;
+        std::vector<std::size_t> cell_order(n_cells);
+        std::vector<std::size_t> cell_distance(n_cells);
+        std::vector<std::uint64_t> query_sketch(sketch_words_);
+        std::vector<Neighbor> reranked;
+        for (std::size_t q = q_lo; q < q_hi; ++q) {
+          const std::uint64_t* qrow = queries.row(q);
+          // 1. Rank all cells by exact centroid distance (ties -> lowest
+          // cell id via stable sort over ascending ids).
+          for (std::size_t cell = 0; cell < n_cells; ++cell) {
+            cell_order[cell] = cell;
+            cell_distance[cell] =
+                hamming(qrow, centroids_.data() + cell * words, words);
+          }
+          local.word_ops += n_cells * words;
+          std::stable_sort(cell_order.begin(), cell_order.end(),
+                           [&](std::size_t a, std::size_t b) {
+                             return cell_distance[a] < cell_distance[b];
+                           });
+
+          // 2. Sketch-scan the members of the nprobe closest cells.
+          sketch_row(qrow, query_sketch.data());
+          candidates.clear();
+          for (std::size_t p = 0; p < nprobe; ++p) {
+            const std::size_t cell = cell_order[p];
+            const std::uint64_t lo = offsets_[cell];
+            const std::uint64_t hi = offsets_[cell + 1];
+            for (std::uint64_t m = lo; m < hi; ++m) {
+              const std::uint64_t row = members_[m];
+              if (options.exclude_same_index && row == q) continue;
+              const std::size_t d =
+                  hamming(query_sketch.data(),
+                          sketches_.data() + m * sketch_words_, sketch_words_);
+              candidates.push_back(SketchCandidate{d, row});
+            }
+          }
+          local.probes += nprobe;
+          local.candidates += candidates.size();
+          local.word_ops += candidates.size() * sketch_words_;
+
+          std::vector<Neighbor>& result = out[q];
+          if (candidates.empty()) {
+            // Degenerate probe set (e.g. leave-one-out removed the only
+            // member): answer exactly over the whole database.
+            result.reserve(std::min(k, rows_));
+            for (std::size_t j = 0; j < rows_; ++j) {
+              if (options.exclude_same_index && j == q) continue;
+              const Neighbor cand{j, hamming(qrow, database.row(j), words)};
+              if (result.size() == k && !neighbor_less(cand, result.back())) {
+                continue;
+              }
+              auto pos = std::upper_bound(result.begin(), result.end(), cand,
+                                          neighbor_less);
+              result.insert(pos, cand);
+              if (result.size() > k) result.pop_back();
+            }
+            local.reranked += rows_;
+            local.word_ops += rows_ * words;
+            ++local.queries;
+            continue;
+          }
+
+          // 3. Exact rerank of the sketch-filtered survivors.
+          std::size_t rerank = std::max(
+              {config_.min_rerank, k,
+               static_cast<std::size_t>(std::ceil(
+                   config_.rerank_fraction *
+                   static_cast<double>(candidates.size())))});
+          rerank = std::min(rerank, candidates.size());
+          if (rerank < candidates.size()) {
+            std::nth_element(candidates.begin(),
+                             candidates.begin() +
+                                 static_cast<std::ptrdiff_t>(rerank - 1),
+                             candidates.end(), sketch_less);
+          }
+          reranked.clear();
+          reranked.reserve(rerank);
+          for (std::size_t i = 0; i < rerank; ++i) {
+            const std::uint64_t row = candidates[i].row;
+            reranked.push_back(
+                Neighbor{row, hamming(qrow, database.row(row), words)});
+          }
+          std::sort(reranked.begin(), reranked.end(), neighbor_less);
+          if (reranked.size() > k) reranked.resize(k);
+          result = reranked;
+          local.reranked += rerank;
+          local.word_ops += rerank * words;
+          ++local.queries;
+        }
+        if (obs::enabled()) {
+          AnnMetrics& metrics = AnnMetrics::get();
+          metrics.queries.add(local.queries);
+          metrics.probes.add(local.probes);
+          metrics.candidates.add(local.candidates);
+          metrics.reranked.add(local.reranked);
+          metrics.word_ops.add(local.word_ops);
+        }
+        const std::lock_guard<std::mutex> lock(totals_mutex);
+        totals.queries += local.queries;
+        totals.probes += local.probes;
+        totals.candidates += local.candidates;
+        totals.reranked += local.reranked;
+        totals.word_ops += local.word_ops;
+      },
+      options.pool);
+
+  if (stats != nullptr) *stats = totals;
+  return out;
+}
+
+void Index::save(std::ostream& out) const {
+  if (empty()) throw std::logic_error("ann: save of an empty index");
+  util::serde::Writer w(out);
+  w.tag("hv.ann").tag("v1").nl();
+  w.u64(bits_).u64(rows_).u64(config_.sketch_bits).u64(config_.cells)
+      .u64(config_.nprobe).nl();
+  w.u64(config_.lloyd_iterations).u64(config_.lloyd_sample)
+      .f64(config_.rerank_fraction).u64(config_.min_rerank)
+      .u64(config_.seed).nl();
+  w.u64(fingerprint_).nl();
+  w.words(centroids_).nl();
+  w.vec_u64(offsets_).nl();
+  w.vec_u64(members_).nl();
+  w.words(sketches_).nl();
+}
+
+Index Index::load(std::istream& in) {
+  util::serde::Reader r(in, "load hv.ann");
+  r.expect("hv.ann", "index tag");
+  r.expect("v1", "format version");
+  Index index;
+  index.bits_ = r.count("bits", 1ULL << 26);
+  index.rows_ = r.count("rows", kMaxRows);
+  index.config_.sketch_bits = r.count("sketch_bits", kMaxSketchBits);
+  index.config_.cells = r.count("cells", kMaxRows);
+  index.config_.nprobe = r.count("nprobe", kMaxRows);
+  index.config_.lloyd_iterations = r.count("lloyd_iterations", 1ULL << 16);
+  index.config_.lloyd_sample = r.count("lloyd_sample", kMaxRows);
+  index.config_.rerank_fraction = r.f64("rerank_fraction");
+  index.config_.min_rerank = r.count("min_rerank", kMaxRows);
+  index.config_.seed = r.u64("seed");
+  index.fingerprint_ = r.u64("fingerprint");
+
+  if (index.bits_ == 0 || index.rows_ == 0) {
+    throw r.error("empty index");
+  }
+  const Config& c = index.config_;
+  if (c.sketch_bits == 0 || c.sketch_bits > index.bits_) {
+    throw r.error("sketch_bits out of range");
+  }
+  if (c.cells == 0 || c.cells > index.rows_) {
+    throw r.error("cell count out of range");
+  }
+  if (c.nprobe == 0 || c.nprobe > c.cells) {
+    throw r.error("nprobe out of range");
+  }
+  if (!(c.rerank_fraction >= 0.0 && c.rerank_fraction <= 1.0)) {
+    throw r.error("rerank_fraction out of range");
+  }
+  index.words_per_row_ = (index.bits_ + 63) / 64;
+  index.sketch_words_ = (c.sketch_bits + 63) / 64;
+
+  index.centroids_ = r.read_words("centroids", c.cells * index.words_per_row_);
+  if (index.centroids_.size() != c.cells * index.words_per_row_) {
+    throw r.error("centroid word count mismatch");
+  }
+  index.offsets_ = r.vec_u64("cell offsets", c.cells + 1);
+  if (index.offsets_.size() != c.cells + 1 || index.offsets_.front() != 0 ||
+      index.offsets_.back() != index.rows_) {
+    throw r.error("bad cell offsets");
+  }
+  for (std::size_t cell = 0; cell < c.cells; ++cell) {
+    if (index.offsets_[cell + 1] <= index.offsets_[cell]) {
+      throw r.error("cell offsets must be strictly increasing (no empty cells)");
+    }
+  }
+  index.members_ = r.vec_u64("cell members", index.rows_);
+  if (index.members_.size() != index.rows_) {
+    throw r.error("member count mismatch");
+  }
+  std::vector<bool> seen(index.rows_, false);
+  for (std::size_t cell = 0; cell < c.cells; ++cell) {
+    for (std::uint64_t m = index.offsets_[cell]; m < index.offsets_[cell + 1];
+         ++m) {
+      const std::uint64_t row = index.members_[m];
+      if (row >= index.rows_ || seen[row]) {
+        throw r.error("cell members are not a permutation of the rows");
+      }
+      seen[row] = true;
+      if (m > index.offsets_[cell] && index.members_[m - 1] >= row) {
+        throw r.error("cell members must ascend within a cell");
+      }
+    }
+  }
+  index.sketches_ =
+      r.read_words("sketches", index.rows_ * index.sketch_words_);
+  if (index.sketches_.size() != index.rows_ * index.sketch_words_) {
+    throw r.error("sketch word count mismatch");
+  }
+
+  // Sketch positions are a pure function of (seed, bits, sketch_bits);
+  // recomputing them keeps the serialized body small and tamper-evident.
+  util::Rng position_rng(util::mix_seed(c.seed, kSketchSeedStream));
+  std::vector<std::size_t> sampled =
+      position_rng.sample_without_replacement(index.bits_, c.sketch_bits);
+  std::sort(sampled.begin(), sampled.end());
+  index.positions_.assign(sampled.begin(), sampled.end());
+  return index;
+}
+
+}  // namespace hdc::hv::ann

@@ -15,7 +15,9 @@
 
 #include "core/bundle.hpp"
 #include "core/extractor.hpp"
+#include "core/hamming_classifier.hpp"
 #include "data/synthetic.hpp"
+#include "hv/ann.hpp"
 #include "ml/zoo.hpp"
 #include "util/rng.hpp"
 #include "util/serde.hpp"
@@ -49,24 +51,52 @@ const std::string& golden_bundle() {
   return artifact;
 }
 
+/// Pristine bundle carrying a hamming predictor with an attached ANN index
+/// (an `ann` section alongside `hamming`), built once.
+const std::string& golden_ann_bundle() {
+  static const std::string artifact = [] {
+    const hdc::data::Dataset ds = hdc::data::make_sylhet({30, 40, 3});
+    hdc::core::ExtractorConfig config;
+    config.dimensions = 256;
+    config.seed = 7;
+    ModelBundle bundle;
+    bundle.extractor.emplace(config);
+    bundle.extractor->fit(ds);
+    hdc::core::HammingClassifier hamming;
+    hamming.fit(bundle.extractor->transform(ds), ds.labels());
+    hamming.enable_ann();
+    bundle.hamming = std::move(hamming);
+    std::ostringstream out;
+    save_bundle(out, bundle);
+    return out.str();
+  }();
+  return artifact;
+}
+
 /// The fuzz oracle: a mutated artifact must either be rejected with a
 /// std::runtime_error, or load into a bundle whose re-serialization is
 /// byte-identical to the pristine one (mutations in syntactically dead
 /// bytes). Anything else — a crash, another exception type, a silently
 /// different model — fails the test.
 void expect_rejected_or_identical(const std::string& mutated,
+                                  const std::string& pristine,
                                   const std::string& label) {
   std::istringstream in(mutated);
   try {
     const ModelBundle loaded = load_bundle(in);
     std::ostringstream resaved;
     save_bundle(resaved, loaded);
-    EXPECT_EQ(resaved.str(), golden_bundle())
+    EXPECT_EQ(resaved.str(), pristine)
         << label << ": loaded without error but the state drifted";
   } catch (const std::runtime_error& e) {
     EXPECT_STRNE(e.what(), "") << label << ": error message is empty";
   }
   // Any other exception type escapes and fails the test outright.
+}
+
+void expect_rejected_or_identical(const std::string& mutated,
+                                  const std::string& label) {
+  expect_rejected_or_identical(mutated, golden_bundle(), label);
 }
 
 TEST(BundleCorrupt, PristineLoads) {
@@ -249,6 +279,98 @@ TEST(BundleCorrupt, GarbageInputsRejected) {
     SCOPED_TRACE(garbage);
     std::istringstream in(garbage);
     EXPECT_THROW((void)load_bundle(in), std::runtime_error);
+  }
+}
+
+/// Raw body bytes of one named section, scanned straight out of an artifact
+/// (headers are `section ~name bytes checksum`, body follows the newline).
+std::string raw_section_body(const std::string& artifact,
+                             const std::string& name) {
+  const std::string needle = "section ~" + name + ' ';
+  const std::size_t at = artifact.find(needle);
+  EXPECT_NE(at, std::string::npos) << name;
+  std::istringstream header(artifact.substr(at + needle.size()));
+  std::size_t bytes = 0;
+  header >> bytes;
+  const std::size_t body_start = artifact.find('\n', at) + 1;
+  return artifact.substr(body_start, bytes);
+}
+
+TEST(BundleCorrupt, AnnPristineLoadsWithIndexAttached) {
+  std::istringstream in(golden_ann_bundle());
+  const ModelBundle loaded = load_bundle(in);
+  ASSERT_TRUE(loaded.hamming.has_value());
+  EXPECT_TRUE(loaded.hamming->ann_enabled());
+  std::ostringstream resaved;
+  save_bundle(resaved, loaded);
+  EXPECT_EQ(resaved.str(), golden_ann_bundle());
+}
+
+TEST(BundleCorrupt, AnnTruncationAtEveryStride) {
+  const std::string& full = golden_ann_bundle();
+  std::vector<std::size_t> cuts;
+  for (std::size_t cut = 0; cut < full.size(); cut += 97) cuts.push_back(cut);
+  for (std::size_t back = 1; back <= 16 && back < full.size(); ++back) {
+    cuts.push_back(full.size() - back);
+  }
+  for (const std::size_t cut : cuts) {
+    expect_rejected_or_identical(full.substr(0, cut), full,
+                                 "ann-truncate@" + std::to_string(cut));
+  }
+}
+
+TEST(BundleCorrupt, AnnBitFlipsAtSeededPositions) {
+  const std::string& full = golden_ann_bundle();
+  hdc::util::Rng rng(20260809);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t pos = rng.below(full.size());
+    const int bit = static_cast<int>(rng.below(8));
+    std::string mutated = full;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << bit));
+    expect_rejected_or_identical(mutated, full,
+                                 "ann-flip@" + std::to_string(pos) + "." +
+                                     std::to_string(bit));
+  }
+}
+
+TEST(BundleCorrupt, AnnSectionWithoutHammingRejected) {
+  const std::string crafted =
+      craft_bundle({{"ann", raw_section_body(golden_ann_bundle(), "ann")}});
+  std::istringstream in(crafted);
+  try {
+    (void)load_bundle(in);
+    FAIL() << "orphan ann section accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hamming"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BundleCorrupt, AnnFingerprintMismatchRejected) {
+  // A valid index built over *different* rows paired with the golden hamming
+  // section: every per-field check passes, only the database fingerprint can
+  // catch the swap.
+  const hdc::data::Dataset other = hdc::data::make_sylhet({40, 30, 9});
+  hdc::core::ExtractorConfig config;
+  config.dimensions = 256;
+  config.seed = 7;
+  hdc::core::HdcFeatureExtractor extractor(config);
+  extractor.fit(other);
+  const hdc::hv::ann::Index foreign =
+      hdc::hv::ann::Index::build(extractor.transform_packed(other));
+  std::ostringstream foreign_body;
+  foreign.save(foreign_body);
+
+  const std::string crafted = craft_bundle(
+      {{"hamming", raw_section_body(golden_ann_bundle(), "hamming")},
+       {"ann", foreign_body.str()}});
+  std::istringstream in(crafted);
+  try {
+    (void)load_bundle(in);
+    FAIL() << "foreign ann index accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos)
+        << e.what();
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "data/preprocess.hpp"
 
 namespace hdc::data {
@@ -158,6 +160,58 @@ TEST(MakeTwoGaussians, ShapeAndLabels) {
   const auto [neg, pos] = ds.class_counts();
   EXPECT_EQ(neg, 25u);
   EXPECT_EQ(pos, 25u);
+}
+
+TEST(MakeSyntheticCohort, ChunkingIsInvariant) {
+  const Dataset whole = make_synthetic_cohort(200, 7);
+  EXPECT_EQ(whole.n_rows(), 200u);
+  EXPECT_EQ(whole.n_cols(), 8u);
+
+  // Any chunking of [0, n) concatenates to the same cohort; row i is a pure
+  // function of (i, seed).
+  const std::size_t splits[] = {0, 1, 63, 64, 200};
+  std::size_t checked = 0;
+  for (std::size_t s = 0; s + 1 < std::size(splits); ++s) {
+    const Dataset chunk =
+        make_synthetic_cohort_range(splits[s], splits[s + 1], 7);
+    ASSERT_EQ(chunk.n_rows(), splits[s + 1] - splits[s]);
+    for (std::size_t i = 0; i < chunk.n_rows(); ++i) {
+      const std::size_t global = splits[s] + i;
+      ASSERT_EQ(chunk.label(i), whole.label(global));
+      for (std::size_t j = 0; j < whole.n_cols(); ++j) {
+        ASSERT_EQ(chunk.value(i, j), whole.value(global, j)) << global;
+      }
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, whole.n_rows());
+}
+
+TEST(MakeSyntheticCohort, SeedChangesRowsAndPrevalenceIsSane) {
+  const Dataset a = make_synthetic_cohort(500, 1);
+  const Dataset b = make_synthetic_cohort(500, 2);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.n_rows(); ++i) {
+    if (a.value(i, 1) != b.value(i, 1)) ++differing;
+  }
+  EXPECT_GT(differing, 450u);
+
+  const auto [neg, pos] = a.class_counts();
+  EXPECT_EQ(neg + pos, a.n_rows());
+  const double rate = static_cast<double>(pos) / static_cast<double>(a.n_rows());
+  EXPECT_GT(rate, 0.25);
+  EXPECT_LT(rate, 0.45);
+  // Complete cohort: the encode path needs no imputation.
+  for (std::size_t i = 0; i < a.n_rows(); ++i) {
+    for (std::size_t j = 0; j < a.n_cols(); ++j) {
+      ASSERT_FALSE(std::isnan(a.value(i, j)));
+    }
+  }
+}
+
+TEST(MakeSyntheticCohort, RejectsInvertedRange) {
+  EXPECT_THROW((void)make_synthetic_cohort_range(5, 4, 1),
+               std::invalid_argument);
 }
 
 TEST(MakeXor, QuadrantStructure) {
