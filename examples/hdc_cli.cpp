@@ -2,6 +2,11 @@
 //
 //   hdc_cli describe data.csv                      # dataset summary
 //   hdc_cli train data.csv model.hdc               # fit extractor + Hamming 1-NN
+//   hdc_cli train data.csv model.hdc --stream --shard-rows N
+//                                                  # same model, out-of-core:
+//                                                  # CSV is read and encoded in
+//                                                  # N-row shards, never fully
+//                                                  # resident as dense doubles
 //   hdc_cli evaluate data.csv model.hdc            # accuracy report on a CSV
 //   hdc_cli predict data.csv model.hdc             # per-row predictions
 //   hdc_cli experiment data.csv                    # Hamming LOOCV + model fit
@@ -40,11 +45,13 @@
 // /healthz on an embedded HTTP listener while it runs (P=0 picks an
 // ephemeral port, logged at startup). All of it enables the corresponding
 // recording; predictions are identical either way.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <iterator>
 #include <optional>
 #include <string>
 
@@ -57,6 +64,7 @@
 #include "core/serve.hpp"
 #include "ml/zoo.hpp"
 #include "nn/sequential.hpp"
+#include "data/chunked.hpp"
 #include "data/csv.hpp"
 #include "data/describe.hpp"
 #include "eval/metrics.hpp"
@@ -106,6 +114,97 @@ int cmd_train(const hdc::data::Dataset& ds, const std::string& model_path,
   hdc::core::save_hamming(out, model);
   std::printf("trained on %zu patients (%zu features), wrote %s\n", ds.n_rows(),
               ds.n_cols(), model_path.c_str());
+  return 0;
+}
+
+// Out-of-core variant of cmd_train: the CSV is consumed in row-range shards
+// (data::CsvStreamChunks re-reads each range from disk), so the dense double
+// matrix of the full cohort is never resident. Pass 1 folds per-chunk column
+// stats into the extractor ranges; pass 2 encodes shard-at-a-time. The
+// written model file is byte-identical to the in-memory train on the same
+// CSV: row i's encoding is a pure function of (row, extractor), and the
+// folded ranges equal the whole-file ranges exactly (min/max are
+// order-free).
+int cmd_train_stream(const std::string& csv_path, const std::string& model_path,
+                     const hdc::util::Cli& cli) {
+  if (csv_path == "-") {
+    std::fprintf(stderr, "--stream needs a seekable CSV file, not stdin\n");
+    return 2;
+  }
+  hdc::data::CsvOptions options;
+  options.label_column = cli.get_string("--label", "");
+  const hdc::data::CsvStreamChunks chunks(csv_path, options);
+  const std::size_t shard_rows =
+      static_cast<std::size_t>(cli.get_int("--shard-rows", 4096));
+  const std::vector<hdc::data::ChunkRange> plan =
+      hdc::data::make_shard_plan(chunks.n_rows(), shard_rows);
+
+  // Pass 1: column ranges, one chunk resident at a time.
+  std::vector<hdc::core::ColumnEncoding> columns;
+  for (const hdc::data::ColumnSpec& spec : chunks.columns()) {
+    columns.push_back({spec.name, spec.kind, 0.0, 0.0});
+  }
+  std::vector<std::size_t> present(columns.size(), 0);
+  for (const hdc::data::ChunkRange& range : plan) {
+    const hdc::data::Dataset chunk = chunks.chunk(range.begin, range.end);
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      if (columns[j].kind != hdc::data::ColumnKind::kContinuous) continue;
+      const hdc::data::ColumnStats stats = chunk.column_stats(j);
+      if (stats.present == 0) continue;
+      if (present[j] == 0) {
+        columns[j].lo = stats.min;
+        columns[j].hi = stats.max;
+      } else {
+        columns[j].lo = std::min(columns[j].lo, stats.min);
+        columns[j].hi = std::max(columns[j].hi, stats.max);
+      }
+      present[j] += stats.present;
+    }
+  }
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    if (columns[j].kind == hdc::data::ColumnKind::kContinuous && present[j] == 0) {
+      std::fprintf(stderr, "column '%s' has no data\n", columns[j].name.c_str());
+      return 1;
+    }
+  }
+
+  hdc::core::ExtractorConfig config;
+  config.dimensions = static_cast<std::size_t>(cli.get_int("--dim", 10000));
+  config.seed = cli.get_uint("--seed", 2023);
+  hdc::core::HdcFeatureExtractor extractor(config);
+  extractor.fit_from_columns(std::move(columns));
+
+  // Pass 2: encode shard-at-a-time. Only the packed patient hypervectors
+  // accumulate (dimensions/8 bytes per row).
+  std::vector<hdc::hv::BitVector> vectors;
+  std::vector<int> labels;
+  vectors.reserve(chunks.n_rows());
+  labels.reserve(chunks.n_rows());
+  for (const hdc::data::ChunkRange& range : plan) {
+    const hdc::data::Dataset chunk = chunks.chunk(range.begin, range.end);
+    std::vector<hdc::hv::BitVector> encoded = extractor.transform(chunk);
+    std::move(encoded.begin(), encoded.end(), std::back_inserter(vectors));
+    const std::vector<int>& y = chunk.labels();
+    labels.insert(labels.end(), y.begin(), y.end());
+  }
+
+  hdc::core::HammingClassifier model(
+      hdc::core::HammingMode::kNearestNeighbor,
+      static_cast<std::size_t>(cli.get_int("--k", 1)));
+  model.fit(std::move(vectors), labels);
+
+  std::ofstream out(model_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", model_path.c_str());
+    return 1;
+  }
+  hdc::core::save_extractor(out, extractor);
+  hdc::core::save_hamming(out, model);
+  std::printf(
+      "streamed %zu patients (%zu features) in %zu shards of <= %zu rows, "
+      "wrote %s\n",
+      chunks.n_rows(), chunks.n_cols(), plan.size(),
+      shard_rows == 0 ? chunks.n_rows() : shard_rows, model_path.c_str());
   return 0;
 }
 
@@ -359,6 +458,15 @@ int run_command(const hdc::util::Cli& cli) {
     // grid takes one-or-more CSVs, not the single-dataset + model shape.
     return cmd_grid({args.begin() + 1, args.end()}, cli);
   }
+  if (command == "train" && cli.has_flag("--stream")) {
+    // Dispatch before load(): the whole point of --stream is that the CSV
+    // is never materialized as one Dataset.
+    if (args.size() < 3) {
+      std::fprintf(stderr, "train needs a model path\n");
+      return 2;
+    }
+    return cmd_train_stream(args[1], args[2], cli);
+  }
   const hdc::data::Dataset ds = load(args[1], cli);
   if (command == "describe") return cmd_describe(ds);
   if (command == "experiment") return cmd_experiment(ds, cli);
@@ -408,6 +516,8 @@ int main(int argc, char** argv) {
                  "<data.csv> [model.hdc] [--label COL] [--dim N] [--seed S] "
                  "[--k K] [--model NAME] [--threads T] [--metrics-out FILE] "
                  "[--trace-out FILE]\n"
+                 "       hdc_cli train <data.csv> <model.hdc> --stream "
+                 "[--shard-rows N] [--label COL] [--dim N] [--seed S] [--k K]\n"
                  "       hdc_cli bundle <data.csv> <out.bundle> [--models "
                  "a,b,c] [--with-nn] [--dim N] [--seed S] [--k K] [--ann "
                  "[--cells C] [--nprobe P]]\n"

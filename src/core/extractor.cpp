@@ -156,6 +156,15 @@ hv::BitMatrix HdcFeatureExtractor::transform_bits(const data::Dataset& ds,
   return batch.encode_bits(ds.n_rows(), make_row_fn(ds, config_, column_min_));
 }
 
+hv::ShardedBitMatrix HdcFeatureExtractor::transform_bits_chunked(
+    const data::Dataset& ds, std::size_t shard_rows,
+    parallel::ThreadPool* pool) const {
+  if (!fitted()) throw std::logic_error("HdcFeatureExtractor: not fitted");
+  const hv::BatchEncoder batch(*encoder_, {pool});
+  return batch.encode_bits_chunked(ds.n_rows(), shard_rows,
+                                   make_row_fn(ds, config_, column_min_));
+}
+
 ml::Matrix HdcFeatureExtractor::transform_to_matrix(const data::Dataset& ds) const {
   const std::vector<hv::BitVector> vectors = transform(ds);
   ml::Matrix out;

@@ -15,6 +15,7 @@
 #include "data/dataset.hpp"
 #include "hv/bit_matrix.hpp"
 #include "hv/encoders.hpp"
+#include "hv/sharded_bits.hpp"
 #include "hv/search.hpp"
 #include "ml/classifier.hpp"
 
@@ -85,6 +86,14 @@ class HdcFeatureExtractor {
   /// ML fast path — no double design matrix is ever materialised.
   [[nodiscard]] hv::BitMatrix transform_bits(
       const data::Dataset& ds, parallel::ThreadPool* pool = nullptr) const;
+
+  /// As transform_bits(), but encoded shard-at-a-time into a
+  /// ShardedBitMatrix (`shard_rows` rows per shard, 0 = one shard). Row i's
+  /// encoding is identical regardless of shard geometry, so any chunking of
+  /// the same dataset fingerprints identically.
+  [[nodiscard]] hv::ShardedBitMatrix transform_bits_chunked(
+      const data::Dataset& ds, std::size_t shard_rows,
+      parallel::ThreadPool* pool = nullptr) const;
 
   /// Encode to a 0/1 double matrix for the ML / NN substrates.
   [[nodiscard]] ml::Matrix transform_to_matrix(const data::Dataset& ds) const;

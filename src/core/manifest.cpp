@@ -5,6 +5,7 @@
 
 #include "core/experiment.hpp"
 #include "core/fold_cache.hpp"
+#include "data/chunked.hpp"
 #include "ml/packed.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -96,6 +97,8 @@ RunManifest make_run_manifest(const data::Dataset& ds,
   m.fold_cache = fold_cache_enabled();
   m.obs_enabled = obs::enabled();
   m.trace_enabled = obs::trace_enabled();
+  m.shard_rows = config.max_resident_rows;
+  m.num_shards = data::make_shard_plan(ds.n_rows(), config.max_resident_rows).size();
   m.obs_json = obs::to_json(obs::snapshot());
   return m;
 }
@@ -122,6 +125,8 @@ std::string to_json(const RunManifest& manifest) {
   out += manifest.obs_enabled ? "true" : "false";
   out += ",\"trace_enabled\":";
   out += manifest.trace_enabled ? "true" : "false";
+  out += ",\"shard_rows\":" + std::to_string(manifest.shard_rows);
+  out += ",\"num_shards\":" + std::to_string(manifest.num_shards);
   out += ",\"obs\":";
   out += manifest.obs_json.empty() ? "{}" : manifest.obs_json;
   out += "}";
@@ -140,6 +145,7 @@ void save_manifest(std::ostream& out, const RunManifest& manifest) {
       .u64(manifest.fold_cache ? 1 : 0).u64(manifest.obs_enabled ? 1 : 0)
       .u64(manifest.trace_enabled ? 1 : 0).nl();
   w.tag("obs").str(manifest.obs_json).nl();
+  w.tag("shards").u64(manifest.shard_rows).u64(manifest.num_shards).nl();
   w.tag("end").nl();
 }
 
@@ -167,7 +173,15 @@ RunManifest load_manifest(std::istream& in) {
   m.trace_enabled = r.u64("trace_enabled flag") != 0;
   r.expect("obs", "obs header");
   m.obs_json = r.str("obs json");
-  r.expect("end", "trailer");
+  // Shard geometry is a late addition: bundles written before it simply
+  // end here, so accept both shapes.
+  std::string tail = r.token("shards or trailer");
+  if (tail == "shards") {
+    m.shard_rows = r.u64("shard rows");
+    m.num_shards = r.u64("shard count");
+    tail = r.token("trailer");
+  }
+  if (tail != "end") throw r.error("expected trailer, got '" + tail + "'");
   return m;
 }
 

@@ -39,6 +39,8 @@ struct RunManifest {
   bool fold_cache = false;
   bool obs_enabled = false;
   bool trace_enabled = false;
+  std::uint64_t shard_rows = 0;   // ExperimentConfig::max_resident_rows
+  std::uint64_t num_shards = 0;   // shard plan size over `rows`
   std::string obs_json;           // obs::to_json(snapshot()) at capture time
 };
 

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "data/csv_detail.hpp"
 #include "util/str.hpp"
 
 namespace hdc::data {
@@ -34,91 +35,113 @@ std::optional<double> parse_cell(std::string_view raw) {
 
 }  // namespace
 
-Dataset read_csv(std::istream& in, const CsvOptions& options) {
-  std::string line;
-  if (!std::getline(in, line)) throw std::runtime_error("read_csv: empty input");
-  const std::vector<std::string> header = util::split(std::string(util::trim(line)),
-                                                      options.delimiter);
-  if (header.size() < 2) throw std::runtime_error("read_csv: need >= 2 columns");
+namespace detail {
 
-  std::size_t label_idx = header.size() - 1;
+CsvHeader parse_csv_header(std::string_view line, const CsvOptions& options,
+                           const std::string& who) {
+  CsvHeader header;
+  header.names = util::split(std::string(util::trim(line)), options.delimiter);
+  for (std::string& name : header.names) name = std::string(util::trim(name));
+  if (header.names.size() < 2) {
+    throw std::runtime_error(who + ": need >= 2 columns");
+  }
+
+  header.label_idx = header.names.size() - 1;
   if (!options.label_column.empty()) {
     bool found = false;
-    for (std::size_t j = 0; j < header.size(); ++j) {
-      if (util::iequals(util::trim(header[j]), options.label_column)) {
-        label_idx = j;
+    for (std::size_t j = 0; j < header.names.size(); ++j) {
+      if (util::iequals(header.names[j], options.label_column)) {
+        header.label_idx = j;
         found = true;
         break;
       }
     }
     if (!found) {
-      throw std::runtime_error("read_csv: label column '" + options.label_column +
+      throw std::runtime_error(who + ": label column '" + options.label_column +
                                "' not found");
     }
   }
 
-  std::vector<bool> zero_missing(header.size(), false);
+  header.zero_missing.assign(header.names.size(), false);
   for (const std::string& name : options.zero_is_missing) {
-    for (std::size_t j = 0; j < header.size(); ++j) {
-      if (util::iequals(util::trim(header[j]), name)) zero_missing[j] = true;
+    for (std::size_t j = 0; j < header.names.size(); ++j) {
+      if (util::iequals(header.names[j], name)) header.zero_missing[j] = true;
     }
   }
+  return header;
+}
+
+int parse_csv_row(std::string_view line, const CsvHeader& header,
+                  const CsvOptions& options, std::size_t line_no,
+                  const std::string& who, std::vector<double>& row) {
+  const std::vector<std::string> cells =
+      util::split(std::string(util::trim(line)), options.delimiter);
+  if (cells.size() != header.names.size()) {
+    throw std::runtime_error(who + ": line " + std::to_string(line_no) +
+                             " has " + std::to_string(cells.size()) +
+                             " cells, expected " +
+                             std::to_string(header.names.size()));
+  }
+  row.clear();
+  row.reserve(header.names.size() - 1);
+  int label = -1;
+  for (std::size_t j = 0; j < cells.size(); ++j) {
+    if (j == header.label_idx) {
+      const std::string_view s = util::trim(cells[j]);
+      bool positive = false;
+      for (const std::string& tok : options.positive_labels) {
+        if (util::iequals(s, tok)) positive = true;
+      }
+      if (!positive) {
+        if (const auto num = util::parse_double(s)) positive = *num >= 0.5;
+      }
+      label = positive ? 1 : 0;
+      continue;
+    }
+    const auto value = parse_cell(cells[j]);
+    if (!value) {
+      throw std::runtime_error(who + ": line " + std::to_string(line_no) +
+                               ", column '" + header.names[j] + "': bad cell '" +
+                               cells[j] + "'");
+    }
+    double v = *value;
+    if (header.zero_missing[j] && v == 0.0) v = kNaN;
+    row.push_back(v);
+  }
+  return label;
+}
+
+}  // namespace detail
+
+Dataset read_csv(std::istream& in, const CsvOptions& options) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("read_csv: empty input");
+  const detail::CsvHeader header =
+      detail::parse_csv_header(line, options, "read_csv");
 
   std::vector<std::vector<double>> rows;
   std::vector<int> labels;
+  std::vector<double> row;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
-    const std::string_view trimmed = util::trim(line);
-    if (trimmed.empty()) continue;
-    const std::vector<std::string> cells = util::split(std::string(trimmed),
-                                                       options.delimiter);
-    if (cells.size() != header.size()) {
-      throw std::runtime_error("read_csv: line " + std::to_string(line_no) +
-                               " has " + std::to_string(cells.size()) +
-                               " cells, expected " + std::to_string(header.size()));
-    }
-    std::vector<double> row;
-    row.reserve(header.size() - 1);
-    int label = -1;
-    for (std::size_t j = 0; j < cells.size(); ++j) {
-      if (j == label_idx) {
-        const std::string_view s = util::trim(cells[j]);
-        bool positive = false;
-        for (const std::string& tok : options.positive_labels) {
-          if (util::iequals(s, tok)) positive = true;
-        }
-        if (!positive) {
-          if (const auto num = util::parse_double(s)) positive = *num >= 0.5;
-        }
-        label = positive ? 1 : 0;
-        continue;
-      }
-      const auto value = parse_cell(cells[j]);
-      if (!value) {
-        throw std::runtime_error("read_csv: line " + std::to_string(line_no) +
-                                 ", column '" + header[j] + "': bad cell '" +
-                                 cells[j] + "'");
-      }
-      double v = *value;
-      if (zero_missing[j] && v == 0.0) v = kNaN;
-      row.push_back(v);
-    }
-    rows.push_back(std::move(row));
+    if (util::trim(line).empty()) continue;
+    const int label =
+        detail::parse_csv_row(line, header, options, line_no, "read_csv", row);
+    rows.push_back(row);
     labels.push_back(label);
   }
 
   // Infer column kinds: all non-missing values in {0,1} -> binary.
   std::vector<ColumnSpec> specs;
-  for (std::size_t j = 0; j < header.size(); ++j) {
-    if (j == label_idx) continue;
-    specs.push_back(ColumnSpec{std::string(util::trim(header[j])),
-                               ColumnKind::kContinuous});
+  for (std::size_t j = 0; j < header.names.size(); ++j) {
+    if (j == header.label_idx) continue;
+    specs.push_back(ColumnSpec{header.names[j], ColumnKind::kContinuous});
   }
   std::vector<bool> binary(specs.size(), true);
-  for (const auto& row : rows) {
-    for (std::size_t j = 0; j < row.size(); ++j) {
-      const double v = row[j];
+  for (const auto& r : rows) {
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      const double v = r[j];
       if (!std::isnan(v) && v != 0.0 && v != 1.0) binary[j] = false;
     }
   }

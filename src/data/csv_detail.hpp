@@ -1,0 +1,39 @@
+// Shared CSV grammar between the eager loader (data/csv.hpp) and the
+// streaming chunk reader (data/chunked.hpp): one header/row parser, two
+// materialization modes. Internal — not part of the public data API.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/csv.hpp"
+
+namespace hdc::data::detail {
+
+/// Parsed CSV header: trimmed column names, the resolved label column and
+/// the per-column zero-is-missing flags.
+struct CsvHeader {
+  std::vector<std::string> names;
+  std::size_t label_idx = 0;
+  std::vector<bool> zero_missing;
+};
+
+/// Parse the header line. `who` prefixes error messages ("read_csv",
+/// "CsvStreamChunks") so both readers keep their own error identity.
+[[nodiscard]] CsvHeader parse_csv_header(std::string_view line,
+                                         const CsvOptions& options,
+                                         const std::string& who);
+
+/// Parse one non-empty data line against the header: fills `row` with the
+/// feature cells (label column excluded, zero-is-missing applied) and
+/// returns the 0/1 label. Throws a `who: line N ...` error on a cell-count
+/// mismatch or an unparseable cell — `line_no` is the 1-based file line, so
+/// streaming re-reads report the exact offending row.
+[[nodiscard]] int parse_csv_row(std::string_view line, const CsvHeader& header,
+                                const CsvOptions& options, std::size_t line_no,
+                                const std::string& who,
+                                std::vector<double>& row);
+
+}  // namespace hdc::data::detail

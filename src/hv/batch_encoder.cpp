@@ -1,5 +1,6 @@
 #include "hv/batch_encoder.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -100,6 +101,23 @@ PackedHVs BatchEncoder::encode_packed(std::size_t n_rows, const RowFn& row_of) c
 
 BitMatrix BatchEncoder::encode_bits(std::size_t n_rows, const RowFn& row_of) const {
   return BitMatrix::from_rows(encode_packed(n_rows, row_of));
+}
+
+ShardedBitMatrix BatchEncoder::encode_bits_chunked(std::size_t n_rows,
+                                                   std::size_t shard_rows,
+                                                   const RowFn& row_of) const {
+  if (shard_rows == 0) shard_rows = n_rows;
+  ShardedBitMatrix out;
+  for (std::size_t begin = 0; begin < n_rows; begin += shard_rows) {
+    const std::size_t count = std::min(shard_rows, n_rows - begin);
+    // Remap shard-local row i to global row begin + i: every row is encoded
+    // by the same (row, encoder) pure function no matter the chunking.
+    out.append_shard(encode_bits(
+        count, [&row_of, begin](std::size_t i, std::vector<double>& scratch) {
+          return row_of(begin + i, scratch);
+        }));
+  }
+  return out;
 }
 
 }  // namespace hdc::hv

@@ -15,6 +15,7 @@
 #include "hv/bit_matrix.hpp"
 #include "hv/encoders.hpp"
 #include "hv/search.hpp"
+#include "hv/sharded_bits.hpp"
 
 namespace hdc::parallel {
 class ThreadPool;
@@ -58,6 +59,15 @@ class BatchEncoder {
   /// packed rows from encode_packed are transposed into bitplanes without
   /// ever materialising a double design matrix.
   [[nodiscard]] BitMatrix encode_bits(std::size_t n_rows, const RowFn& row_of) const;
+
+  /// As encode_bits, but emits one BitMatrix block per `shard_rows`-sized
+  /// contiguous row range (shorter tail allowed; shard_rows == 0 = one
+  /// shard). Row i is encoded identically regardless of which shard it
+  /// lands in, so any chunking yields a byte-identical ShardedBitMatrix
+  /// fingerprint — only peak residency changes.
+  [[nodiscard]] ShardedBitMatrix encode_bits_chunked(std::size_t n_rows,
+                                                     std::size_t shard_rows,
+                                                     const RowFn& row_of) const;
 
  private:
   const RecordEncoder* encoder_;

@@ -1,0 +1,78 @@
+// Sharded view over per-chunk BitMatrix blocks.
+//
+// The out-of-core pipeline encodes a cohort shard-at-a-time; each shard is
+// an ordinary BitMatrix over a contiguous, ascending global row range.
+// ShardedBitMatrix owns the blocks and answers the whole-matrix questions
+// the sharded ML paths need — merged column popcounts, per-shard masked
+// popcounts, a chunking-invariant fingerprint — without ever concatenating
+// the bitplanes. Popcounts are integers, so the merged statistics are
+// *exactly* equal to what a single unsharded BitMatrix would report; that
+// is the foundation of the 1-shard vs N-shard bit-identity gate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hv/bit_matrix.hpp"
+
+namespace hdc::hv {
+
+class ShardedBitMatrix {
+ public:
+  ShardedBitMatrix() = default;
+
+  /// Append the next shard (rows follow the previous shard's in global
+  /// order). All shards must agree on cols(); empty shards are rejected.
+  void append_shard(BitMatrix shard);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return shards_.empty(); }
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// Global row index of shard s's first row.
+  [[nodiscard]] std::size_t shard_begin(std::size_t s) const noexcept {
+    return begins_[s];
+  }
+  [[nodiscard]] std::size_t shard_rows(std::size_t s) const noexcept {
+    return shards_[s].rows();
+  }
+  [[nodiscard]] const BitMatrix& shard(std::size_t s) const noexcept {
+    return shards_[s];
+  }
+
+  /// Ones-count of column j over all rows: integer sum of per-shard
+  /// popcounts, exactly equal to the unsharded value.
+  [[nodiscard]] std::size_t column_popcount(std::size_t j) const noexcept;
+  [[nodiscard]] std::size_t shard_column_popcount(std::size_t s,
+                                                  std::size_t j) const noexcept;
+
+  /// Ones-count of column j restricted to the rows selected by per-shard
+  /// masks (masks.size() == num_shards(), masks[s] over shard s's rows).
+  [[nodiscard]] std::size_t masked_column_popcount(
+      std::size_t j, std::span<const RowMask> masks) const;
+
+  /// FNV-1a over (rows, cols, then every row's row-major words in global
+  /// row order). Padding bits are zero and words_per_row depends only on
+  /// cols(), so the fingerprint is invariant to how the rows were chunked.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
+  /// Bytes held by the packed planes, row-major mirrors and validity masks
+  /// across all resident shards (measured from the containers, not
+  /// estimated).
+  [[nodiscard]] std::size_t resident_bytes() const noexcept;
+
+  /// Materialize one unsharded BitMatrix with the same rows in the same
+  /// order (test/bridge path — costs the full concatenated footprint).
+  [[nodiscard]] BitMatrix concatenate() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> begins_;
+  std::vector<BitMatrix> shards_;
+};
+
+}  // namespace hdc::hv

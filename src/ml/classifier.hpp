@@ -24,6 +24,21 @@ using Matrix = std::vector<std::vector<double>>;
 
 using Labels = std::vector<int>;
 
+class ShardSource;  // ml/sharded.hpp — shard-at-a-time training input
+
+/// Tuning for fit_shards(). Never affects which rows exist — only how
+/// models that need a resident subset or a batch schedule choose it, and
+/// every choice is a pure function of (rows, option values), so fitted
+/// results stay invariant to the shard count.
+struct ShardedFitOptions {
+  /// Row cap for models that must materialize a training subset (SVC's
+  /// kernel matrix, the default fallback). Chosen by deterministic striding.
+  std::size_t subsample_cap = 2048;
+  /// Mini-batch length for SgdClassifier's fixed-schedule path. Batch
+  /// boundaries fall at global row multiples, never at shard boundaries.
+  std::size_t batch_rows = 256;
+};
+
 class Classifier {
  public:
   virtual ~Classifier() = default;
@@ -69,6 +84,20 @@ class Classifier {
   [[nodiscard]] virtual std::vector<int> predict_all_bits(const hv::BitMatrix& X) const;
 
   [[nodiscard]] double accuracy_bits(const hv::BitMatrix& X, const Labels& y) const;
+
+  /// Train shard-at-a-time (ml/sharded.hpp). The contract is shard-count
+  /// invariance: for a fixed row sequence, fitting through 1, 4 or 8 shards
+  /// produces bit-identical parameters and predictions. Models with exact
+  /// merge paths (integer popcount histograms, carried accumulators)
+  /// override this; the default gathers a deterministic strided subsample
+  /// of options.subsample_cap rows and defers to fit_bits() — still
+  /// shard-count invariant, but subsampled.
+  virtual void fit_shards(const ShardSource& src,
+                          const ShardedFitOptions& options = {});
+
+  /// Hard predictions over a sharded source, one shard resident at a time
+  /// (the concatenation of per-shard predict_all_bits).
+  [[nodiscard]] std::vector<int> predict_all_shards(const ShardSource& src) const;
 
   /// Serialize everything predict_proba() needs — hyper-parameters plus the
   /// fitted state — as a util::serde token stream, restorable bit-identically

@@ -6,6 +6,7 @@
 
 #include "hv/bit_matrix.hpp"
 #include "ml/packed.hpp"
+#include "ml/sharded.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
@@ -83,6 +84,38 @@ void RandomForest::fit_packed(const hv::BitMatrix& X, const Labels& y) {
     }
     trees_[t].fit_from_bits(X, y, multiplicity, util::mix_seed(tree_seed, 0xf0));
   });
+}
+
+void RandomForest::fit_shards(const ShardSource& src,
+                              const ShardedFitOptions& /*options*/) {
+  const std::size_t n = src.rows();
+  if (n == 0) throw std::invalid_argument("RandomForest: empty row set");
+
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(src.cols()))));
+  }
+
+  // Sequential over trees: src.shard(s) returns a reference that the next
+  // shard() call invalidates, so the source cannot be shared across the
+  // thread pool the in-memory fit uses.
+  trees_.assign(config_.n_trees, DecisionTree(tree_config));
+  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    const std::uint64_t tree_seed = util::mix_seed(config_.seed, t);
+    util::Rng rng(tree_seed);
+    // Same bootstrap draw sequence as the in-memory fits.
+    std::vector<std::uint32_t> multiplicity(n, 0);
+    if (config_.bootstrap) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ++multiplicity[rng.below(n)];
+      }
+    } else {
+      multiplicity.assign(n, 1);
+    }
+    trees_[t].fit_streamed(src, src.labels(), multiplicity,
+                           util::mix_seed(tree_seed, 0xf0));
+  }
 }
 
 std::vector<double> RandomForest::feature_importances() const {

@@ -22,6 +22,14 @@ class RandomForest final : public Classifier {
 
   void fit(const Matrix& X, const Labels& y) override;
   void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
+  /// Sharded fit: the same bootstrap draw sequence as fit_bits feeds each
+  /// tree's DecisionTree::fit_streamed, whose node statistics are integer
+  /// popcounts merged across shards — bit-identical at any shard count.
+  /// Trees are fitted sequentially (a ShardSource's current shard is
+  /// invalidated by the next shard() call, so it is not shareable across
+  /// worker threads).
+  void fit_shards(const ShardSource& src,
+                  const ShardedFitOptions& options) override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::vector<int> predict_all_bits(const hv::BitMatrix& X) const override;
   [[nodiscard]] std::string name() const override { return "Random Forest"; }

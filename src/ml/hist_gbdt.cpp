@@ -1,6 +1,7 @@
 #include "ml/hist_gbdt.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -8,6 +9,7 @@
 
 #include "hv/bit_matrix.hpp"
 #include "ml/packed.hpp"
+#include "ml/sharded.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -440,6 +442,245 @@ void HistGbdtClassifier::fit_packed(const hv::BitMatrix& X, const Labels& y) {
 
     for (std::size_t i = 0; i < n; ++i) {
       margin[i] += config_.learning_rate * tree_output_bits(tree, X.row_bits(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  obs::counter("ml.fit.boost_rounds").add(trees_.size());
+}
+
+void HistGbdtClassifier::fit_shards(const ShardSource& src,
+                                    const ShardedFitOptions& /*options*/) {
+  obs::Span span("ml.hist_gbdt.fit_shards");
+  const std::size_t n = src.rows();
+  const std::size_t d = src.cols();
+  const std::span<const int> y = src.labels();
+  if (n == 0 || d == 0) throw std::invalid_argument("HistGBDT: empty training data");
+  if (y.size() != n) throw std::invalid_argument("HistGBDT: label count mismatch");
+  for (const int label : y) {
+    if (label != 0 && label != 1) {
+      throw std::invalid_argument("HistGBDT: labels must be 0/1");
+    }
+  }
+  n_features_ = d;
+  base_margin_ = 0.0;
+
+  // Fixed-point gradient scale. |grad| <= 1 and hess <= 0.25, so a per-row
+  // quantized value fits in 32 bits and a sum over 2^20 rows stays below
+  // 2^52 — far from int64 overflow. Every histogram cell is an integer, so
+  // per-shard partials merge by addition with no rounding: the merged
+  // histogram is *the same integer* at any shard count.
+  constexpr double kScale = 2147483648.0;  // 2^31
+
+  // Bin structure from whole-cohort popcounts, merged across shards as
+  // integer sums (same rule as fit_packed: mixed column -> edges {0.0}).
+  bin_edges_.assign(d, {});
+  {
+    std::vector<std::uint64_t> pop(d, 0);
+    for (std::size_t s = 0; s < src.num_shards(); ++s) {
+      const hv::BitMatrix& shard = src.shard(s);
+      for (std::size_t j = 0; j < d; ++j) pop[j] += shard.column_popcount(j);
+      note_hist_merge(d);
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      if (pop[j] > 0 && pop[j] < n) bin_edges_[j] = {0.0};
+    }
+  }
+
+  // Resident per-row state: the boosting margin and the id of the leaf the
+  // row currently sits in. Everything else lives in per-leaf integer
+  // histograms of size O(features), never O(rows).
+  std::vector<double> margin(n, base_margin_);
+  std::vector<std::int32_t> leaf_of(n, 0);
+  trees_.clear();
+  trees_.reserve(config_.n_rounds);
+
+  // Quantized gradient/hessian of a row — a pure function of (margin, y),
+  // so re-deriving it on every streaming pass within a round is exact.
+  const auto quantized = [&](std::size_t row, std::int64_t& gq, std::int64_t& hq) {
+    const double p = sigmoid(margin[row]);
+    gq = std::llround((p - static_cast<double>(y[row])) * kScale);
+    hq = std::llround(std::max(1e-16, p * (1.0 - p)) * kScale);
+  };
+
+  struct ShardLeaf {
+    std::int32_t node_id = -1;
+    std::uint64_t count = 0;
+    std::int64_t gq = 0;  // quantized gradient sum over the leaf
+    std::int64_t hq = 0;  // quantized hessian sum over the leaf
+    // Per-feature bit=1 side of the histogram; the bit=0 side is the exact
+    // integer difference from the leaf totals.
+    std::vector<std::uint64_t> cnt1;
+    std::vector<std::int64_t> gq1;
+    std::vector<std::int64_t> hq1;
+    double gain = -1.0;
+    std::int32_t feature = -1;
+    std::int32_t bin = -1;
+  };
+
+  const auto make_leaf = [d](std::int32_t node_id) {
+    ShardLeaf leaf;
+    leaf.node_id = node_id;
+    leaf.cnt1.assign(d, 0);
+    leaf.gq1.assign(d, 0);
+    leaf.hq1.assign(d, 0);
+    return leaf;
+  };
+
+  // Add one row's quantized (g, h) to a leaf histogram, walking the set
+  // bits of its packed row.
+  const auto add_row = [](ShardLeaf& leaf, const std::uint64_t* row,
+                          std::size_t words, std::int64_t gq, std::int64_t hq) {
+    ++leaf.count;
+    leaf.gq += gq;
+    leaf.hq += hq;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits != 0) {
+        const std::size_t j = w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        ++leaf.cnt1[j];
+        leaf.gq1[j] += gq;
+        leaf.hq1[j] += hq;
+        bits &= bits - 1;
+      }
+    }
+  };
+
+  // Split search is a pure scan of the merged integer histogram: dequantize
+  // once per cell and apply the same gain formula, gates and ascending-j
+  // epsilon tie-break as the other fit paths.
+  const auto find_best_split = [&](ShardLeaf& leaf) {
+    leaf.gain = 0.0;
+    leaf.feature = -1;
+    const double g_sum = static_cast<double>(leaf.gq) / kScale;
+    const double h_sum = static_cast<double>(leaf.hq) / kScale;
+    const double parent_score = g_sum * g_sum / (h_sum + config_.lambda);
+    for (std::size_t j = 0; j < d; ++j) {
+      if (bin_edges_[j].empty()) continue;
+      const std::uint64_t cr = leaf.cnt1[j];      // bit 1 -> right child
+      const std::uint64_t cl = leaf.count - cr;   // bit 0 -> left child
+      if (cl < config_.min_data_in_leaf || cr < config_.min_data_in_leaf) continue;
+      const double hl = static_cast<double>(leaf.hq - leaf.hq1[j]) / kScale;
+      const double hr = static_cast<double>(leaf.hq1[j]) / kScale;
+      if (hl < config_.min_child_weight || hr < config_.min_child_weight) continue;
+      const double gl = static_cast<double>(leaf.gq - leaf.gq1[j]) / kScale;
+      const double gr = static_cast<double>(leaf.gq1[j]) / kScale;
+      const double gain = 0.5 * (gl * gl / (hl + config_.lambda) +
+                                 gr * gr / (hr + config_.lambda) - parent_score);
+      if (gain > leaf.gain + 1e-12) {
+        leaf.gain = gain;
+        leaf.feature = static_cast<std::int32_t>(j);
+        leaf.bin = 0;
+      }
+    }
+  };
+
+  const auto leaf_value = [&](const ShardLeaf& leaf) {
+    const double g_sum = static_cast<double>(leaf.gq) / kScale;
+    const double h_sum = static_cast<double>(leaf.hq) / kScale;
+    return -g_sum / (h_sum + config_.lambda);
+  };
+
+  for (std::size_t round = 0; round < config_.n_rounds; ++round) {
+    std::fill(leaf_of.begin(), leaf_of.end(), 0);
+
+    // Root histogram: one streaming pass, shard partials merged by integer
+    // addition in ascending shard order.
+    ShardLeaf root = make_leaf(0);
+    for (std::size_t s = 0; s < src.num_shards(); ++s) {
+      const hv::BitMatrix& shard = src.shard(s);
+      const std::size_t begin = src.shard_begin(s);
+      const std::size_t words = shard.words_per_row();
+      for (std::size_t i = 0; i < shard.rows(); ++i) {
+        std::int64_t gq = 0;
+        std::int64_t hq = 0;
+        quantized(begin + i, gq, hq);
+        add_row(root, shard.row_bits(i), words, gq, hq);
+      }
+      note_hist_merge(3 * d);
+    }
+
+    Tree tree;
+    tree.emplace_back();
+    tree[0].value = leaf_value(root);
+    find_best_split(root);
+    std::vector<ShardLeaf> leaves;
+    leaves.push_back(std::move(root));
+
+    while (leaves.size() < config_.num_leaves) {
+      std::size_t best = leaves.size();
+      double best_gain = 1e-12;
+      for (std::size_t l = 0; l < leaves.size(); ++l) {
+        if (leaves[l].feature >= 0 && leaves[l].gain > best_gain) {
+          best_gain = leaves[l].gain;
+          best = l;
+        }
+      }
+      if (best == leaves.size()) break;  // nothing splittable
+
+      ShardLeaf leaf = std::move(leaves[best]);
+      leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(best));
+
+      const std::size_t j = static_cast<std::size_t>(leaf.feature);
+      const std::int32_t left_id = static_cast<std::int32_t>(tree.size());
+      tree.emplace_back();
+      const std::int32_t right_id = static_cast<std::int32_t>(tree.size());
+      tree.emplace_back();
+
+      // One streaming pass: route the parent's rows to their child and
+      // build the left-child histogram; the right child is the exact
+      // integer difference parent - left.
+      ShardLeaf left = make_leaf(left_id);
+      for (std::size_t s = 0; s < src.num_shards(); ++s) {
+        const hv::BitMatrix& shard = src.shard(s);
+        const std::size_t begin = src.shard_begin(s);
+        const std::uint64_t* col = shard.column(j);
+        const std::size_t words = shard.words_per_row();
+        for (std::size_t i = 0; i < shard.rows(); ++i) {
+          const std::size_t row = begin + i;
+          if (leaf_of[row] != leaf.node_id) continue;
+          if ((col[i >> 6] >> (i & 63)) & 1ULL) {
+            leaf_of[row] = right_id;
+            continue;
+          }
+          leaf_of[row] = left_id;
+          std::int64_t gq = 0;
+          std::int64_t hq = 0;
+          quantized(row, gq, hq);
+          add_row(left, shard.row_bits(i), words, gq, hq);
+        }
+        note_hist_merge(3 * d);
+      }
+
+      ShardLeaf right = make_leaf(right_id);
+      right.count = leaf.count - left.count;
+      right.gq = leaf.gq - left.gq;
+      right.hq = leaf.hq - left.hq;
+      for (std::size_t f = 0; f < d; ++f) {
+        right.cnt1[f] = leaf.cnt1[f] - left.cnt1[f];
+        right.gq1[f] = leaf.gq1[f] - left.gq1[f];
+        right.hq1[f] = leaf.hq1[f] - left.hq1[f];
+      }
+
+      tree[static_cast<std::size_t>(left_id)].value = leaf_value(left);
+      tree[static_cast<std::size_t>(right_id)].value = leaf_value(right);
+      Node& parent = tree[static_cast<std::size_t>(leaf.node_id)];
+      parent.feature = leaf.feature;
+      parent.bin = leaf.bin;
+      parent.threshold = bin_edges_[j][static_cast<std::size_t>(leaf.bin)];
+      parent.left = left_id;
+      parent.right = right_id;
+
+      find_best_split(left);
+      find_best_split(right);
+      leaves.push_back(std::move(left));
+      leaves.push_back(std::move(right));
+    }
+
+    // Every row already knows its leaf, so the margin update needs no
+    // tree routing and no shard access at all.
+    for (std::size_t i = 0; i < n; ++i) {
+      margin[i] +=
+          config_.learning_rate * tree[static_cast<std::size_t>(leaf_of[i])].value;
     }
     trees_.push_back(std::move(tree));
   }

@@ -27,6 +27,17 @@ class HistGbdtClassifier final : public Classifier {
 
   void fit(const Matrix& X, const Labels& y) override;
   void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
+  /// Data-parallel sharded fit (the LightGBM data-parallel learner shape):
+  /// per-row gradients/hessians are quantized to int64 at a fixed scale, so
+  /// every per-leaf, per-feature histogram is a vector of integers whose
+  /// per-shard partials merge by addition — *exactly* equal to single-shard
+  /// histograms by construction, making the fit bit-identical at any shard
+  /// count. Resident state is O(rows) scalars (margin + leaf id) plus one
+  /// shard of bitplanes; the full design matrix is never materialized.
+  /// Quantization means the fitted trees may differ from fit_bits() in the
+  /// last float bits — the identity contract here is across shard counts.
+  void fit_shards(const ShardSource& src,
+                  const ShardedFitOptions& options) override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::vector<int> predict_all_bits(const hv::BitMatrix& X) const override;
   [[nodiscard]] std::string name() const override { return "LGBM"; }

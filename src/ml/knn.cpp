@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ml/packed.hpp"
+#include "ml/sharded.hpp"
 #include "simd/dispatch.hpp"
 
 namespace hdc::ml {
@@ -39,6 +40,13 @@ void KnnClassifier::fit_bits(const hv::BitMatrix& X, const Labels& y) {
   train_bits_ = X;
   train_X_.clear();
   train_y_ = y;
+}
+
+void KnnClassifier::fit_shards(const ShardSource& src,
+                               const ShardedFitOptions& /*options*/) {
+  std::vector<std::size_t> all(src.rows());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  fit_bits(gather_rows(src, all), gather_labels(src.labels(), all));
 }
 
 void KnnClassifier::enable_ann(const hv::ann::Config& config) {

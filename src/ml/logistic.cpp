@@ -5,6 +5,7 @@
 
 #include "hv/bit_matrix.hpp"
 #include "ml/packed.hpp"
+#include "ml/sharded.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -106,6 +107,98 @@ void LogisticRegression::fit_packed(const hv::BitMatrix& X, const Labels& y) {
     }
   }
   run_gradient_descent(Z, y, n, d);
+}
+
+void LogisticRegression::fit_shards(const ShardSource& src,
+                                    const ShardedFitOptions& /*options*/) {
+  obs::Span span("ml.logistic.fit_shards");
+  const std::size_t n = src.rows();
+  const std::size_t d = src.cols();
+  const std::span<const int> y = src.labels();
+  if (n == 0 || d == 0) throw std::invalid_argument("fit: empty training set");
+  for (const int label : y) {
+    if (label != 0 && label != 1) {
+      throw std::invalid_argument("fit: labels must be 0/1");
+    }
+  }
+
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  if (config_.standardize) {
+    // Integer popcounts merged across shards equal the whole-column
+    // popcount exactly, so these are the same moments fit_packed computes.
+    std::vector<std::size_t> pop(d, 0);
+    for (std::size_t s = 0; s < src.num_shards(); ++s) {
+      const hv::BitMatrix& shard = src.shard(s);
+      for (std::size_t j = 0; j < d; ++j) pop[j] += shard.column_popcount(j);
+      note_hist_merge(d);
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      const double sum = static_cast<double>(pop[j]);
+      mean_[j] = sum / static_cast<double>(n);
+      const double var = sum / static_cast<double>(n) - mean_[j] * mean_[j];
+      inv_std_[j] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+    }
+  }
+
+  std::vector<double> z0(d);
+  std::vector<double> z1(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    z0[j] = (0.0 - mean_[j]) * inv_std_[j];
+    z1[j] = (1.0 - mean_[j]) * inv_std_[j];
+  }
+
+  // The loop below is run_gradient_descent verbatim, except each row's
+  // standardised values are expanded on the fly from the resident shard
+  // instead of a precomputed n*d matrix. The gradient accumulators are
+  // carried across shard boundaries in ascending global row order, so the
+  // float op sequence — and therefore every iterate — is bit-identical to
+  // the unsharded pass regardless of where the boundaries fall.
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  std::vector<double> vel_w(d, 0.0);
+  double vel_b = 0.0;
+  const double lambda = 1.0 / (config_.c * static_cast<double>(n));
+  std::vector<double> grad(d);
+  std::vector<double> zrow(d);
+
+  std::size_t iters_run = 0;
+  for (std::size_t iter = 0; iter < config_.max_iter; ++iter) {
+    ++iters_run;
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t s = 0; s < src.num_shards(); ++s) {
+      const hv::BitMatrix& shard = src.shard(s);
+      const std::size_t begin = src.shard_begin(s);
+      for (std::size_t i = 0; i < shard.rows(); ++i) {
+        const std::uint64_t* row = shard.row_bits(i);
+        for (std::size_t j = 0; j < d; ++j) {
+          zrow[j] = (row[j / 64] >> (j % 64)) & 1u ? z1[j] : z0[j];
+        }
+        double z = b_;
+        for (std::size_t j = 0; j < d; ++j) z += w_[j] * zrow[j];
+        const double err = sigmoid(z) - static_cast<double>(y[begin + i]);
+        for (std::size_t j = 0; j < d; ++j) grad[j] += err * zrow[j];
+        grad_b += err;
+      }
+    }
+    double norm_sq = grad_b * grad_b;
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t j = 0; j < d; ++j) {
+      grad[j] = grad[j] * inv_n + lambda * w_[j];
+      norm_sq += grad[j] * grad[j];
+    }
+    grad_b *= inv_n;
+    if (norm_sq < config_.tol * config_.tol) break;
+
+    for (std::size_t j = 0; j < d; ++j) {
+      vel_w[j] = config_.momentum * vel_w[j] - config_.learning_rate * grad[j];
+      w_[j] += vel_w[j];
+    }
+    vel_b = config_.momentum * vel_b - config_.learning_rate * grad_b;
+    b_ += vel_b;
+  }
+  obs::counter("ml.fit.iterations").add(iters_run);
 }
 
 void LogisticRegression::run_gradient_descent(const std::vector<double>& Z,

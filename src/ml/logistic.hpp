@@ -22,6 +22,13 @@ class LogisticRegression final : public Classifier {
 
   void fit(const Matrix& X, const Labels& y) override;
   void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
+  /// Exact sharded fit: moments come from integer popcounts merged across
+  /// shards, and each gradient pass streams the shards in ascending global
+  /// row order expanding rows through the same 2-entry z0/z1 table — the
+  /// identical IEEE op sequence as fit_bits() on the concatenated matrix,
+  /// so the result is bit-identical at any shard count.
+  void fit_shards(const ShardSource& src,
+                  const ShardedFitOptions& options) override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::string name() const override { return "Logistic Regression"; }
 

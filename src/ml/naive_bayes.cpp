@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/sharded.hpp"
+#include "simd/dispatch.hpp"
+
 namespace hdc::ml {
 
 NaiveBayesClassifier::NaiveBayesClassifier(NaiveBayesConfig config) : config_(config) {
@@ -57,6 +60,78 @@ void NaiveBayesClassifier::fit(const Matrix& X, const Labels& y) {
       max_var = std::max(max_var, var_[c][j]);
       const double p =
           (ones[c][j] + config_.alpha) / (nc + 2.0 * config_.alpha);
+      log_p_one_[c][j] = std::log(p);
+      log_p_zero_[c][j] = std::log(1.0 - p);
+    }
+  }
+  const double floor = std::max(config_.var_smoothing * std::max(max_var, 1.0), 1e-12);
+  for (int c : {0, 1}) {
+    for (std::size_t j = 0; j < d; ++j) var_[c][j] = std::max(var_[c][j], floor);
+  }
+}
+
+void NaiveBayesClassifier::fit_shards(const ShardSource& src,
+                                      const ShardedFitOptions& /*options*/) {
+  const std::size_t n = src.rows();
+  const std::size_t d = src.cols();
+  const std::span<const int> y = src.labels();
+  if (n == 0 || d == 0) throw std::invalid_argument("fit: empty training set");
+  for (const int label : y) {
+    if (label != 0 && label != 1) {
+      throw std::invalid_argument("fit: labels must be 0/1");
+    }
+  }
+
+  n_features_ = d;
+  bernoulli_.assign(d, true);  // packed input is 0/1 by construction
+
+  std::size_t count[2] = {0, 0};
+  for (const int label : y) ++count[static_cast<std::size_t>(label)];
+  if (count[0] == 0 || count[1] == 0) {
+    throw std::invalid_argument("NaiveBayes: need both classes in training data");
+  }
+
+  // Per-class ones-counts: masked popcounts per shard, merged by integer
+  // addition. ones[c][j] equals the dense path's sum (and sum-of-squares)
+  // accumulator for class c, feature j exactly.
+  std::vector<std::size_t> ones[2] = {std::vector<std::size_t>(d, 0),
+                                      std::vector<std::size_t>(d, 0)};
+  const auto& kernels = simd::active();
+  for (std::size_t s = 0; s < src.num_shards(); ++s) {
+    const hv::BitMatrix& shard = src.shard(s);
+    const std::size_t begin = src.shard_begin(s);
+    hv::RowMask positive = hv::RowMask::none(shard.rows());
+    for (std::size_t i = 0; i < shard.rows(); ++i) {
+      if (y[begin + i] == 1) positive.set(i, true);
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      const std::size_t total = shard.column_popcount(j);
+      const std::size_t one = kernels.and_popcount(
+          shard.column(j), positive.words(), shard.words_per_column());
+      ones[1][j] += one;
+      ones[0][j] += total - one;
+    }
+    note_hist_merge(2 * d);
+  }
+
+  for (int c : {0, 1}) {
+    log_prior_[c] = std::log(static_cast<double>(count[c]) / static_cast<double>(n));
+    mean_[c].assign(d, 0.0);
+    var_[c].assign(d, 0.0);
+    log_p_one_[c].assign(d, 0.0);
+    log_p_zero_[c].assign(d, 0.0);
+  }
+  // Same expressions as fit(): on 0/1 data the sum and sum-of-squares are
+  // both the (integer-exact) ones-count, so mean/var/p match bit for bit.
+  double max_var = 0.0;
+  for (int c : {0, 1}) {
+    const double nc = static_cast<double>(count[c]);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double o = static_cast<double>(ones[c][j]);
+      mean_[c][j] = o / nc;
+      var_[c][j] = o / nc - mean_[c][j] * mean_[c][j];
+      max_var = std::max(max_var, var_[c][j]);
+      const double p = (o + config_.alpha) / (nc + 2.0 * config_.alpha);
       log_p_one_[c][j] = std::log(p);
       log_p_zero_[c][j] = std::log(1.0 - p);
     }

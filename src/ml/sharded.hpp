@@ -1,0 +1,97 @@
+// Shard-at-a-time training inputs.
+//
+// A ShardSource hands a model one BitMatrix shard at a time — contiguous,
+// ascending global row ranges, exactly the blocks a ShardedBitMatrix or the
+// out-of-core encode path produces. Only one shard need be resident at once
+// (the reference a shard() call returns is valid until the next call), so a
+// model that trains through this interface never sees the full design
+// matrix. Labels stay fully resident: 4 bytes/row is noise next to the
+// bitplanes.
+//
+// The sharded fit paths lean on two exact merge mechanisms:
+//   1. order-free integer addition — popcounts, class counts and quantized
+//      gradient histograms are integers, so per-shard partials merged in any
+//      order equal the single-shard statistic bit for bit;
+//   2. carried sequential accumulation — a float accumulator carried across
+//      shards in ascending global row order executes the identical IEEE op
+//      sequence regardless of where the shard boundaries fall.
+// Per-shard *float* partial sums merged afterwards are neither, and are
+// deliberately absent from this API.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hv/sharded_bits.hpp"
+#include "ml/classifier.hpp"  // ShardedFitOptions + the fit_shards entry point
+
+namespace hdc::ml {
+
+/// Sequence of bit-packed shards in ascending global row order.
+class ShardSource {
+ public:
+  virtual ~ShardSource() = default;
+
+  [[nodiscard]] virtual std::size_t rows() const = 0;
+  [[nodiscard]] virtual std::size_t cols() const = 0;
+  [[nodiscard]] virtual std::size_t num_shards() const = 0;
+  /// Global row index of shard s's first row (shards are contiguous:
+  /// shard s covers [shard_begin(s), shard_begin(s) + shard_rows(s))).
+  [[nodiscard]] virtual std::size_t shard_begin(std::size_t s) const = 0;
+  /// Shard s's rows as an ordinary BitMatrix. The reference is valid only
+  /// until the next shard() call on this source — the single-resident-shard
+  /// contract that keeps streaming backends O(shard) in memory.
+  [[nodiscard]] virtual const hv::BitMatrix& shard(std::size_t s) const = 0;
+  /// Labels for all rows in ascending global order (fully resident).
+  [[nodiscard]] virtual std::span<const int> labels() const = 0;
+
+  [[nodiscard]] std::size_t shard_rows(std::size_t s) const {
+    return (s + 1 < num_shards() ? shard_begin(s + 1) : rows()) -
+           shard_begin(s);
+  }
+};
+
+/// ShardSource over an already-encoded ShardedBitMatrix (both borrowed).
+class MaterializedShardSource final : public ShardSource {
+ public:
+  MaterializedShardSource(const hv::ShardedBitMatrix& bits,
+                          std::span<const int> labels);
+
+  [[nodiscard]] std::size_t rows() const override { return bits_->rows(); }
+  [[nodiscard]] std::size_t cols() const override { return bits_->cols(); }
+  [[nodiscard]] std::size_t num_shards() const override {
+    return bits_->num_shards();
+  }
+  [[nodiscard]] std::size_t shard_begin(std::size_t s) const override {
+    return bits_->shard_begin(s);
+  }
+  [[nodiscard]] const hv::BitMatrix& shard(std::size_t s) const override {
+    return bits_->shard(s);
+  }
+  [[nodiscard]] std::span<const int> labels() const override { return labels_; }
+
+ private:
+  const hv::ShardedBitMatrix* bits_;
+  std::span<const int> labels_;
+};
+
+/// Deterministic strided subsample: n <= cap selects every row; otherwise
+/// the cap indices i*n/cap — strictly ascending, distinct, and a pure
+/// function of (n, cap), so the selection is shard-count-invariant.
+[[nodiscard]] std::vector<std::size_t> strided_subsample(std::size_t n,
+                                                         std::size_t cap);
+
+/// Materialize the given ascending global row indices as one BitMatrix,
+/// touching each shard at most once.
+[[nodiscard]] hv::BitMatrix gather_rows(const ShardSource& src,
+                                        std::span<const std::size_t> indices);
+
+[[nodiscard]] std::vector<int> gather_labels(
+    std::span<const int> labels, std::span<const std::size_t> indices);
+
+/// Bump the `ml.hist_merge_ops` counter: one op per per-shard histogram /
+/// popcount block merged by integer addition.
+void note_hist_merge(std::size_t ops);
+
+}  // namespace hdc::ml

@@ -7,6 +7,7 @@
 
 #include "hv/bit_matrix.hpp"
 #include "ml/packed.hpp"
+#include "ml/sharded.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 
@@ -119,6 +120,66 @@ void SvcClassifier::fit_packed(const hv::BitMatrix& X, const Labels& y) {
   targets_.resize(n);
   for (std::size_t i = 0; i < n; ++i) targets_[i] = y[i] == 1 ? 1.0 : -1.0;
   solve_smo(&X);
+}
+
+void SvcClassifier::fit_shards(const ShardSource& src,
+                               const ShardedFitOptions& options) {
+  obs::Span span("ml.svc.fit_shards");
+  const std::size_t n = src.rows();
+  const std::size_t d = src.cols();
+  const std::span<const int> y = src.labels();
+  if (n == 0 || d == 0) throw std::invalid_argument("fit: empty training set");
+  for (const int label : y) {
+    if (label != 0 && label != 1) {
+      throw std::invalid_argument("fit: labels must be 0/1");
+    }
+  }
+
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  if (config_.standardize) {
+    // Whole-cohort moments from integer popcounts merged across shards —
+    // exactly the values fit_packed computes on the concatenated matrix.
+    std::vector<std::size_t> pop(d, 0);
+    for (std::size_t s = 0; s < src.num_shards(); ++s) {
+      const hv::BitMatrix& shard = src.shard(s);
+      for (std::size_t j = 0; j < d; ++j) pop[j] += shard.column_popcount(j);
+      note_hist_merge(d);
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      const double sum = static_cast<double>(pop[j]);
+      mean_[j] = sum / static_cast<double>(n);
+      const double var = sum / static_cast<double>(n) - mean_[j] * mean_[j];
+      inv_std_[j] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+    }
+  }
+
+  // The kernel matrix is O(rows^2): train the SMO on a deterministic
+  // strided subsample (every row when n <= cap).
+  const std::vector<std::size_t> indices =
+      strided_subsample(n, options.subsample_cap);
+  const hv::BitMatrix sample = gather_rows(src, indices);
+
+  std::vector<double> z0(d);
+  std::vector<double> z1(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    z0[j] = (0.0 - mean_[j]) * inv_std_[j];
+    z1[j] = (1.0 - mean_[j]) * inv_std_[j];
+  }
+  const std::size_t m = sample.rows();
+  train_X_.assign(m, std::vector<double>(d));
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t* row = sample.row_bits(i);
+    std::vector<double>& out = train_X_[i];
+    for (std::size_t j = 0; j < d; ++j) {
+      out[j] = (row[j / 64] >> (j % 64)) & 1u ? z1[j] : z0[j];
+    }
+  }
+  targets_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    targets_[i] = y[indices[i]] == 1 ? 1.0 : -1.0;
+  }
+  solve_smo(&sample);
 }
 
 void SvcClassifier::solve_smo(const hv::BitMatrix* bits) {

@@ -32,6 +32,14 @@ class SvcClassifier final : public Classifier {
 
   void fit(const Matrix& X, const Labels& y) override;
   void fit_bits(const hv::BitMatrix& X, const Labels& y) override;
+  /// Sharded fit: standardisation moments come from whole-cohort integer
+  /// popcounts merged across shards; the SMO kernel matrix (inherently
+  /// O(rows^2)) is built over a deterministic strided subsample of
+  /// options.subsample_cap rows. Both choices are pure functions of the row
+  /// sequence, so the fit is bit-identical at any shard count — and equals
+  /// fit_bits() exactly whenever rows <= subsample_cap.
+  void fit_shards(const ShardSource& src,
+                  const ShardedFitOptions& options) override;
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::string name() const override { return "SVC"; }
 

@@ -8,6 +8,7 @@
 
 #include "hv/bit_matrix.hpp"
 #include "ml/packed.hpp"
+#include "ml/sharded.hpp"
 #include "simd/dispatch.hpp"
 
 namespace hdc::ml {
@@ -351,6 +352,253 @@ std::int32_t DecisionTree::build_packed(const PackedTable& table,
   const std::int32_t right = build_packed(table, right_mask, depth + 1, rng);
   nodes_[node_id].right = right;
   return node_id;
+}
+
+void DecisionTree::fit_shards(const ShardSource& src,
+                              const ShardedFitOptions& /*options*/) {
+  fit_streamed(src, src.labels(), {}, config_.seed);
+}
+
+void DecisionTree::fit_streamed(const ShardSource& src, std::span<const int> y,
+                                std::span<const std::uint32_t> multiplicity,
+                                std::uint64_t seed) {
+  const std::size_t n_rows = src.rows();
+  const std::size_t d = src.cols();
+  if (n_rows == 0 || d == 0) throw std::invalid_argument("DecisionTree: empty row set");
+  if (y.size() != n_rows) throw std::invalid_argument("DecisionTree: X/y size mismatch");
+  if (!multiplicity.empty() && multiplicity.size() != n_rows) {
+    throw std::invalid_argument("DecisionTree: multiplicity size mismatch");
+  }
+  const auto mult = [&](std::size_t i) -> std::uint32_t {
+    return multiplicity.empty() ? 1u : multiplicity[i];
+  };
+
+  // Root stats come straight from the label/multiplicity arrays — integer
+  // sums, no shard access needed. Children inherit theirs from the parent's
+  // winning split, so only split search ever streams the shards.
+  std::uint64_t root_n = 0;
+  std::uint64_t root_pos = 0;
+  std::uint32_t max_mult = 0;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const std::uint32_t m = mult(i);
+    max_mult = std::max(max_mult, m);
+    root_n += m;
+    if (y[i] == 1) root_pos += m;
+  }
+  if (root_n == 0) throw std::invalid_argument("DecisionTree: empty row set");
+  const std::size_t k_planes = static_cast<std::size_t>(std::bit_width(max_mult));
+
+  nodes_.clear();
+  depth_ = 0;
+  n_features_ = d;
+  importances_.assign(d, 0.0);
+
+  // Per-row resident state: the id of the node each (drawn) row sits in.
+  std::vector<std::int32_t> node_of(n_rows);
+  for (std::size_t i = 0; i < n_rows; ++i) node_of[i] = mult(i) > 0 ? 0 : -1;
+
+  struct Open {
+    std::int32_t node_id = 0;
+    std::size_t depth = 0;
+    std::uint64_t n = 0;    // weighted row count
+    std::uint64_t pos = 0;  // weighted positives
+  };
+  struct Eval {
+    std::size_t open = 0;                 // index into the current level
+    std::vector<std::size_t> candidates;  // drawn feature subset
+    std::vector<std::uint64_t> left_n;    // weighted bit=0 count per candidate
+    std::vector<std::uint64_t> left_pos;  // weighted bit=0 positives per candidate
+  };
+  struct Split {
+    std::int32_t node_id = -1;
+    std::size_t feature = 0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  nodes_.emplace_back();
+  nodes_[0].prob = static_cast<double>(root_pos) / static_cast<double>(root_n);
+  std::vector<Open> level;
+  level.push_back({0, 0, root_n, root_pos});
+
+  const std::size_t max_depth = config_.max_depth == 0 ? kDepthCap : config_.max_depth;
+  const double min_leaf = static_cast<double>(config_.min_samples_leaf);
+  const simd::Kernels& kernels = simd::active();
+  constexpr std::size_t kGroup = 256;  // open nodes per streaming pass
+
+  while (!level.empty()) {
+    std::vector<Eval> evals;
+    for (std::size_t o = 0; o < level.size(); ++o) {
+      const Open& open = level[o];
+      depth_ = std::max(depth_, open.depth);
+      const bool pure = open.pos == 0 || open.pos == open.n;
+      if (pure || open.depth >= max_depth || open.n < config_.min_samples_split) {
+        continue;
+      }
+      Eval eval;
+      eval.open = o;
+      // Per-node candidate draw keyed on (seed, node id): independent of
+      // visit order and of shard geometry.
+      if (config_.max_features == 0 || config_.max_features >= d) {
+        eval.candidates.resize(d);
+        std::iota(eval.candidates.begin(), eval.candidates.end(), std::size_t{0});
+      } else {
+        util::Rng rng(util::mix_seed(seed, static_cast<std::uint64_t>(open.node_id)));
+        eval.candidates = rng.sample_without_replacement(d, config_.max_features);
+      }
+      eval.left_n.assign(eval.candidates.size(), 0);
+      eval.left_pos.assign(eval.candidates.size(), 0);
+      evals.push_back(std::move(eval));
+    }
+
+    // Histogram passes in groups of kGroup nodes: bounds the per-pass mask
+    // memory; a very wide level streams the shards more than once.
+    for (std::size_t g0 = 0; g0 < evals.size(); g0 += kGroup) {
+      const std::size_t g1 = std::min(evals.size(), g0 + kGroup);
+      std::vector<std::int32_t> slot_of(nodes_.size(), -1);
+      for (std::size_t e = g0; e < g1; ++e) {
+        slot_of[static_cast<std::size_t>(level[evals[e].open].node_id)] =
+            static_cast<std::int32_t>(e - g0);
+      }
+      std::size_t group_cells = 0;
+      for (std::size_t e = g0; e < g1; ++e) group_cells += 2 * evals[e].candidates.size();
+
+      for (std::size_t s = 0; s < src.num_shards(); ++s) {
+        const hv::BitMatrix& shard = src.shard(s);
+        const std::size_t begin = src.shard_begin(s);
+        const std::size_t rows = shard.rows();
+        const std::size_t words = shard.words_per_column();
+
+        // Shard-local label plane, multiplicity bit-planes, per-node masks.
+        std::vector<std::uint64_t> labels_local(words, 0);
+        std::vector<std::vector<std::uint64_t>> planes_local(
+            k_planes, std::vector<std::uint64_t>(words, 0));
+        std::vector<std::vector<std::uint64_t>> masks(
+            g1 - g0, std::vector<std::uint64_t>(words, 0));
+        for (std::size_t i = 0; i < rows; ++i) {
+          const std::size_t row = begin + i;
+          const std::uint64_t bit = 1ULL << (i & 63);
+          if (y[row] == 1) labels_local[i >> 6] |= bit;
+          const std::uint32_t m = mult(row);
+          for (std::size_t k = 0; k < k_planes; ++k) {
+            if ((m >> k) & 1u) planes_local[k][i >> 6] |= bit;
+          }
+          const std::int32_t id = node_of[row];
+          if (id < 0) continue;
+          const std::int32_t slot = slot_of[static_cast<std::size_t>(id)];
+          if (slot >= 0) masks[static_cast<std::size_t>(slot)][i >> 6] |= bit;
+        }
+
+        // Weighted left-bucket counts: ANDNOT popcounts against each
+        // multiplicity plane, exactly as build_packed — every term is an
+        // integer, so the cross-shard sum is order-free and exact.
+        std::vector<std::uint64_t> node_plane(words);
+        for (std::size_t e = g0; e < g1; ++e) {
+          Eval& eval = evals[e];
+          const std::uint64_t* mask = masks[e - g0].data();
+          for (std::size_t k = 0; k < k_planes; ++k) {
+            for (std::size_t w = 0; w < words; ++w) {
+              node_plane[w] = planes_local[k][w] & mask[w];
+            }
+            const std::uint64_t weight = std::uint64_t{1} << k;
+            for (std::size_t c = 0; c < eval.candidates.size(); ++c) {
+              const std::uint64_t* col = shard.column(eval.candidates[c]);
+              eval.left_n[c] +=
+                  weight * kernels.andnot_popcount(col, node_plane.data(), words);
+              std::size_t count = 0;
+              for (std::size_t w = 0; w < words; ++w) {
+                count += static_cast<std::size_t>(
+                    std::popcount(~col[w] & node_plane[w] & labels_local[w]));
+              }
+              eval.left_pos[c] += weight * count;
+            }
+          }
+        }
+        note_hist_merge(group_cells);
+      }
+    }
+
+    // Split decisions and child creation, in ascending node-id order — the
+    // same deterministic sequence at any shard count.
+    std::vector<Open> next;
+    std::vector<Split> splits;
+    for (Eval& eval : evals) {
+      const Open& open = level[eval.open];
+      const double n = static_cast<double>(open.n);
+      const double positives = static_cast<double>(open.pos);
+      const double parent_impurity = gini_weighted(n, positives);
+      BestSplit best;
+      best.impurity_after = parent_impurity;
+      std::size_t best_c = eval.candidates.size();
+      for (std::size_t c = 0; c < eval.candidates.size(); ++c) {
+        const double n_left = static_cast<double>(eval.left_n[c]);
+        const double n_right = n - n_left;
+        if (n_left < min_leaf || n_right < min_leaf) continue;
+        const double pos_left = static_cast<double>(eval.left_pos[c]);
+        const double pos_right = positives - pos_left;
+        const double after =
+            gini_weighted(n_left, pos_left) + gini_weighted(n_right, pos_right);
+        if (after + 1e-12 < best.impurity_after) {
+          best = {static_cast<std::int32_t>(eval.candidates[c]), 0.5, after};
+          best_c = c;
+        }
+      }
+      if (best.feature < 0) continue;  // no useful split: stays a leaf
+      importances_[static_cast<std::size_t>(best.feature)] +=
+          parent_impurity - best.impurity_after;
+
+      const std::uint64_t left_n = eval.left_n[best_c];
+      const std::uint64_t left_pos = eval.left_pos[best_c];
+      const std::int32_t left_id = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_.back().prob =
+          static_cast<double>(left_pos) / static_cast<double>(left_n);
+      const std::int32_t right_id = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_.back().prob = static_cast<double>(open.pos - left_pos) /
+                           static_cast<double>(open.n - left_n);
+      Node& parent = nodes_[static_cast<std::size_t>(open.node_id)];
+      parent.feature = best.feature;
+      parent.threshold = best.threshold;
+      parent.left = left_id;
+      parent.right = right_id;
+      next.push_back({left_id, open.depth + 1, left_n, left_pos});
+      next.push_back(
+          {right_id, open.depth + 1, open.n - left_n, open.pos - left_pos});
+      splits.push_back({open.node_id, static_cast<std::size_t>(best.feature),
+                        left_id, right_id});
+    }
+
+    // Route pass: every row in a split node moves to its child.
+    if (!splits.empty()) {
+      std::vector<std::int32_t> split_of(nodes_.size(), -1);
+      for (std::size_t sp = 0; sp < splits.size(); ++sp) {
+        split_of[static_cast<std::size_t>(splits[sp].node_id)] =
+            static_cast<std::int32_t>(sp);
+      }
+      for (std::size_t s = 0; s < src.num_shards(); ++s) {
+        const hv::BitMatrix& shard = src.shard(s);
+        const std::size_t begin = src.shard_begin(s);
+        for (std::size_t i = 0; i < shard.rows(); ++i) {
+          const std::size_t row = begin + i;
+          const std::int32_t id = node_of[row];
+          if (id < 0) continue;
+          const std::int32_t sp = split_of[static_cast<std::size_t>(id)];
+          if (sp < 0) continue;
+          const Split& split = splits[static_cast<std::size_t>(sp)];
+          const std::uint64_t* col = shard.column(split.feature);
+          node_of[row] = (col[i >> 6] >> (i & 63)) & 1ULL ? split.right : split.left;
+        }
+      }
+    }
+    level = std::move(next);
+  }
+
+  double total = 0.0;
+  for (const double v : importances_) total += v;
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
 }
 
 double DecisionTree::predict_proba_bits(const std::uint64_t* row_bits) const {

@@ -44,6 +44,22 @@ class DecisionTree final : public Classifier {
                      std::span<const std::uint32_t> multiplicity,
                      std::uint64_t seed);
 
+  /// Out-of-core analogue of fit_from_bits: level-wise growth over a
+  /// sharded source, with every node statistic (weighted counts and
+  /// weighted positives per candidate feature) an integer popcount summed
+  /// across shards — so the tree is bit-identical at any shard count.
+  /// Candidate features are drawn from a per-node RNG keyed on
+  /// (seed, node id); this is a different (still deterministic) stream
+  /// from fit_from_bits' single depth-first RNG, so the two entry points
+  /// agree only when max_features covers every column.
+  void fit_streamed(const ShardSource& src, std::span<const int> y,
+                    std::span<const std::uint32_t> multiplicity,
+                    std::uint64_t seed);
+
+  /// fit_streamed over all rows once (no bootstrap).
+  void fit_shards(const ShardSource& src,
+                  const ShardedFitOptions& options) override;
+
   [[nodiscard]] double predict_proba(std::span<const double> x) const override;
   [[nodiscard]] std::vector<int> predict_all_bits(const hv::BitMatrix& X) const override;
   /// predict_proba for one packed 0/1 row (words of a BitMatrix row).

@@ -324,6 +324,8 @@ TEST(BundleManifestRoundTrip, EveryFieldSurvives) {
   manifest.fold_cache = true;
   manifest.obs_enabled = true;
   manifest.trace_enabled = false;
+  manifest.shard_rows = 65536;
+  manifest.num_shards = 16;
   manifest.obs_json = "{\"counters\":{\"experiment.folds\":10}}";
   bundle.manifest = manifest;
 
@@ -353,7 +355,33 @@ TEST(BundleManifestRoundTrip, EveryFieldSurvives) {
   EXPECT_EQ(m.fold_cache, manifest.fold_cache);
   EXPECT_EQ(m.obs_enabled, manifest.obs_enabled);
   EXPECT_EQ(m.trace_enabled, manifest.trace_enabled);
+  EXPECT_EQ(m.shard_rows, manifest.shard_rows);
+  EXPECT_EQ(m.num_shards, manifest.num_shards);
   EXPECT_EQ(m.obs_json, manifest.obs_json);
+}
+
+TEST(BundleManifestRoundTrip, PreShardManifestsStillLoad) {
+  // Manifests written before the shard-geometry line end right after the
+  // obs line; loading one must succeed with zeroed shard fields, not throw.
+  hdc::core::RunManifest manifest;
+  manifest.dataset = "pima_m";
+  manifest.simd_tier = "scalar";
+  manifest.shard_rows = 4096;
+  manifest.num_shards = 3;
+  std::ostringstream out;
+  hdc::core::save_manifest(out, manifest);
+  std::string bytes = out.str();
+  const std::size_t shards_at = bytes.find("shards");
+  ASSERT_NE(shards_at, std::string::npos);
+  const std::size_t line_end = bytes.find('\n', shards_at);
+  ASSERT_NE(line_end, std::string::npos);
+  bytes.erase(shards_at, line_end - shards_at + 1);
+
+  std::istringstream in(bytes);
+  const hdc::core::RunManifest loaded = hdc::core::load_manifest(in);
+  EXPECT_EQ(loaded.dataset, "pima_m");
+  EXPECT_EQ(loaded.shard_rows, 0u);
+  EXPECT_EQ(loaded.num_shards, 0u);
 }
 
 TEST(BundleManifestRoundTrip, CapturedManifestFingerprintsTheDataset) {

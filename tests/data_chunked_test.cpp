@@ -1,0 +1,182 @@
+// ChunkedDataset backends: shard plans, chunk-invariance of the in-memory /
+// synthetic / streaming-CSV sources, and the streaming reader's row-numbered
+// rejection of files whose shape changes between prescan and chunk().
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "data/chunked.hpp"
+#include "data/csv.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using hdc::data::ChunkRange;
+using hdc::data::Dataset;
+using hdc::data::make_shard_plan;
+
+// Every value, label, and column of `chunk` must equal rows
+// [begin, begin + chunk.n_rows()) of `whole`.
+void expect_rows_equal(const Dataset& whole, const Dataset& chunk,
+                       std::size_t begin) {
+  ASSERT_EQ(chunk.n_cols(), whole.n_cols());
+  for (std::size_t i = 0; i < chunk.n_rows(); ++i) {
+    EXPECT_EQ(chunk.label(i), whole.label(begin + i));
+    for (std::size_t j = 0; j < whole.n_cols(); ++j) {
+      EXPECT_EQ(chunk.value(i, j), whole.value(begin + i, j))
+          << "row " << begin + i << " col " << j;
+    }
+  }
+}
+
+TEST(ShardPlan, CoversRowsInAscendingOrder) {
+  const std::vector<ChunkRange> plan = make_shard_plan(130, 64);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0], (ChunkRange{0, 64}));
+  EXPECT_EQ(plan[1], (ChunkRange{64, 128}));
+  EXPECT_EQ(plan[2], (ChunkRange{128, 130}));  // shorter tail
+}
+
+TEST(ShardPlan, ZeroShardRowsMeansOneShard) {
+  const std::vector<ChunkRange> plan = make_shard_plan(77, 0);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0], (ChunkRange{0, 77}));
+}
+
+TEST(ShardPlan, EmptyRowsYieldEmptyPlan) {
+  EXPECT_TRUE(make_shard_plan(0, 64).empty());
+  EXPECT_TRUE(make_shard_plan(0, 0).empty());
+}
+
+TEST(InMemoryChunks, ChunksEqualTheDatasetRowForRow) {
+  const Dataset ds = hdc::data::make_synthetic_cohort(97, 3);
+  const hdc::data::InMemoryChunks chunks(ds);
+  EXPECT_EQ(chunks.n_rows(), ds.n_rows());
+  for (const ChunkRange& range : make_shard_plan(ds.n_rows(), 31)) {
+    const Dataset chunk = chunks.chunk(range.begin, range.end);
+    ASSERT_EQ(chunk.n_rows(), range.rows());
+    expect_rows_equal(ds, chunk, range.begin);
+  }
+}
+
+TEST(SyntheticCohortChunks, AnyChunkingEqualsTheWholeCohort) {
+  constexpr std::size_t kRows = 150;
+  constexpr std::uint64_t kSeed = 11;
+  const Dataset whole = hdc::data::make_synthetic_cohort(kRows, kSeed);
+  const hdc::data::SyntheticCohortChunks chunks(kRows, kSeed);
+  ASSERT_EQ(chunks.n_rows(), kRows);
+  // Three different chunkings, including ragged word-boundary sizes.
+  for (const std::size_t shard_rows : {64u, 65u, 127u}) {
+    for (const ChunkRange& range : make_shard_plan(kRows, shard_rows)) {
+      const Dataset chunk = chunks.chunk(range.begin, range.end);
+      ASSERT_EQ(chunk.n_rows(), range.rows());
+      expect_rows_equal(whole, chunk, range.begin);
+    }
+  }
+}
+
+TEST(SyntheticCohortChunks, RangeValidation) {
+  const hdc::data::SyntheticCohortChunks chunks(10, 1);
+  EXPECT_THROW((void)chunks.chunk(0, 11), std::out_of_range);
+  EXPECT_THROW((void)chunks.chunk(5, 4), std::out_of_range);
+}
+
+class CsvStreamChunksTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/stream_chunks.csv";
+    std::ofstream out(path_);
+    out << "age,bmi,smoker,label\n";
+    for (int i = 0; i < 20; ++i) {
+      out << 20 + i << "," << 18.5 + 0.25 * i << "," << i % 2 << ","
+          << (i % 3 == 0 ? 1 : 0) << "\n";
+    }
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CsvStreamChunksTest, ChunksEqualReadCsvFile) {
+  const Dataset whole = hdc::data::read_csv_file(path_);
+  const hdc::data::CsvStreamChunks chunks(path_);
+  ASSERT_EQ(chunks.n_rows(), whole.n_rows());
+  ASSERT_EQ(chunks.columns().size(), whole.columns().size());
+  for (std::size_t j = 0; j < whole.n_cols(); ++j) {
+    EXPECT_EQ(chunks.columns()[j].name, whole.columns()[j].name);
+    EXPECT_EQ(chunks.columns()[j].kind, whole.columns()[j].kind);
+  }
+  for (const ChunkRange& range : make_shard_plan(whole.n_rows(), 7)) {
+    const Dataset chunk = chunks.chunk(range.begin, range.end);
+    ASSERT_EQ(chunk.n_rows(), range.rows());
+    expect_rows_equal(whole, chunk, range.begin);
+  }
+}
+
+TEST_F(CsvStreamChunksTest, ChunkIsAPureFunctionOfTheRange) {
+  const hdc::data::CsvStreamChunks chunks(path_);
+  // Out-of-order and repeated requests return identical rows.
+  const Dataset late = chunks.chunk(10, 20);
+  const Dataset early = chunks.chunk(0, 10);
+  const Dataset late_again = chunks.chunk(10, 20);
+  expect_rows_equal(late, late_again, 0);
+  const Dataset whole = chunks.chunk(0, 20);
+  expect_rows_equal(whole, early, 0);
+  expect_rows_equal(whole, late, 10);
+}
+
+TEST_F(CsvStreamChunksTest, PrescanRejectsColumnCountMismatchWithLineNumber) {
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << "61,31.0,1\n";  // one cell short, file line 22
+  }
+  try {
+    const hdc::data::CsvStreamChunks chunks(path_);
+    FAIL() << "prescan accepted a short row";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 22"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CsvStreamChunksTest, MidStreamRewriteFailsWithRowNumberedError) {
+  const hdc::data::CsvStreamChunks chunks(path_);  // prescan sees 20 good rows
+  // Rewrite the file between prescan and chunk(): same header, but data row
+  // 16 (file line 17) now has an extra cell. chunk() re-validates from the
+  // recorded offsets instead of trusting them.
+  {
+    std::ofstream out(path_);
+    out << "age,bmi,smoker,label\n";
+    for (int i = 0; i < 20; ++i) {
+      if (i == 15) {
+        out << 20 + i << "," << 18.5 + 0.25 * i << "," << i % 2 << ",0,9\n";
+      } else {
+        out << 20 + i << "," << 18.5 + 0.25 * i << "," << i % 2 << ","
+            << (i % 3 == 0 ? 1 : 0) << "\n";
+      }
+    }
+  }
+  EXPECT_NO_THROW((void)chunks.chunk(0, 10));  // untouched rows still parse
+  try {
+    (void)chunks.chunk(10, 20);
+    FAIL() << "chunk() accepted a mid-stream column-count change";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 17"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CsvStreamChunksTest, MidStreamTruncationFailsInsteadOfMisaligning) {
+  const hdc::data::CsvStreamChunks chunks(path_);
+  {
+    std::ofstream out(path_);  // truncate: only the header survives
+    out << "age,bmi,smoker,label\n";
+  }
+  EXPECT_THROW((void)chunks.chunk(15, 20), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,287 @@
+// fit_shards contracts: every zoo model (plus Naive Bayes) must fit to
+// byte-identical state and predictions at any shard count; the models with
+// exact merge paths must additionally match their unsharded reference; the
+// experiment pipeline's max_resident_rows knob must not change results; and
+// the ml.hist_merge_ops counter must account for the merges.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/extractor.hpp"
+#include "data/synthetic.hpp"
+#include "hv/bit_matrix.hpp"
+#include "hv/sharded_bits.hpp"
+#include "ml/forest.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/hist_gbdt.hpp"
+#include "ml/knn.hpp"
+#include "ml/logistic.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/ordered_gbdt.hpp"
+#include "ml/sgd.hpp"
+#include "ml/sharded.hpp"
+#include "ml/svm.hpp"
+#include "ml/tree.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using hdc::ml::Classifier;
+using hdc::ml::MaterializedShardSource;
+
+constexpr std::size_t kRows = 300;
+constexpr std::size_t kDim = 96;
+
+std::string state_of(const Classifier& model) {
+  std::ostringstream out;
+  model.save_state(out);
+  return out.str();
+}
+
+struct Fixture {
+  hdc::data::Dataset ds;
+  hdc::hv::BitMatrix whole;
+  std::vector<hdc::hv::ShardedBitMatrix> sharded;  // 1, 4, 8 shards
+  hdc::hv::BitMatrix test_bits;
+};
+
+const Fixture& fixture() {
+  static const Fixture* cached = [] {
+    auto* f = new Fixture;
+    f->ds = hdc::data::make_synthetic_cohort(kRows + 60, 21);
+    std::vector<std::size_t> train_idx(kRows);
+    std::vector<std::size_t> test_idx(60);
+    for (std::size_t i = 0; i < kRows; ++i) train_idx[i] = i;
+    for (std::size_t i = 0; i < 60; ++i) test_idx[i] = kRows + i;
+    const hdc::data::Dataset test_ds = f->ds.subset(test_idx);
+    f->ds = f->ds.subset(train_idx);
+
+    hdc::core::ExtractorConfig config;
+    config.dimensions = kDim;
+    config.seed = 19;
+    hdc::core::HdcFeatureExtractor extractor(config);
+    extractor.fit(f->ds);
+    f->whole = extractor.transform_bits(f->ds);
+    f->test_bits = extractor.transform_bits(test_ds);
+    for (const std::size_t count : {1u, 4u, 8u}) {
+      f->sharded.push_back(extractor.transform_bits_chunked(
+          f->ds, (kRows + count - 1) / count));
+    }
+    return f;
+  }();
+  return *cached;
+}
+
+struct ModelSpec {
+  std::string name;
+  std::function<std::unique_ptr<Classifier>()> make;
+};
+
+std::vector<ModelSpec> zoo() {
+  using namespace hdc::ml;
+  std::vector<ModelSpec> models;
+  models.push_back({"Random Forest", [] {
+    ForestConfig config;
+    config.n_trees = 5;
+    config.tree.max_depth = 5;
+    return std::make_unique<RandomForest>(config);
+  }});
+  models.push_back({"KNN", [] { return std::make_unique<KnnClassifier>(); }});
+  models.push_back({"Decision Tree", [] {
+    TreeConfig config;
+    config.max_depth = 4;
+    return std::make_unique<DecisionTree>(config);
+  }});
+  models.push_back({"XGBoost", [] {
+    GbdtConfig config;
+    config.n_rounds = 5;
+    config.max_depth = 3;
+    return std::make_unique<GbdtClassifier>(config);
+  }});
+  models.push_back({"CatBoost", [] {
+    OrderedGbdtConfig config;
+    config.n_rounds = 5;
+    config.depth = 3;
+    return std::make_unique<OrderedGbdtClassifier>(config);
+  }});
+  models.push_back({"SGD", [] {
+    SgdConfig config;
+    config.epochs = 2;
+    return std::make_unique<SgdClassifier>(config);
+  }});
+  models.push_back({"Logistic Regression", [] {
+    LogisticConfig config;
+    config.max_iter = 20;
+    return std::make_unique<LogisticRegression>(config);
+  }});
+  models.push_back({"SVC", [] { return std::make_unique<SvcClassifier>(); }});
+  models.push_back({"LGBM", [] {
+    HistGbdtConfig config;
+    config.n_rounds = 5;
+    config.num_leaves = 6;
+    return std::make_unique<HistGbdtClassifier>(config);
+  }});
+  models.push_back({"Naive Bayes",
+                    [] { return std::make_unique<NaiveBayesClassifier>(); }});
+  return models;
+}
+
+// The central contract: 1-shard, 4-shard and 8-shard fits are
+// byte-identical in state and prediction for every model.
+TEST(ShardedFit, EveryModelIsShardCountInvariant) {
+  const Fixture& f = fixture();
+  for (const ModelSpec& spec : zoo()) {
+    std::string base_state;
+    std::vector<int> base_pred;
+    for (std::size_t v = 0; v < f.sharded.size(); ++v) {
+      const std::unique_ptr<Classifier> model = spec.make();
+      const MaterializedShardSource src(f.sharded[v], f.ds.labels());
+      model->fit_shards(src);
+      if (v == 0) {
+        base_state = state_of(*model);
+        base_pred = model->predict_all_bits(f.test_bits);
+      } else {
+        EXPECT_EQ(state_of(*model), base_state)
+            << spec.name << " state at " << f.sharded[v].num_shards()
+            << " shards";
+        EXPECT_EQ(model->predict_all_bits(f.test_bits), base_pred)
+            << spec.name << " predictions at " << f.sharded[v].num_shards()
+            << " shards";
+      }
+    }
+  }
+}
+
+// Logistic's sharded fit carries its accumulators across shards in global
+// row order, so it must equal the unsharded fit_bits bit for bit.
+TEST(ShardedFit, LogisticMatchesFitBitsExactly) {
+  const Fixture& f = fixture();
+  hdc::ml::LogisticConfig config;
+  config.max_iter = 20;
+  hdc::ml::LogisticRegression reference(config);
+  reference.fit_bits(f.whole, f.ds.labels());
+  hdc::ml::LogisticRegression sharded(config);
+  const MaterializedShardSource src(f.sharded[2], f.ds.labels());
+  static_cast<Classifier&>(sharded).fit_shards(src);
+  EXPECT_EQ(state_of(sharded), state_of(reference));
+}
+
+// Naive Bayes on 0/1 data: popcount merges equal the dense accumulators.
+TEST(ShardedFit, NaiveBayesMatchesFitBitsExactly) {
+  const Fixture& f = fixture();
+  hdc::ml::NaiveBayesClassifier reference;
+  reference.fit_bits(f.whole, f.ds.labels());
+  hdc::ml::NaiveBayesClassifier sharded;
+  const MaterializedShardSource src(f.sharded[1], f.ds.labels());
+  static_cast<Classifier&>(sharded).fit_shards(src);
+  EXPECT_EQ(state_of(sharded), state_of(reference));
+}
+
+// SVC gathers a strided subsample capped at options.subsample_cap; when the
+// cohort fits under the cap the subsample is every row, so the sharded fit
+// equals fit_bits exactly.
+TEST(ShardedFit, SvcMatchesFitBitsWhenUnderTheCap) {
+  const Fixture& f = fixture();
+  ASSERT_LE(kRows, hdc::ml::ShardedFitOptions{}.subsample_cap);
+  hdc::ml::SvcClassifier reference;
+  reference.fit_bits(f.whole, f.ds.labels());
+  hdc::ml::SvcClassifier sharded;
+  const MaterializedShardSource src(f.sharded[2], f.ds.labels());
+  static_cast<Classifier&>(sharded).fit_shards(src);
+  EXPECT_EQ(state_of(sharded), state_of(reference));
+}
+
+// KNN is its training set: the sharded gather must reproduce fit_bits.
+TEST(ShardedFit, KnnMatchesFitBitsExactly) {
+  const Fixture& f = fixture();
+  hdc::ml::KnnClassifier reference;
+  reference.fit_bits(f.whole, f.ds.labels());
+  hdc::ml::KnnClassifier sharded;
+  const MaterializedShardSource src(f.sharded[1], f.ds.labels());
+  static_cast<Classifier&>(sharded).fit_shards(src);
+  EXPECT_EQ(state_of(sharded), state_of(reference));
+}
+
+// The base-class fallback (XGBoost has no packed fast path) must still be
+// shard-count invariant: the strided subsample is a pure function of
+// (rows, cap).
+TEST(ShardedFit, StridedSubsampleIsDeterministic) {
+  const std::vector<std::size_t> a = hdc::ml::strided_subsample(1000, 64);
+  const std::vector<std::size_t> b = hdc::ml::strided_subsample(1000, 64);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 64u);
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_LT(a[i - 1], a[i]);
+  // Under the cap: identity selection.
+  const std::vector<std::size_t> all = hdc::ml::strided_subsample(50, 64);
+  ASSERT_EQ(all.size(), 50u);
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(ShardedFit, HistMergeOpsCounterAccountsForMerges) {
+  const Fixture& f = fixture();
+  hdc::obs::set_enabled(true);
+  const std::uint64_t before =
+      hdc::obs::snapshot().counter_value("ml.hist_merge_ops");
+  hdc::ml::HistGbdtConfig config;
+  config.n_rounds = 2;
+  config.num_leaves = 4;
+  hdc::ml::HistGbdtClassifier model(config);
+  const MaterializedShardSource src(f.sharded[1], f.ds.labels());
+  static_cast<Classifier&>(model).fit_shards(src);
+  const std::uint64_t after =
+      hdc::obs::snapshot().counter_value("ml.hist_merge_ops");
+  hdc::obs::set_enabled(false);
+  EXPECT_GT(after, before);
+}
+
+// The pipeline knob: any positive max_resident_rows routes folds through
+// fit_shards, and the result must not depend on the actual value.
+TEST(ShardedFit, ExperimentIsInvariantToMaxResidentRows) {
+  const hdc::data::Dataset ds = hdc::data::make_synthetic_cohort(240, 33);
+  hdc::core::ExperimentConfig base;
+  base.extractor.dimensions = kDim;
+  base.extractor.seed = 3;
+  base.seed = 7;
+
+  hdc::core::ExperimentConfig small_shards = base;
+  small_shards.max_resident_rows = 50;
+  hdc::core::ExperimentConfig one_shard = base;
+  one_shard.max_resident_rows = 1u << 20;
+
+  for (const std::string model : {"Naive Bayes", "Logistic Regression"}) {
+    const hdc::eval::CvResult a = hdc::core::kfold_cv_accuracy(
+        ds, model, hdc::core::InputMode::kHypervectors, 4, small_shards);
+    const hdc::eval::CvResult b = hdc::core::kfold_cv_accuracy(
+        ds, model, hdc::core::InputMode::kHypervectors, 4, one_shard);
+    EXPECT_EQ(a.fold_accuracy, b.fold_accuracy) << model;
+  }
+
+  // Logistic's sharded path is bit-identical to the unsharded one, so the
+  // knob being off entirely must also agree.
+  const hdc::eval::CvResult sharded = hdc::core::kfold_cv_accuracy(
+      ds, "Logistic Regression", hdc::core::InputMode::kHypervectors, 4,
+      small_shards);
+  const hdc::eval::CvResult unsharded = hdc::core::kfold_cv_accuracy(
+      ds, "Logistic Regression", hdc::core::InputMode::kHypervectors, 4, base);
+  EXPECT_EQ(sharded.fold_accuracy, unsharded.fold_accuracy);
+}
+
+TEST(ShardedFit, ManifestRecordsShardGeometry) {
+  const hdc::data::Dataset ds = hdc::data::make_synthetic_cohort(100, 1);
+  hdc::core::ExperimentConfig config;
+  config.max_resident_rows = 30;
+  const hdc::core::RunManifest m =
+      hdc::core::make_run_manifest(ds, "cohort", config);
+  EXPECT_EQ(m.shard_rows, 30u);
+  EXPECT_EQ(m.num_shards, 4u);  // 30 + 30 + 30 + 10
+  const std::string json = hdc::core::to_json(m);
+  EXPECT_NE(json.find("\"shard_rows\":30"), std::string::npos);
+  EXPECT_NE(json.find("\"num_shards\":4"), std::string::npos);
+}
+
+}  // namespace
