@@ -17,6 +17,15 @@
 //      candidates-per-query, word-ops reduction vs the exact sweep, and
 //      per-query p50/p99 latency for both paths. At n >= 100k the measured
 //      word-ops reduction must be >= 5x or the bench exits non-zero.
+//   4. Streamed-build gates: Index::build_sharded over the same rows split
+//      into {1, 4, 8} shards must serialize byte-identically to the
+//      in-memory build, and its measured peak resident bytes must stay
+//      within the analytic budget (largest shard + finished index + the
+//      build's transient working set). Either failure exits non-zero.
+//   5. Sketch-scan kernel sweep: per SIMD tier, one batched sketch_scan
+//      call over a contiguous 4096-row sketch block versus the per-row
+//      hamming loop it replaced. The best supported tier must come out
+//      >= 2x faster per block or the bench exits non-zero.
 //
 // Flags (bench_common): --dim N, --seed S, --fast; plus --queries Q
 // (default 1000, fast 200), --reps R (accepted for smoke-harness
@@ -33,7 +42,10 @@
 #include "hv/ann.hpp"
 #include "hv/bit_matrix.hpp"
 #include "hv/search.hpp"
+#include "hv/sharded_bits.hpp"
+#include "simd/dispatch.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -222,6 +234,145 @@ SizeResult sweep_size(std::size_t rows, std::size_t n_queries,
   return result;
 }
 
+/// Streamed-build identity + bounded-memory gates (protocol step 4).
+struct StreamedResult {
+  std::size_t rows = 0;
+  bool identical = false;              // serialized cmp at every shard count
+  std::uint64_t bytes_peak = 0;        // measured, at the max shard count
+  std::uint64_t shard_bytes_max = 0;
+  std::uint64_t index_bytes = 0;
+  std::uint64_t budget = 0;            // analytic upper bound on bytes_peak
+  bool within_budget = false;
+  std::uint64_t database_bytes = 0;    // what a fully resident build holds
+};
+
+StreamedResult streamed_gates(std::size_t rows,
+                              const hdc::core::ExtractorConfig& extractor_config,
+                              std::uint64_t seed) {
+  const hdc::data::Dataset cohort = hdc::data::make_synthetic_cohort(rows, seed);
+  hdc::core::HdcFeatureExtractor extractor(extractor_config);
+  extractor.fit(cohort);
+  const hdc::hv::BitMatrix bits = extractor.transform_bits(cohort);
+  const PackedHVs database = slice_rows(bits, 0, rows);
+  const std::size_t words = database.words_per_row();
+
+  StreamedResult result;
+  result.rows = rows;
+  result.database_bytes = rows * words * sizeof(std::uint64_t);
+
+  const ann::Index reference = ann::Index::build(database);
+  const std::string reference_bytes = serialized(reference);
+
+  result.identical = true;
+  ann::BuildStats stats;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    const std::size_t shard_rows = (rows + shards - 1) / shards;
+    hdc::hv::ShardedBitMatrix sharded;
+    for (std::size_t begin = 0; begin < rows; begin += shard_rows) {
+      sharded.append_shard(hdc::hv::BitMatrix::from_rows(
+          slice_rows(bits, begin, std::min(rows, begin + shard_rows))));
+    }
+    const hdc::hv::ShardedBitMatrixSource source(sharded);
+    const ann::Index streamed =
+        ann::Index::build_sharded(source, {}, nullptr, &stats);
+    if (serialized(streamed) != reference_bytes) {
+      result.identical = false;
+      std::fprintf(stderr,
+                   "FATAL: streamed build at %zu shards is not byte-identical\n",
+                   shards);
+    }
+  }
+
+  // Analytic budget, mirroring build_impl's checkpoint accounting term by
+  // term (each container bounded from above, summed across phases, so the
+  // measured peak can never legitimately exceed it): the largest resident
+  // shard + the finished index + pre-compaction centroids, the Lloyd sample
+  // with its per-row cells and per-cell bit counters, the full assignment,
+  // and the pass-3 cursor/slot scratch.
+  const ann::Config& resolved = reference.config();
+  const std::size_t bits_n = reference.bits();
+  const std::size_t sample_rows = std::min(rows, resolved.lloyd_sample);
+  const std::size_t max_shard_rows = (rows + 7) / 8;  // largest shard at 8 shards
+  result.bytes_peak = stats.bytes_peak;          // from the 8-shard build
+  result.shard_bytes_max = stats.shard_bytes_max;
+  result.index_bytes = stats.index_bytes;
+  result.budget =
+      stats.shard_bytes_max + stats.index_bytes +
+      resolved.cells * words * sizeof(std::uint64_t) +
+      sample_rows * words * sizeof(std::uint64_t) +
+      sample_rows * sizeof(std::uint32_t) +
+      resolved.cells * bits_n * sizeof(std::uint32_t) +
+      resolved.cells * sizeof(std::uint64_t) +
+      rows * sizeof(std::uint32_t) +
+      (resolved.cells + 1) * sizeof(std::uint64_t) +
+      max_shard_rows * sizeof(std::uint64_t);
+  result.within_budget = result.bytes_peak <= result.budget;
+  if (!result.within_budget) {
+    std::fprintf(stderr,
+                 "FATAL: streamed build peak %llu bytes exceeds the %llu budget\n",
+                 static_cast<unsigned long long>(result.bytes_peak),
+                 static_cast<unsigned long long>(result.budget));
+  }
+  return result;
+}
+
+/// Per-tier sketch_scan vs per-row-hamming sweep (protocol step 5). Times
+/// one pass over a contiguous block of `kScanRows` 256-bit sketches, best
+/// of `trials`, and reports nanoseconds per pass.
+struct TierSketchResult {
+  hdc::simd::Tier tier;
+  double per_row_ns = 0.0;
+  double scan_ns = 0.0;
+  double speedup = 0.0;
+};
+
+constexpr std::size_t kScanRows = 4096;
+constexpr std::size_t kScanWords = 4;  // 256-bit sketches, the default width
+
+std::vector<TierSketchResult> sketch_scan_sweep(std::size_t reps,
+                                                std::uint64_t seed) {
+  hdc::util::Rng rng(seed);
+  std::vector<std::uint64_t> query(kScanWords);
+  std::vector<std::uint64_t> block(kScanRows * kScanWords);
+  for (auto& w : query) w = rng();
+  for (auto& w : block) w = rng();
+  std::vector<std::uint32_t> out(kScanRows);
+
+  volatile std::uint64_t sink = 0;  // defeat dead-code elimination
+  const auto best_of = [&](const auto& fn) {
+    double best = 1e30;
+    for (int trial = 0; trial < 5; ++trial) {
+      Timer t;
+      for (std::size_t r = 0; r < reps; ++r) fn();
+      best = std::min(best, t.seconds() / static_cast<double>(reps));
+    }
+    return best * 1e9;
+  };
+
+  std::vector<TierSketchResult> results;
+  for (const hdc::simd::Tier tier : hdc::simd::supported_tiers()) {
+    const hdc::simd::Kernels& kernels = hdc::simd::kernels(tier);
+    TierSketchResult r;
+    r.tier = tier;
+    r.per_row_ns = best_of([&] {
+      std::uint64_t total = 0;
+      for (std::size_t i = 0; i < kScanRows; ++i) {
+        total += kernels.hamming(query.data(), block.data() + i * kScanWords,
+                                 kScanWords);
+      }
+      sink = sink + total;
+    });
+    r.scan_ns = best_of([&] {
+      kernels.sketch_scan(query.data(), block.data(), kScanRows, kScanWords,
+                          out.data());
+      sink = sink + out[0] + out[kScanRows - 1];
+    });
+    r.speedup = r.scan_ns > 0.0 ? r.per_row_ns / r.scan_ns : 0.0;
+    results.push_back(r);
+  }
+  return results;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,6 +431,28 @@ int main(int argc, char** argv) {
   }
   const SizeResult& largest = results.back();
 
+  // 4. Streamed-build identity + bounded-memory gates.
+  const StreamedResult streamed = streamed_gates(
+      fast ? 2000 : 20000, setup.experiment.extractor, setup.experiment.seed);
+  std::printf("# streamed n=%zu: identical=%s peak=%llu budget=%llu "
+              "(shard_max=%llu index=%llu full_db=%llu)\n",
+              streamed.rows, streamed.identical ? "yes" : "NO",
+              static_cast<unsigned long long>(streamed.bytes_peak),
+              static_cast<unsigned long long>(streamed.budget),
+              static_cast<unsigned long long>(streamed.shard_bytes_max),
+              static_cast<unsigned long long>(streamed.index_bytes),
+              static_cast<unsigned long long>(streamed.database_bytes));
+
+  // 5. Per-tier sketch-scan speedup sweep.
+  const std::vector<TierSketchResult> sketch_tiers =
+      sketch_scan_sweep(fast ? 20 : 100, setup.experiment.seed);
+  for (const TierSketchResult& r : sketch_tiers) {
+    std::printf("# sketch_scan %s: per-row=%.0fns scan=%.0fns speedup=%.2fx\n",
+                hdc::simd::tier_name(r.tier), r.per_row_ns, r.scan_ns,
+                r.speedup);
+  }
+  const TierSketchResult& best_tier = sketch_tiers.back();
+
   // Hard gates.
   int exit_code = 0;
   if (recall_at_1 < 0.999) {
@@ -293,6 +466,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FATAL: word-ops reduction %.2fx at n=%zu below the 5x gate\n",
                  largest.word_ops_reduction, largest.rows);
+    exit_code = 1;
+  }
+  if (!streamed.identical || !streamed.within_budget) exit_code = 1;
+  if (best_tier.speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FATAL: sketch_scan speedup %.2fx on %s below the 2x gate\n",
+                 best_tier.speedup, hdc::simd::tier_name(best_tier.tier));
     exit_code = 1;
   }
 
@@ -316,6 +496,18 @@ int main(int argc, char** argv) {
     sizes_json += buffer;
   }
 
+  std::string tiers_json;
+  for (const TierSketchResult& r : sketch_tiers) {
+    char buffer[192];
+    std::snprintf(buffer, sizeof buffer,
+                  "%s    {\"tier\": \"%s\", \"per_row_ns\": %.1f, "
+                  "\"scan_ns\": %.1f, \"speedup\": %.3f}",
+                  tiers_json.empty() ? "" : ",\n",
+                  hdc::simd::tier_name(r.tier), r.per_row_ns, r.scan_ns,
+                  r.speedup);
+    tiers_json += buffer;
+  }
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "FATAL: cannot write %s\n", out_path.c_str());
@@ -333,12 +525,34 @@ int main(int argc, char** argv) {
                "  \"rows_max\": %zu,\n"
                "  \"word_ops_reduction\": %.3f,\n"
                "  \"sizes\": [\n%s\n  ],\n"
+               "  \"streamed_rows\": %zu,\n"
+               "  \"streamed_build_identical\": %s,\n"
+               "  \"build_bytes_peak\": %llu,\n"
+               "  \"build_bytes_budget\": %llu,\n"
+               "  \"build_bytes_within_budget\": %s,\n"
+               "  \"build_shard_bytes_max\": %llu,\n"
+               "  \"build_index_bytes\": %llu,\n"
+               "  \"database_bytes\": %llu,\n"
+               "  \"sketch_scan_rows\": %zu,\n"
+               "  \"sketch_scan_words\": %zu,\n"
+               "  \"sketch_scan_tier\": \"%s\",\n"
+               "  \"sketch_scan_speedup\": %.3f,\n"
+               "  \"sketch_tiers\": [\n%s\n  ],\n"
                "  \"manifest\": %s\n"
                "}\n",
                setup.experiment.extractor.dimensions, recall_at_1,
                pima.recall_at_1, sylhet.recall_at_1, pima.rows, sylhet.rows,
                determinism_ok ? "true" : "false", largest.rows,
-               largest.word_ops_reduction, sizes_json.c_str(),
+               largest.word_ops_reduction, sizes_json.c_str(), streamed.rows,
+               streamed.identical ? "true" : "false",
+               static_cast<unsigned long long>(streamed.bytes_peak),
+               static_cast<unsigned long long>(streamed.budget),
+               streamed.within_budget ? "true" : "false",
+               static_cast<unsigned long long>(streamed.shard_bytes_max),
+               static_cast<unsigned long long>(streamed.index_bytes),
+               static_cast<unsigned long long>(streamed.database_bytes),
+               kScanRows, kScanWords, hdc::simd::tier_name(best_tier.tier),
+               best_tier.speedup, tiers_json.c_str(),
                hdc::bench::manifest_json(setup.pima_m, "pima_m_synthetic",
                                          setup.experiment)
                    .c_str());

@@ -62,6 +62,7 @@
 #include "core/hamming_classifier.hpp"
 #include "core/serialize.hpp"
 #include "core/serve.hpp"
+#include "core/shard_source.hpp"
 #include "ml/zoo.hpp"
 #include "nn/sequential.hpp"
 #include "data/chunked.hpp"
@@ -117,29 +118,14 @@ int cmd_train(const hdc::data::Dataset& ds, const std::string& model_path,
   return 0;
 }
 
-// Out-of-core variant of cmd_train: the CSV is consumed in row-range shards
-// (data::CsvStreamChunks re-reads each range from disk), so the dense double
-// matrix of the full cohort is never resident. Pass 1 folds per-chunk column
-// stats into the extractor ranges; pass 2 encodes shard-at-a-time. The
-// written model file is byte-identical to the in-memory train on the same
-// CSV: row i's encoding is a pure function of (row, extractor), and the
-// folded ranges equal the whole-file ranges exactly (min/max are
-// order-free).
-int cmd_train_stream(const std::string& csv_path, const std::string& model_path,
-                     const hdc::util::Cli& cli) {
-  if (csv_path == "-") {
-    std::fprintf(stderr, "--stream needs a seekable CSV file, not stdin\n");
-    return 2;
-  }
-  hdc::data::CsvOptions options;
-  options.label_column = cli.get_string("--label", "");
-  const hdc::data::CsvStreamChunks chunks(csv_path, options);
-  const std::size_t shard_rows =
-      static_cast<std::size_t>(cli.get_int("--shard-rows", 4096));
-  const std::vector<hdc::data::ChunkRange> plan =
-      hdc::data::make_shard_plan(chunks.n_rows(), shard_rows);
-
-  // Pass 1: column ranges, one chunk resident at a time.
+// Pass-1 of every --stream command: fold per-chunk column stats into the
+// extractor ranges, one chunk resident at a time. The folded ranges equal
+// the whole-file ranges exactly (min/max are order-free), so the fitted
+// extractor is identical to an in-memory fit() over the same rows.
+std::optional<hdc::core::HdcFeatureExtractor> fit_extractor_streamed(
+    const hdc::data::CsvStreamChunks& chunks,
+    const std::vector<hdc::data::ChunkRange>& plan,
+    const hdc::util::Cli& cli) {
   std::vector<hdc::core::ColumnEncoding> columns;
   for (const hdc::data::ColumnSpec& spec : chunks.columns()) {
     columns.push_back({spec.name, spec.kind, 0.0, 0.0});
@@ -164,7 +150,7 @@ int cmd_train_stream(const std::string& csv_path, const std::string& model_path,
   for (std::size_t j = 0; j < columns.size(); ++j) {
     if (columns[j].kind == hdc::data::ColumnKind::kContinuous && present[j] == 0) {
       std::fprintf(stderr, "column '%s' has no data\n", columns[j].name.c_str());
-      return 1;
+      return std::nullopt;
     }
   }
 
@@ -173,6 +159,33 @@ int cmd_train_stream(const std::string& csv_path, const std::string& model_path,
   config.seed = cli.get_uint("--seed", 2023);
   hdc::core::HdcFeatureExtractor extractor(config);
   extractor.fit_from_columns(std::move(columns));
+  return extractor;
+}
+
+// Out-of-core variant of cmd_train: the CSV is consumed in row-range shards
+// (data::CsvStreamChunks re-reads each range from disk), so the dense double
+// matrix of the full cohort is never resident. Pass 1 folds per-chunk column
+// stats into the extractor ranges; pass 2 encodes shard-at-a-time. The
+// written model file is byte-identical to the in-memory train on the same
+// CSV: row i's encoding is a pure function of (row, extractor).
+int cmd_train_stream(const std::string& csv_path, const std::string& model_path,
+                     const hdc::util::Cli& cli) {
+  if (csv_path == "-") {
+    std::fprintf(stderr, "--stream needs a seekable CSV file, not stdin\n");
+    return 2;
+  }
+  hdc::data::CsvOptions options;
+  options.label_column = cli.get_string("--label", "");
+  const hdc::data::CsvStreamChunks chunks(csv_path, options);
+  const std::size_t shard_rows =
+      static_cast<std::size_t>(cli.get_int("--shard-rows", 4096));
+  const std::vector<hdc::data::ChunkRange> plan =
+      hdc::data::make_shard_plan(chunks.n_rows(), shard_rows);
+
+  std::optional<hdc::core::HdcFeatureExtractor> fitted =
+      fit_extractor_streamed(chunks, plan, cli);
+  if (!fitted) return 1;
+  hdc::core::HdcFeatureExtractor extractor = std::move(*fitted);
 
   // Pass 2: encode shard-at-a-time. Only the packed patient hypervectors
   // accumulate (dimensions/8 bytes per row).
@@ -386,6 +399,109 @@ int cmd_bundle(const hdc::data::Dataset& ds, const std::string& data_path,
   return 0;
 }
 
+// Out-of-core bundle build: the CSV streams through core::EncodingShardSource
+// in --shard-rows shards, so the dense cohort is never resident. With --ann
+// the index is built by hv::ann::Index::build_sharded — shard-at-a-time,
+// byte-identical to the in-memory build — and attached to the Hamming
+// classifier under the usual database-fingerprint check. Zoo models (if any)
+// train through their fit_shards merge paths. The written bundle is
+// byte-identical to `bundle` on the same CSV, except that the provenance
+// manifest (whose dataset hash needs the whole file resident) is omitted.
+int cmd_bundle_stream(const std::string& csv_path, const std::string& out_path,
+                      const hdc::util::Cli& cli) {
+  if (csv_path == "-") {
+    std::fprintf(stderr, "--stream needs a seekable CSV file, not stdin\n");
+    return 2;
+  }
+  if (cli.has_flag("--with-nn")) {
+    std::fprintf(stderr,
+                 "--with-nn needs the dense matrix resident; drop --stream or "
+                 "--with-nn\n");
+    return 2;
+  }
+  // The streamed-build counters/gauges feed the trailing summary line;
+  // recording never changes any produced byte (obs determinism contract).
+  hdc::obs::set_enabled(true);
+  hdc::data::CsvOptions options;
+  options.label_column = cli.get_string("--label", "");
+  const hdc::data::CsvStreamChunks chunks(csv_path, options);
+  const std::size_t shard_rows =
+      static_cast<std::size_t>(cli.get_int("--shard-rows", 4096));
+  const std::vector<hdc::data::ChunkRange> plan =
+      hdc::data::make_shard_plan(chunks.n_rows(), shard_rows);
+
+  std::optional<hdc::core::HdcFeatureExtractor> fitted =
+      fit_extractor_streamed(chunks, plan, cli);
+  if (!fitted) return 1;
+  hdc::core::HdcFeatureExtractor extractor = std::move(*fitted);
+
+  const hdc::core::EncodingShardSource source(chunks, extractor, shard_rows);
+
+  // With --ann the index builds first, while only one encoded shard is ever
+  // resident; the classifier vectors accumulate afterwards.
+  std::optional<hdc::hv::ann::Index> ann_index;
+  hdc::hv::ann::BuildStats ann_stats;
+  if (cli.has_flag("--ann")) {
+    hdc::hv::ann::Config ann_config;
+    ann_config.cells = static_cast<std::size_t>(cli.get_int("--cells", 0));
+    ann_config.nprobe = static_cast<std::size_t>(cli.get_int("--nprobe", 0));
+    ann_index = hdc::hv::ann::Index::build_sharded(source, ann_config, nullptr,
+                                                   &ann_stats);
+  }
+
+  hdc::core::ModelBundle bundle;
+  {
+    // The serve path needs the packed patient vectors resident
+    // (dimensions/8 bytes per row — the bundle's own payload).
+    std::vector<hdc::hv::BitVector> vectors;
+    vectors.reserve(chunks.n_rows());
+    for (const hdc::data::ChunkRange& range : plan) {
+      const hdc::data::Dataset chunk = chunks.chunk(range.begin, range.end);
+      std::vector<hdc::hv::BitVector> encoded = extractor.transform(chunk);
+      std::move(encoded.begin(), encoded.end(), std::back_inserter(vectors));
+    }
+    hdc::core::HammingClassifier hamming(
+        hdc::core::HammingMode::kNearestNeighbor,
+        static_cast<std::size_t>(cli.get_int("--k", 1)));
+    hamming.fit(std::move(vectors),
+                {source.labels().begin(), source.labels().end()});
+    if (ann_index) hamming.attach_ann(std::move(*ann_index));
+    bundle.hamming = std::move(hamming);
+  }
+
+  const std::string models = cli.get_string("--models", "");
+  if (!models.empty()) {
+    for (const std::string& name : hdc::util::split(models, ',')) {
+      const auto trimmed = hdc::util::trim(name);
+      if (trimmed.empty()) continue;
+      auto model = hdc::ml::make_model(std::string(trimmed));
+      model->fit_shards(source);
+      bundle.models.push_back(std::move(model));
+    }
+  }
+  bundle.extractor = std::move(extractor);
+  hdc::core::save_bundle_file(out_path, bundle);
+
+  const hdc::obs::MetricsSnapshot snapshot = hdc::obs::snapshot();
+  std::printf(
+      "streamed %zu patients (%zu features) in %zu shards of <= %zu rows -> "
+      "%s\n",
+      chunks.n_rows(), chunks.n_cols(), plan.size(),
+      shard_rows == 0 ? chunks.n_rows() : shard_rows, out_path.c_str());
+  if (cli.has_flag("--ann")) {
+    std::printf(
+        "# ann: cells=%zu build_bytes_peak=%lld (shard_max=%llu index=%llu) "
+        "sketch_blocks=%llu\n",
+        bundle.hamming->ann_index()->cells(),
+        static_cast<long long>(snapshot.gauge_max("hv.ann.build_bytes_peak")),
+        static_cast<unsigned long long>(ann_stats.shard_bytes_max),
+        static_cast<unsigned long long>(ann_stats.index_bytes),
+        static_cast<unsigned long long>(
+            snapshot.counter_value("hv.ann.sketch_blocks")));
+  }
+  return 0;
+}
+
 int cmd_serve(const hdc::data::Dataset& ds, const std::string& bundle_path,
               const hdc::util::Cli& cli) {
   // Serve counters feed the trailing summary line; recording never changes
@@ -458,14 +574,15 @@ int run_command(const hdc::util::Cli& cli) {
     // grid takes one-or-more CSVs, not the single-dataset + model shape.
     return cmd_grid({args.begin() + 1, args.end()}, cli);
   }
-  if (command == "train" && cli.has_flag("--stream")) {
+  if ((command == "train" || command == "bundle") && cli.has_flag("--stream")) {
     // Dispatch before load(): the whole point of --stream is that the CSV
     // is never materialized as one Dataset.
     if (args.size() < 3) {
-      std::fprintf(stderr, "train needs a model path\n");
+      std::fprintf(stderr, "%s needs an output path\n", command.c_str());
       return 2;
     }
-    return cmd_train_stream(args[1], args[2], cli);
+    return command == "train" ? cmd_train_stream(args[1], args[2], cli)
+                              : cmd_bundle_stream(args[1], args[2], cli);
   }
   const hdc::data::Dataset ds = load(args[1], cli);
   if (command == "describe") return cmd_describe(ds);
@@ -521,6 +638,9 @@ int main(int argc, char** argv) {
                  "       hdc_cli bundle <data.csv> <out.bundle> [--models "
                  "a,b,c] [--with-nn] [--dim N] [--seed S] [--k K] [--ann "
                  "[--cells C] [--nprobe P]]\n"
+                 "       hdc_cli bundle <data.csv> <out.bundle> --stream "
+                 "[--shard-rows N] [--ann [--cells C] [--nprobe P]] [--models "
+                 "a,b,c] [--dim N] [--seed S] [--k K]\n"
                  "       hdc_cli serve <data.csv|-> <model.bundle> [--model "
                  "NAME] [--coalesce] [--max-batch N] [--metrics-port P] "
                  "[--ann [--nprobe P]]\n"

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "hv/sharded_bits.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -31,6 +32,7 @@ struct AnnMetrics {
   obs::Counter& candidates = obs::counter("hv.ann.candidates");
   obs::Counter& reranked = obs::counter("hv.ann.reranked");
   obs::Counter& word_ops = obs::counter("hv.ann.word_ops");
+  obs::Counter& sketch_blocks = obs::counter("hv.ann.sketch_blocks");
 
   static AnnMetrics& get() {
     static AnnMetrics metrics;
@@ -83,11 +85,44 @@ void Index::sketch_row(const std::uint64_t* words, std::uint64_t* out) const {
 }
 
 Index Index::build(const PackedHVs& database, const Config& config,
-                   parallel::ThreadPool* pool) {
+                   parallel::ThreadPool* pool, BuildStats* stats) {
   if (database.empty()) {
     throw std::invalid_argument("ann::build: empty database");
   }
-  if (database.rows() > kMaxRows) {
+  // One whole-database shard: the streamed core then runs the identical
+  // arithmetic the dedicated in-memory build used to.
+  const detail::BuildShard whole{
+      0, database.rows(), database.row(0),
+      database.rows() * database.words_per_row() * sizeof(std::uint64_t)};
+  return build_impl(
+      database.rows(), database.bits(), 1,
+      [&whole](std::size_t) { return whole; }, config, pool, stats);
+}
+
+Index Index::build_sharded(const BitShardSource& source, const Config& config,
+                           parallel::ThreadPool* pool, BuildStats* stats) {
+  if (source.rows() == 0 || source.num_shards() == 0) {
+    throw std::invalid_argument("ann::build: empty database");
+  }
+  return build_impl(
+      source.rows(), source.cols(), source.num_shards(),
+      [&source](std::size_t s) {
+        const hv::BitMatrix& shard = source.shard(s);
+        const std::size_t resident =
+            (shard.cols() * shard.words_per_column() +
+             shard.rows() * shard.words_per_row() +
+             shard.valid().word_count()) * sizeof(std::uint64_t);
+        return detail::BuildShard{source.shard_begin(s), shard.rows(),
+                                  shard.row_bits(0), resident};
+      },
+      config, pool, stats);
+}
+
+Index Index::build_impl(
+    std::size_t n, std::size_t bits, std::size_t num_shards,
+    const std::function<detail::BuildShard(std::size_t)>& load_shard,
+    const Config& config, parallel::ThreadPool* pool, BuildStats* stats) {
+  if (n > kMaxRows) {
     throw std::invalid_argument("ann::build: database too large");
   }
   if (config.sketch_bits == 0 || config.sketch_bits > kMaxSketchBits) {
@@ -97,13 +132,15 @@ Index Index::build(const PackedHVs& database, const Config& config,
     throw std::invalid_argument("ann::build: rerank_fraction must be in [0,1]");
   }
   obs::Span span("hv.ann.build");
+  // One kernel-table load per build pass (the hot loops below run the
+  // hoisted pointer, not a per-call simd::active()).
+  const auto hamming = simd::active().hamming;
 
-  const std::size_t n = database.rows();
-  const std::size_t words = database.words_per_row();
+  const std::size_t words = (bits + 63) / 64;
 
   Index index;
   index.config_ = config;
-  index.bits_ = database.bits();
+  index.bits_ = bits;
   index.words_per_row_ = words;
   index.rows_ = n;
 
@@ -127,18 +164,77 @@ Index Index::build(const PackedHVs& database, const Config& config,
   std::sort(sampled.begin(), sampled.end());
   index.positions_.assign(sampled.begin(), sampled.end());
 
-  // Initial centroids: rows at evenly strided positions (deterministic and
-  // spread across whatever ordering the database arrived in).
+  // Build-side memory accounting: the high-water of (live working
+  // containers + resident shard), checkpointed at every allocation step.
+  BuildStats accounting;
+  accounting.shards = num_shards;
+  std::size_t shard_bytes = 0;  // currently resident shard
+  const auto note_peak = [&](std::size_t live_bytes) {
+    accounting.bytes_peak =
+        std::max<std::uint64_t>(accounting.bytes_peak, live_bytes + shard_bytes);
+  };
+  const auto enter_shard = [&](std::size_t s) {
+    const detail::BuildShard shard = load_shard(s);
+    shard_bytes = shard.resident_bytes;
+    accounting.shard_bytes_max =
+        std::max<std::uint64_t>(accounting.shard_bytes_max, shard_bytes);
+    return shard;
+  };
+
+  // Pass 1: one shard-by-shard sweep collects the evenly strided initial
+  // centroids, the strided Lloyd sample, and the database fingerprint —
+  // each a pure function of global row order, so the collected bytes are
+  // invariant to where the shard boundaries fall.
+  const std::size_t stride = (n + c.lloyd_sample - 1) / c.lloyd_sample;
+  const std::size_t sample_count = (n + stride - 1) / stride;
   std::vector<std::uint64_t> centroids(c.cells * words);
-  for (std::size_t cell = 0; cell < c.cells; ++cell) {
-    const std::size_t row = cell * n / c.cells;
-    std::copy_n(database.row(row), words, centroids.data() + cell * words);
+  std::vector<std::uint64_t> sample(sample_count * words);
+  std::uint64_t fp = 0xcbf29ce484222325ULL;
+  const auto eat = [&fp](std::uint64_t value) {
+    for (int b = 0; b < 8; ++b) {
+      fp ^= (value >> (8 * b)) & 0xffULL;
+      fp *= 0x100000001b3ULL;
+    }
+  };
+  eat(index.bits_);
+  eat(n);
+  std::size_t next_centroid = 0;
+  std::size_t next_sample = 0;
+  std::size_t seen = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const detail::BuildShard shard = enter_shard(s);
+    if (shard.begin != seen || shard.rows == 0 || shard.words == nullptr) {
+      throw std::invalid_argument(
+          "ann::build_sharded: shards must be non-empty, contiguous and "
+          "ascending");
+    }
+    note_peak((centroids.size() + sample.size()) * sizeof(std::uint64_t));
+    const std::size_t end = shard.begin + shard.rows;
+    for (std::size_t w = 0; w < shard.rows * words; ++w) eat(shard.words[w]);
+    while (next_centroid < c.cells &&
+           next_centroid * n / c.cells < end) {
+      const std::size_t row = next_centroid * n / c.cells;
+      std::copy_n(shard.words + (row - shard.begin) * words, words,
+                  centroids.data() + next_centroid * words);
+      ++next_centroid;
+    }
+    while (next_sample < sample_count && next_sample * stride < end) {
+      const std::size_t row = next_sample * stride;
+      std::copy_n(shard.words + (row - shard.begin) * words, words,
+                  sample.data() + next_sample * words);
+      ++next_sample;
+    }
+    seen = end;
   }
+  if (seen != n) {
+    throw std::invalid_argument(
+        "ann::build_sharded: shards do not cover the database rows");
+  }
+  index.fingerprint_ = fp;
 
   // Nearest centroid of one row (ties -> lowest cell id).
   const auto nearest_cell = [&](const std::uint64_t* row,
                                 std::size_t n_cells) -> std::size_t {
-    const auto hamming = simd::active().hamming;
     std::size_t best_cell = 0;
     std::size_t best_distance = index.bits_ + 1;
     for (std::size_t cell = 0; cell < n_cells; ++cell) {
@@ -151,64 +247,76 @@ Index Index::build(const PackedHVs& database, const Config& config,
     return best_cell;
   };
 
-  // Lloyd refinement over a strided sample (assignments are embarrassingly
-  // parallel; accumulation is a serial pass, so results are thread-count-
-  // invariant by construction).
-  const std::size_t stride = (n + c.lloyd_sample - 1) / c.lloyd_sample;
-  const std::size_t sample_count = (n + stride - 1) / stride;
-  std::vector<std::uint32_t> sample_cell(sample_count);
-  std::vector<std::uint32_t> counts(c.cells * index.bits_);
-  std::vector<std::uint64_t> cell_sizes(c.cells);
-  for (std::size_t iter = 0; iter < c.lloyd_iterations; ++iter) {
-    parallel::parallel_for(
-        0, sample_count,
-        [&](std::size_t s) {
-          sample_cell[s] = static_cast<std::uint32_t>(
-              nearest_cell(database.row(s * stride), c.cells));
-        },
-        pool);
-    std::fill(counts.begin(), counts.end(), 0);
-    std::fill(cell_sizes.begin(), cell_sizes.end(), 0);
-    for (std::size_t s = 0; s < sample_count; ++s) {
-      const std::size_t cell = sample_cell[s];
-      ++cell_sizes[cell];
-      std::uint32_t* cell_counts = counts.data() + cell * index.bits_;
-      const std::uint64_t* row = database.row(s * stride);
-      for (std::size_t w = 0; w < words; ++w) {
-        std::uint64_t word = row[w];
-        while (word != 0) {
-          const auto b = static_cast<std::size_t>(std::countr_zero(word));
-          ++cell_counts[w * 64 + b];
-          word &= word - 1;
+  // Lloyd refinement over the collected sample (assignments are
+  // embarrassingly parallel; accumulation is a serial pass, so results are
+  // thread-count-invariant by construction).
+  {
+    std::vector<std::uint32_t> sample_cell(sample_count);
+    std::vector<std::uint32_t> counts(c.cells * index.bits_);
+    std::vector<std::uint64_t> cell_sizes_lloyd(c.cells);
+    note_peak((centroids.size() + sample.size()) * sizeof(std::uint64_t) +
+              sample_cell.size() * sizeof(std::uint32_t) +
+              counts.size() * sizeof(std::uint32_t) +
+              cell_sizes_lloyd.size() * sizeof(std::uint64_t));
+    for (std::size_t iter = 0; iter < c.lloyd_iterations; ++iter) {
+      parallel::parallel_for(
+          0, sample_count,
+          [&](std::size_t s) {
+            sample_cell[s] = static_cast<std::uint32_t>(
+                nearest_cell(sample.data() + s * words, c.cells));
+          },
+          pool);
+      std::fill(counts.begin(), counts.end(), 0);
+      std::fill(cell_sizes_lloyd.begin(), cell_sizes_lloyd.end(), 0);
+      for (std::size_t s = 0; s < sample_count; ++s) {
+        const std::size_t cell = sample_cell[s];
+        ++cell_sizes_lloyd[cell];
+        std::uint32_t* cell_counts = counts.data() + cell * index.bits_;
+        const std::uint64_t* row = sample.data() + s * words;
+        for (std::size_t w = 0; w < words; ++w) {
+          std::uint64_t word = row[w];
+          while (word != 0) {
+            const auto b = static_cast<std::size_t>(std::countr_zero(word));
+            ++cell_counts[w * 64 + b];
+            word &= word - 1;
+          }
         }
       }
-    }
-    for (std::size_t cell = 0; cell < c.cells; ++cell) {
-      const std::uint64_t size = cell_sizes[cell];
-      if (size == 0) continue;  // empty cell keeps its previous centroid
-      std::uint64_t* centroid = centroids.data() + cell * words;
-      const std::uint32_t* cell_counts = counts.data() + cell * index.bits_;
-      std::fill_n(centroid, words, 0ULL);
-      for (std::size_t bit = 0; bit < index.bits_; ++bit) {
-        // Majority with ties -> 1, matching hv::TiePolicy::kOne.
-        if (2ULL * cell_counts[bit] >= size) {
-          centroid[bit >> 6] |= 1ULL << (bit & 63);
+      for (std::size_t cell = 0; cell < c.cells; ++cell) {
+        const std::uint64_t size = cell_sizes_lloyd[cell];
+        if (size == 0) continue;  // empty cell keeps its previous centroid
+        std::uint64_t* centroid = centroids.data() + cell * words;
+        const std::uint32_t* cell_counts = counts.data() + cell * index.bits_;
+        std::fill_n(centroid, words, 0ULL);
+        for (std::size_t bit = 0; bit < index.bits_; ++bit) {
+          // Majority with ties -> 1, matching hv::TiePolicy::kOne.
+          if (2ULL * cell_counts[bit] >= size) {
+            centroid[bit >> 6] |= 1ULL << (bit & 63);
+          }
         }
       }
     }
   }
+  sample.clear();
+  sample.shrink_to_fit();
 
-  // Final assignment covers every row, then empty cells are compacted away
-  // (probing an empty cell would waste a probe budget slot).
+  // Pass 2: final assignment covers every row, one shard resident at a
+  // time, then empty cells are compacted away (probing an empty cell would
+  // waste a probe budget slot).
   std::vector<std::uint32_t> assignment(n);
-  parallel::parallel_for(
-      0, n,
-      [&](std::size_t i) {
-        assignment[i] =
-            static_cast<std::uint32_t>(nearest_cell(database.row(i), c.cells));
-      },
-      pool);
-  std::fill(cell_sizes.begin(), cell_sizes.end(), 0);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const detail::BuildShard shard = enter_shard(s);
+    note_peak(centroids.size() * sizeof(std::uint64_t) +
+              assignment.size() * sizeof(std::uint32_t));
+    parallel::parallel_for(
+        0, shard.rows,
+        [&](std::size_t r) {
+          assignment[shard.begin + r] = static_cast<std::uint32_t>(
+              nearest_cell(shard.words + r * words, c.cells));
+        },
+        pool);
+  }
+  std::vector<std::uint64_t> cell_sizes(c.cells);
   for (std::size_t i = 0; i < n; ++i) ++cell_sizes[assignment[i]];
   std::vector<std::uint32_t> remap(c.cells);
   std::size_t kept = 0;
@@ -246,25 +354,54 @@ Index Index::build(const PackedHVs& database, const Config& config,
     index.offsets_[cell + 1] += index.offsets_[cell];
   }
   index.members_.resize(n);
-  std::vector<std::uint64_t> cursor(index.offsets_.begin(),
-                                    index.offsets_.end() - 1);
-  for (std::size_t i = 0; i < n; ++i) {
-    index.members_[cursor[remap[assignment[i]]]++] = i;
+  {
+    std::vector<std::uint64_t> cursor(index.offsets_.begin(),
+                                      index.offsets_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      index.members_[cursor[remap[assignment[i]]]++] = i;
+    }
   }
 
-  // Sketches in member (cell-grouped) order: probing a cell streams one
-  // contiguous span of sketch words.
+  // Pass 3: sketches in member (cell-grouped) order, written straight into
+  // their final slots while each shard is resident. Replaying the counting
+  // sort's cursor walk in ascending global row order lands row i exactly
+  // where members_ says it lives, so no row-ordered staging buffer (which
+  // would break the one-shard memory bound) is ever allocated.
   index.sketches_.resize(n * index.sketch_words_);
-  parallel::parallel_for(
-      0, n,
-      [&](std::size_t p) {
-        index.sketch_row(database.row(index.members_[p]),
-                         index.sketches_.data() + p * index.sketch_words_);
-      },
-      pool);
+  {
+    std::vector<std::uint64_t> cursor(index.offsets_.begin(),
+                                      index.offsets_.end() - 1);
+    std::vector<std::uint64_t> slots;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const detail::BuildShard shard = enter_shard(s);
+      slots.resize(shard.rows);
+      for (std::size_t r = 0; r < shard.rows; ++r) {
+        slots[r] = cursor[remap[assignment[shard.begin + r]]]++;
+      }
+      note_peak(index.centroids_.size() * sizeof(std::uint64_t) +
+                assignment.size() * sizeof(std::uint32_t) +
+                (index.offsets_.size() + index.members_.size() +
+                 index.sketches_.size() + cursor.size() + slots.size()) *
+                    sizeof(std::uint64_t));
+      parallel::parallel_for(
+          0, shard.rows,
+          [&](std::size_t r) {
+            index.sketch_row(shard.words + r * words,
+                             index.sketches_.data() +
+                                 slots[r] * index.sketch_words_);
+          },
+          pool);
+    }
+  }
 
-  index.fingerprint_ = fingerprint_words(database.row(0), n * words,
-                                         index.bits_, n);
+  accounting.index_bytes = index.storage_bytes();
+  // High-water gauge across all builds in this process (same pattern as
+  // data.shard_bytes_peak).
+  obs::Gauge& peak_gauge = obs::gauge("hv.ann.build_bytes_peak");
+  if (static_cast<std::int64_t>(accounting.bytes_peak) > peak_gauge.value()) {
+    peak_gauge.set(static_cast<std::int64_t>(accounting.bytes_peak));
+  }
+  if (stats != nullptr) *stats = accounting;
   return index;
 }
 
@@ -336,17 +473,22 @@ std::vector<std::vector<Neighbor>> Index::top_k(const PackedHVs& queries,
   std::vector<std::vector<Neighbor>> out(queries.rows());
   SearchStats totals;
   std::mutex totals_mutex;
+  // One kernel-table load per query pass, shared by every chunk (the per-row
+  // loops below never re-resolve the dispatch table).
+  const simd::Kernels& kernels = simd::active();
 
   parallel::parallel_for_chunks(
       0, queries.rows(),
       [&](std::size_t q_lo, std::size_t q_hi) {
         obs::Span span("hv.ann.chunk");
-        const auto hamming = simd::active().hamming;
+        const auto hamming = kernels.hamming;
+        const auto sketch_scan = kernels.sketch_scan;
         SearchStats local;
         std::vector<SketchCandidate> candidates;
         std::vector<std::size_t> cell_order(n_cells);
         std::vector<std::size_t> cell_distance(n_cells);
         std::vector<std::uint64_t> query_sketch(sketch_words_);
+        std::vector<std::uint32_t> sketch_distance;
         std::vector<Neighbor> reranked;
         for (std::size_t q = q_lo; q < q_hi; ++q) {
           const std::uint64_t* qrow = queries.row(q);
@@ -363,25 +505,33 @@ std::vector<std::vector<Neighbor>> Index::top_k(const PackedHVs& queries,
                              return cell_distance[a] < cell_distance[b];
                            });
 
-          // 2. Sketch-scan the members of the nprobe closest cells.
+          // 2. Sketch-scan the members of the nprobe closest cells. Each
+          // cell's sketches are one contiguous span, so the whole cell goes
+          // through the batched sketch_scan kernel in one call.
           sketch_row(qrow, query_sketch.data());
           candidates.clear();
+          std::uint64_t scanned = 0;
           for (std::size_t p = 0; p < nprobe; ++p) {
             const std::size_t cell = cell_order[p];
             const std::uint64_t lo = offsets_[cell];
             const std::uint64_t hi = offsets_[cell + 1];
+            const std::size_t span_rows = static_cast<std::size_t>(hi - lo);
+            sketch_distance.resize(span_rows);
+            sketch_scan(query_sketch.data(),
+                        sketches_.data() + lo * sketch_words_, span_rows,
+                        sketch_words_, sketch_distance.data());
+            ++local.sketch_blocks;
+            scanned += span_rows;
             for (std::uint64_t m = lo; m < hi; ++m) {
               const std::uint64_t row = members_[m];
               if (options.exclude_same_index && row == q) continue;
-              const std::size_t d =
-                  hamming(query_sketch.data(),
-                          sketches_.data() + m * sketch_words_, sketch_words_);
-              candidates.push_back(SketchCandidate{d, row});
+              candidates.push_back(SketchCandidate{
+                  static_cast<std::size_t>(sketch_distance[m - lo]), row});
             }
           }
           local.probes += nprobe;
           local.candidates += candidates.size();
-          local.word_ops += candidates.size() * sketch_words_;
+          local.word_ops += scanned * sketch_words_;
 
           std::vector<Neighbor>& result = out[q];
           if (candidates.empty()) {
@@ -439,6 +589,7 @@ std::vector<std::vector<Neighbor>> Index::top_k(const PackedHVs& queries,
           metrics.candidates.add(local.candidates);
           metrics.reranked.add(local.reranked);
           metrics.word_ops.add(local.word_ops);
+          metrics.sketch_blocks.add(local.sketch_blocks);
         }
         const std::lock_guard<std::mutex> lock(totals_mutex);
         totals.queries += local.queries;
@@ -446,6 +597,7 @@ std::vector<std::vector<Neighbor>> Index::top_k(const PackedHVs& queries,
         totals.candidates += local.candidates;
         totals.reranked += local.reranked;
         totals.word_ops += local.word_ops;
+        totals.sketch_blocks += local.sketch_blocks;
       },
       options.pool);
 

@@ -36,6 +36,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <vector>
 
@@ -43,6 +44,10 @@
 
 namespace hdc::parallel {
 class ThreadPool;
+}
+
+namespace hdc::hv {
+class BitShardSource;  // hv/sharded_bits.hpp
 }
 
 namespace hdc::hv::ann {
@@ -100,7 +105,32 @@ struct SearchStats {
   std::uint64_t candidates = 0;  // rows sketch-scanned inside probed cells
   std::uint64_t reranked = 0;    // rows exactly reranked
   std::uint64_t word_ops = 0;    // centroid scan + sketch scan + rerank words
+  std::uint64_t sketch_blocks = 0;  // contiguous cell spans batch-scanned
 };
+
+/// Build-side memory accounting, filled by build()/build_sharded(). The
+/// peak is measured from the live container sizes plus the resident shard
+/// at a handful of high-water checkpoints — the number the bounded-memory
+/// gate in bench_ann compares against its analytic budget.
+struct BuildStats {
+  std::uint64_t bytes_peak = 0;       // working set + resident shard
+  std::uint64_t shard_bytes_max = 0;  // largest single resident shard
+  std::uint64_t index_bytes = 0;      // finished index storage
+  std::uint64_t shards = 0;           // shards streamed per pass
+};
+
+namespace detail {
+/// One resident shard of the build input: `rows` packed rows starting at
+/// global row `begin`, row-major with the database's words-per-row stride.
+/// `resident_bytes` is what the producing source holds for this shard
+/// (build accounting only — never affects the result).
+struct BuildShard {
+  std::size_t begin = 0;
+  std::size_t rows = 0;
+  const std::uint64_t* words = nullptr;
+  std::size_t resident_bytes = 0;
+};
+}  // namespace detail
 
 class Index {
  public:
@@ -110,7 +140,21 @@ class Index {
   /// across runs, thread counts, and SIMD tiers).
   [[nodiscard]] static Index build(const PackedHVs& database,
                                    const Config& config = {},
-                                   parallel::ThreadPool* pool = nullptr);
+                                   parallel::ThreadPool* pool = nullptr,
+                                   BuildStats* stats = nullptr);
+
+  /// Build from a shard stream with at most one shard resident: pass 1
+  /// collects the strided Lloyd sample and initial centroids shard-by-shard
+  /// (and the database fingerprint), pass 2 assigns every row, pass 3 writes
+  /// each row's sketch straight into its cell-grouped slot. Every collected
+  /// quantity is a pure function of global row order, so the result is
+  /// byte-identical (save() cmp) to build() over the concatenated rows at
+  /// any shard count. The source is streamed three times; re-requesting a
+  /// shard must reproduce identical bits (the BitShardSource contract).
+  [[nodiscard]] static Index build_sharded(const BitShardSource& source,
+                                           const Config& config = {},
+                                           parallel::ThreadPool* pool = nullptr,
+                                           BuildStats* stats = nullptr);
 
   [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
@@ -123,6 +167,15 @@ class Index {
   /// build time.
   [[nodiscard]] std::uint64_t database_fingerprint() const noexcept {
     return fingerprint_;
+  }
+
+  /// Bytes held by the index's own storage (centroids, offsets, members,
+  /// sketches, positions) — the "index storage" term of the streamed-build
+  /// memory budget.
+  [[nodiscard]] std::size_t storage_bytes() const noexcept {
+    return (centroids_.size() + offsets_.size() + members_.size() +
+            sketches_.size()) * sizeof(std::uint64_t) +
+           positions_.size() * sizeof(std::uint32_t);
   }
 
   /// Throws std::invalid_argument unless `database` has the fingerprint the
@@ -153,6 +206,14 @@ class Index {
   bool operator==(const Index&) const noexcept = default;
 
  private:
+  /// Shared build core: both entry points present their input as a stream
+  /// of `num_shards` row-major shard views (build() as one whole-database
+  /// shard), so streamed and in-memory builds run the identical arithmetic.
+  [[nodiscard]] static Index build_impl(
+      std::size_t rows, std::size_t bits, std::size_t num_shards,
+      const std::function<detail::BuildShard(std::size_t)>& load_shard,
+      const Config& config, parallel::ThreadPool* pool, BuildStats* stats);
+
   /// Sketch the row at `words` into `out` (sketch_words_ words).
   void sketch_row(const std::uint64_t* words, std::uint64_t* out) const;
 

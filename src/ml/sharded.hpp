@@ -28,28 +28,14 @@
 
 namespace hdc::ml {
 
-/// Sequence of bit-packed shards in ascending global row order.
-class ShardSource {
+/// Sequence of bit-packed shards in ascending global row order: the shard
+/// geometry and single-resident-shard contract of hv::BitShardSource, plus
+/// the labels the supervised fit paths need. Labels stay fully resident:
+/// 4 bytes/row is noise next to the bitplanes.
+class ShardSource : public hv::BitShardSource {
  public:
-  virtual ~ShardSource() = default;
-
-  [[nodiscard]] virtual std::size_t rows() const = 0;
-  [[nodiscard]] virtual std::size_t cols() const = 0;
-  [[nodiscard]] virtual std::size_t num_shards() const = 0;
-  /// Global row index of shard s's first row (shards are contiguous:
-  /// shard s covers [shard_begin(s), shard_begin(s) + shard_rows(s))).
-  [[nodiscard]] virtual std::size_t shard_begin(std::size_t s) const = 0;
-  /// Shard s's rows as an ordinary BitMatrix. The reference is valid only
-  /// until the next shard() call on this source — the single-resident-shard
-  /// contract that keeps streaming backends O(shard) in memory.
-  [[nodiscard]] virtual const hv::BitMatrix& shard(std::size_t s) const = 0;
   /// Labels for all rows in ascending global order (fully resident).
   [[nodiscard]] virtual std::span<const int> labels() const = 0;
-
-  [[nodiscard]] std::size_t shard_rows(std::size_t s) const {
-    return (s + 1 < num_shards() ? shard_begin(s + 1) : rows()) -
-           shard_begin(s);
-  }
 };
 
 /// ShardSource over an already-encoded ShardedBitMatrix (both borrowed).

@@ -67,6 +67,16 @@ struct Kernels {
   void (*majority)(const std::uint64_t* const* rows, std::size_t n,
                    std::size_t words, std::uint64_t* out,
                    bool tie_to_one) noexcept;
+
+  /// Block Hamming scan: out[i] = popcount(query XOR block[i*words ..]) for
+  /// `n` contiguous rows of `words` words each (`words >= 1`). The batched
+  /// form of calling `hamming` per row — the query words load once and
+  /// several short rows share each vector pass, which is where the ANN
+  /// sketch filter (4-word rows) earns its throughput. Distances fit u32
+  /// because rows are at most 1024 bits in every caller.
+  void (*sketch_scan)(const std::uint64_t* query, const std::uint64_t* block,
+                      std::size_t n, std::size_t words,
+                      std::uint32_t* out) noexcept;
 };
 
 /// Lower-case tier name ("scalar", "avx2", "avx512").

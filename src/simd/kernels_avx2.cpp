@@ -12,6 +12,7 @@
 // tier, just 256 columns per step instead of 64.
 #include <immintrin.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -229,11 +230,88 @@ void majority_avx2(const std::uint64_t* const* rows, std::size_t n,
   }
 }
 
+/// Four 4-word rows per iteration against a query that loads once: each
+/// row is one XOR + PSADBW (four u64 lane counts), and the four lane-count
+/// vectors transpose-sum into one vector of four row distances. The 4-word
+/// case is the ANN default (256-bit sketches).
+void sketch_scan4_avx2(const std::uint64_t* query, const std::uint64_t* block,
+                       std::size_t n, std::uint32_t* out) noexcept {
+  const __m256i vq =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(query));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto row_counts = [&](std::size_t r) noexcept {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block + (i + r) * 4));
+      return popcount_lanes(_mm256_xor_si256(v, vq));
+    };
+    const __m256i r0 = row_counts(0);
+    const __m256i r1 = row_counts(1);
+    const __m256i r2 = row_counts(2);
+    const __m256i r3 = row_counts(3);
+    // Pairwise halves per 128-bit lane, then cross-lane gather: the result
+    // holds {d0, d1, d2, d3} as u64 lanes.
+    const __m256i p01 = _mm256_add_epi64(_mm256_unpacklo_epi64(r0, r1),
+                                         _mm256_unpackhi_epi64(r0, r1));
+    const __m256i p23 = _mm256_add_epi64(_mm256_unpacklo_epi64(r2, r3),
+                                         _mm256_unpackhi_epi64(r2, r3));
+    const __m256i sums =
+        _mm256_add_epi64(_mm256_permute2x128_si256(p01, p23, 0x20),
+                         _mm256_permute2x128_si256(p01, p23, 0x31));
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), sums);
+    out[i + 0] = static_cast<std::uint32_t>(lanes[0]);
+    out[i + 1] = static_cast<std::uint32_t>(lanes[1]);
+    out[i + 2] = static_cast<std::uint32_t>(lanes[2]);
+    out[i + 3] = static_cast<std::uint32_t>(lanes[3]);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t* row = block + i * 4;
+    out[i] = static_cast<std::uint32_t>(
+        std::popcount(query[0] ^ row[0]) + std::popcount(query[1] ^ row[1]) +
+        std::popcount(query[2] ^ row[2]) + std::popcount(query[3] ^ row[3]));
+  }
+}
+
+void sketch_scan_avx2(const std::uint64_t* query, const std::uint64_t* block,
+                      std::size_t n, std::size_t words,
+                      std::uint32_t* out) noexcept {
+  if (words == 4) return sketch_scan4_avx2(query, block, n, out);
+  const std::size_t n_vecs = words / 4;
+  const std::size_t tail = words % 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* row = block + i * words;
+    __m256i total = _mm256_setzero_si256();
+    std::size_t v = 0;
+    while (v < n_vecs) {
+      // Byte counters hold at most 8 per vector; flushing through PSADBW
+      // every 31 vectors keeps them from saturating.
+      const std::size_t stop = std::min(n_vecs, v + 31);
+      __m256i acc = _mm256_setzero_si256();
+      for (; v < stop; ++v) {
+        const __m256i vq = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(query + 4 * v));
+        const __m256i vr =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + 4 * v));
+        acc = _mm256_add_epi8(acc, popcount_bytes(_mm256_xor_si256(vq, vr)));
+      }
+      total = _mm256_add_epi64(total,
+                               _mm256_sad_epu8(acc, _mm256_setzero_si256()));
+    }
+    std::size_t d = static_cast<std::size_t>(horizontal_sum(total));
+    for (std::size_t w = words - tail; w < words; ++w) {
+      d += static_cast<std::size_t>(std::popcount(query[w] ^ row[w]));
+    }
+    out[i] = static_cast<std::uint32_t>(d);
+  }
+}
+
 }  // namespace
 
 const Kernels& avx2_kernels() noexcept {
   static const Kernels table{hamming_avx2, popcount_avx2, and_popcount_avx2,
-                             andnot_popcount_avx2, majority_avx2};
+                             andnot_popcount_avx2, majority_avx2,
+                             sketch_scan_avx2};
   return table;
 }
 

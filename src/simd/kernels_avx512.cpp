@@ -9,6 +9,7 @@
 // VPTERNLOG majority ops.
 #include <immintrin.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -144,12 +145,121 @@ void majority_avx512(const std::uint64_t* const* rows, std::size_t n,
   }
 }
 
+/// words == 4 fast path (the 256-bit ANN sketch default): 8 rows per
+/// iteration in four 512-bit vectors (two rows each), with the per-row
+/// horizontal sums done entirely in-register — two permutex2var transpose
+/// rounds reduce 32 lane counts to one vector of 8 row distances, stored
+/// with a single 8x32 truncating store. No scalar work inside the loop.
+void sketch_scan4_avx512(const std::uint64_t* query, const std::uint64_t* block,
+                         std::size_t n, std::uint32_t* out) noexcept {
+  // maskz forms (full masks) sidestep GCC's -Wuninitialized noise from the
+  // _mm512_undefined-based plain intrinsics; codegen is identical.
+  const __m512i vq = _mm512_maskz_broadcast_i64x4(
+      static_cast<__mmask8>(0xffu),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(query)));
+  const __m512i even = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+  const __m512i odd = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t* p = block + i * 4;
+    const __m512i v0 =
+        _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(p), vq));
+    const __m512i v1 =
+        _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(p + 8), vq));
+    const __m512i v2 =
+        _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(p + 16), vq));
+    const __m512i v3 =
+        _mm512_popcnt_epi64(_mm512_xor_si512(_mm512_loadu_si512(p + 24), vq));
+    // Lane pairs -> half-row sums for rows 0-3 (c) and 4-7 (d), then the
+    // same shuffle once more pairs the halves into whole-row sums.
+    const __m512i c = _mm512_add_epi64(_mm512_permutex2var_epi64(v0, even, v1),
+                                       _mm512_permutex2var_epi64(v0, odd, v1));
+    const __m512i d = _mm512_add_epi64(_mm512_permutex2var_epi64(v2, even, v3),
+                                       _mm512_permutex2var_epi64(v2, odd, v3));
+    const __m512i sums = _mm512_add_epi64(_mm512_permutex2var_epi64(c, even, d),
+                                          _mm512_permutex2var_epi64(c, odd, d));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm512_maskz_cvtepi64_epi32(static_cast<__mmask8>(0xffu), sums));
+  }
+  alignas(64) std::uint64_t lanes[8];
+  while (i < n) {
+    const std::size_t group = std::min<std::size_t>(2, n - i);
+    const __mmask8 mask = static_cast<__mmask8>((1u << (group * 4)) - 1u);
+    const __m512i v = _mm512_maskz_loadu_epi64(mask, block + i * 4);
+    _mm512_store_si512(lanes, _mm512_popcnt_epi64(_mm512_xor_si512(v, vq)));
+    for (std::size_t r = 0; r < group; ++r) {
+      out[i + r] = static_cast<std::uint32_t>(lanes[r * 4] + lanes[r * 4 + 1] +
+                                              lanes[r * 4 + 2] +
+                                              lanes[r * 4 + 3]);
+    }
+    i += group;
+  }
+}
+
+void sketch_scan_avx512(const std::uint64_t* query, const std::uint64_t* block,
+                        std::size_t n, std::size_t words,
+                        std::uint32_t* out) noexcept {
+  if (words == 4) {
+    sketch_scan4_avx512(query, block, n, out);
+    return;
+  }
+  if (words <= 8) {
+    // Pack floor(8 / words) whole rows per 512-bit load against a query
+    // replicated to match: one XOR + VPOPCNTQ covers every packed row, and
+    // the per-row distances are short scalar sums over the stored lane
+    // counts. The 4-word ANN sketch default fits two rows per load.
+    const std::size_t rows_per_vec = 8 / words;
+    std::uint64_t qrep[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (std::size_t r = 0; r < rows_per_vec; ++r) {
+      for (std::size_t w = 0; w < words; ++w) qrep[r * words + w] = query[w];
+    }
+    const __m512i vq = _mm512_loadu_si512(qrep);
+    std::size_t i = 0;
+    alignas(64) std::uint64_t lanes[8];
+    while (i < n) {
+      const std::size_t group = std::min(rows_per_vec, n - i);
+      const std::size_t used = group * words;
+      const __mmask8 mask = static_cast<__mmask8>((1u << used) - 1u);
+      const __m512i v = _mm512_maskz_loadu_epi64(mask, block + i * words);
+      _mm512_store_si512(lanes, _mm512_popcnt_epi64(_mm512_xor_si512(v, vq)));
+      for (std::size_t r = 0; r < group; ++r) {
+        std::uint64_t d = 0;
+        for (std::size_t w = 0; w < words; ++w) d += lanes[r * words + w];
+        out[i + r] = static_cast<std::uint32_t>(d);
+      }
+      i += group;
+    }
+    return;
+  }
+  const std::size_t tail = words % 8;
+  const __mmask8 tail_mask = static_cast<__mmask8>((1u << tail) - 1u);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* row = block + i * words;
+    __m512i total = _mm512_setzero_si512();
+    std::size_t w = 0;
+    for (; w + 8 <= words; w += 8) {
+      const __m512i vq = _mm512_loadu_si512(query + w);
+      const __m512i vr = _mm512_loadu_si512(row + w);
+      total = _mm512_add_epi64(total,
+                               _mm512_popcnt_epi64(_mm512_xor_si512(vq, vr)));
+    }
+    if (tail != 0) {
+      const __m512i vq = _mm512_maskz_loadu_epi64(tail_mask, query + w);
+      const __m512i vr = _mm512_maskz_loadu_epi64(tail_mask, row + w);
+      total = _mm512_add_epi64(total,
+                               _mm512_popcnt_epi64(_mm512_xor_si512(vq, vr)));
+    }
+    out[i] = static_cast<std::uint32_t>(_mm512_reduce_add_epi64(total));
+  }
+}
+
 }  // namespace
 
 const Kernels& avx512_kernels() noexcept {
   static const Kernels table{hamming_avx512, popcount_avx512,
                              and_popcount_avx512, andnot_popcount_avx512,
-                             majority_avx512};
+                             majority_avx512, sketch_scan_avx512};
   return table;
 }
 

@@ -83,12 +83,47 @@ void majority_scalar(const std::uint64_t* const* rows, std::size_t n,
   }
 }
 
+/// Fixed-width row scan: the compiler unrolls the inner loop completely, so
+/// the common sketch widths (1–8 words) run without per-row loop overhead.
+template <std::size_t W>
+void sketch_scan_fixed(const std::uint64_t* query, const std::uint64_t* block,
+                       std::size_t n, std::uint32_t* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* row = block + i * W;
+    std::uint32_t d = 0;
+    for (std::size_t w = 0; w < W; ++w) {
+      d += static_cast<std::uint32_t>(std::popcount(query[w] ^ row[w]));
+    }
+    out[i] = d;
+  }
+}
+
+void sketch_scan_scalar(const std::uint64_t* query, const std::uint64_t* block,
+                        std::size_t n, std::size_t words,
+                        std::uint32_t* out) noexcept {
+  switch (words) {
+    case 1: return sketch_scan_fixed<1>(query, block, n, out);
+    case 2: return sketch_scan_fixed<2>(query, block, n, out);
+    case 3: return sketch_scan_fixed<3>(query, block, n, out);
+    case 4: return sketch_scan_fixed<4>(query, block, n, out);
+    case 5: return sketch_scan_fixed<5>(query, block, n, out);
+    case 6: return sketch_scan_fixed<6>(query, block, n, out);
+    case 7: return sketch_scan_fixed<7>(query, block, n, out);
+    case 8: return sketch_scan_fixed<8>(query, block, n, out);
+    default: break;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>(
+        hamming_scalar(query, block + i * words, words));
+  }
+}
+
 }  // namespace
 
 const Kernels& scalar_kernels() noexcept {
   static const Kernels table{hamming_scalar, popcount_scalar,
                              and_popcount_scalar, andnot_popcount_scalar,
-                             majority_scalar};
+                             majority_scalar, sketch_scan_scalar};
   return table;
 }
 

@@ -7,12 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "hv/bit_matrix.hpp"
 #include "hv/bitvector.hpp"
 #include "hv/search.hpp"
+#include "hv/sharded_bits.hpp"
 #include "simd/dispatch.hpp"
 #include "util/rng.hpp"
 
@@ -61,6 +64,22 @@ std::string serialized(const ann::Index& index) {
   std::ostringstream out;
   index.save(out);
   return out.str();
+}
+
+/// Split a packed database into <= shard_rows row shards, the input shape
+/// build_sharded consumes.
+hdc::hv::ShardedBitMatrix shard_packed(const PackedHVs& db,
+                                       std::size_t shard_rows) {
+  hdc::hv::ShardedBitMatrix out;
+  for (std::size_t b = 0; b < db.rows(); b += shard_rows) {
+    const std::size_t e = std::min(db.rows(), b + shard_rows);
+    PackedHVs slice(db.bits(), e - b);
+    for (std::size_t i = b; i < e; ++i) {
+      std::copy_n(db.row(i), db.words_per_row(), slice.row(i - b));
+    }
+    out.append_shard(hdc::hv::BitMatrix::from_rows(std::move(slice)));
+  }
+  return out;
 }
 
 TEST(HvAnnTest, ExactFallbackIsByteIdenticalToKernels) {
@@ -180,6 +199,62 @@ TEST(HvAnnTest, SeededRebuildIsBitIdentical) {
   other.seed = 99;
   const ann::Index c = ann::Index::build(db, other);
   EXPECT_NE(serialized(a), serialized(c));
+}
+
+// The PR 9 invariance contract extended to the ANN builder: a streamed
+// build must be byte-identical (serialized form) to the in-memory build at
+// any shard geometry, including a ragged final shard.
+TEST(HvAnnTest, ShardedBuildIsByteIdenticalAcrossShardCounts) {
+  const PackedHVs db = clustered_rows(500, 512, 10, 0.06, 21);
+  const ann::Index reference = ann::Index::build(db);
+  const std::string reference_bytes = serialized(reference);
+
+  for (const std::size_t shard_rows : {500u, 125u, 65u}) {
+    const hdc::hv::ShardedBitMatrix sharded = shard_packed(db, shard_rows);
+    const hdc::hv::ShardedBitMatrixSource source(sharded);
+    ann::BuildStats stats;
+    const ann::Index streamed =
+        ann::Index::build_sharded(source, {}, nullptr, &stats);
+    EXPECT_EQ(streamed, reference) << "shard_rows=" << shard_rows;
+    EXPECT_EQ(serialized(streamed), reference_bytes)
+        << "shard_rows=" << shard_rows;
+    EXPECT_NO_THROW(streamed.check_database(db));
+    EXPECT_EQ(stats.shards, sharded.num_shards());
+    EXPECT_EQ(stats.index_bytes, streamed.storage_bytes());
+    EXPECT_GE(stats.bytes_peak, stats.shard_bytes_max);
+    EXPECT_GT(stats.shard_bytes_max, 0u);
+  }
+}
+
+TEST(HvAnnTest, ShardedBuildStatsReportedForInMemoryBuildToo) {
+  const PackedHVs db = random_rows(200, 256, 77);
+  ann::BuildStats stats;
+  const ann::Index index = ann::Index::build(db, {}, nullptr, &stats);
+  EXPECT_EQ(stats.shards, 1u);
+  // The single "shard" is the whole resident database.
+  EXPECT_EQ(stats.shard_bytes_max,
+            db.rows() * db.words_per_row() * sizeof(std::uint64_t));
+  EXPECT_GE(stats.bytes_peak, stats.shard_bytes_max);
+  EXPECT_EQ(stats.index_bytes, index.storage_bytes());
+}
+
+TEST(HvAnnTest, ShardedBuildRejectsEmptySource) {
+  const hdc::hv::ShardedBitMatrix empty;
+  const hdc::hv::ShardedBitMatrixSource source(empty);
+  EXPECT_THROW((void)ann::Index::build_sharded(source),
+               std::invalid_argument);
+}
+
+// One batched sketch_scan call per probed cell: the stat is exactly the
+// probe count, and recording it never changes results.
+TEST(HvAnnTest, SketchBlocksStatCountsProbedCells) {
+  const PackedHVs db = clustered_rows(400, 256, 8, 0.05, 31);
+  const PackedHVs queries = clustered_rows(25, 256, 8, 0.05, 32);
+  const ann::Index index = ann::Index::build(db);
+  ann::SearchStats stats;
+  (void)index.nearest(queries, db, {}, &stats);
+  EXPECT_EQ(stats.sketch_blocks, stats.probes);
+  EXPECT_GT(stats.sketch_blocks, 0u);
 }
 
 TEST(HvAnnTest, ResolvedConfigIsPersistedAndNeverZero) {

@@ -178,6 +178,53 @@ TEST(SimdKernels, AndPlusAndnotPartitionsMask) {
   }
 }
 
+// sketch_scan is the batched form of per-row hamming over a contiguous
+// block; every tier must match a naive per-row scalar loop bit-exactly,
+// including ragged block tails (n not a multiple of any rows-per-vector
+// grouping) and row widths off every vector boundary.
+TEST(SimdKernels, SketchScanMatchesPerRowNaiveAcrossTiers) {
+  hdc::util::Rng rng(4099);
+  const std::size_t kRowWidths[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 16, 33};
+  const std::size_t kBlockRows[] = {1, 2, 3, 4, 5, 7, 8, 9, 31, 64, 65, 200};
+  for (const std::size_t words : kRowWidths) {
+    for (const std::size_t n : kBlockRows) {
+      const std::vector<std::uint64_t> query = random_words(words, rng);
+      const std::vector<std::uint64_t> block = random_words(n * words, rng);
+      std::vector<std::uint32_t> expected(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t d = 0;
+        for (std::size_t w = 0; w < words; ++w) {
+          d += static_cast<std::uint32_t>(
+              std::popcount(query[w] ^ block[i * words + w]));
+        }
+        expected[i] = d;
+      }
+      for (const Tier t : hdc::simd::supported_tiers()) {
+        std::vector<std::uint32_t> out(n, 0xdeadbeefu);
+        hdc::simd::kernels(t).sketch_scan(query.data(), block.data(), n, words,
+                                          out.data());
+        EXPECT_EQ(out, expected)
+            << "tier=" << hdc::simd::tier_name(t) << " words=" << words
+            << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, SketchScanExtremes) {
+  const std::vector<std::uint64_t> zeros(4, 0ULL);
+  const std::vector<std::uint64_t> block(5 * 4, ~0ULL);
+  for (const Tier t : hdc::simd::supported_tiers()) {
+    std::vector<std::uint32_t> out(5, 0u);
+    hdc::simd::kernels(t).sketch_scan(zeros.data(), block.data(), 5, 4,
+                                      out.data());
+    for (const std::uint32_t d : out) EXPECT_EQ(d, 4u * 64u);
+    hdc::simd::kernels(t).sketch_scan(block.data(), block.data(), 5, 4,
+                                      out.data());
+    for (const std::uint32_t d : out) EXPECT_EQ(d, 0u);
+  }
+}
+
 TEST(SimdKernels, PopcountMatchesNaiveAcrossTiers) {
   hdc::util::Rng rng(7);
   for (const std::size_t words : kWordCounts) {
